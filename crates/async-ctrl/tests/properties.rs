@@ -1,0 +1,172 @@
+//! Property tests for the asynchronous substrates: micropipelines of any
+//! shape are FIFOs; the handshake environments compose; the controller
+//! engines respect their specifications under random schedules.
+
+use mtf_async::{
+    dv_as_spec, micropipeline, opt_spec, BmMachine, FourPhaseConsumer, FourPhaseProducer,
+    StgMachine,
+};
+use mtf_gates::Builder;
+use mtf_sim::{Logic, Simulator, Time, ViolationKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any stage count, width, item stream and pacing: the micropipeline
+    /// delivers everything, in order, with no protocol violations.
+    #[test]
+    fn micropipeline_is_a_fifo(
+        stages in 1usize..7,
+        width in 1usize..12,
+        n_items in 1usize..25,
+        prod_gap in 0u64..3_000,
+        cons_delay in 100u64..2_000,
+        seed in any::<u64>(),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let items: Vec<u64> = (0..n_items as u64).map(|i| (i * 2_654_435_761 + seed) & mask).collect();
+        let mut sim = Simulator::new(seed);
+        let mut b = Builder::new(&mut sim);
+        let p = micropipeline(&mut b, stages, width);
+        drop(b.finish());
+        let ph = FourPhaseProducer::spawn(
+            &mut sim, "prod", p.req_in, p.ack_in, &p.data_in, items.clone(),
+            Time::from_ps(500), Time::from_ps(prod_gap),
+        );
+        let ch = FourPhaseConsumer::spawn(
+            &mut sim, "cons", p.req_out, p.ack_out, &p.data_out, Time::from_ps(cons_delay),
+        );
+        sim.run_until(Time::from_us(40)).unwrap();
+        prop_assert_eq!(ph.journal().len(), items.len(), "all handshakes complete");
+        prop_assert_eq!(ch.journal().values(), items, "FIFO order");
+        prop_assert_eq!(sim.violations_of(ViolationKind::Protocol).count(), 0);
+    }
+
+    /// Two micropipelines composed back-to-back behave as one longer one.
+    #[test]
+    fn micropipelines_compose(n_items in 1usize..15, seed in any::<u64>()) {
+        let items: Vec<u64> = (0..n_items as u64).map(|i| (i * 37 + seed) % 256).collect();
+        let mut sim = Simulator::new(seed);
+        let mut b = Builder::new(&mut sim);
+        let first = micropipeline(&mut b, 3, 8);
+        let second = micropipeline(&mut b, 2, 8);
+        // Join: first.out -> second.in (req/data forward, ack backward).
+        b.buf_onto(first.req_out, second.req_in);
+        for (o, i) in first.data_out.iter().zip(&second.data_in) {
+            b.buf_onto(*o, *i);
+        }
+        b.buf_onto(second.ack_in, first.ack_out);
+        drop(b.finish());
+        let ph = FourPhaseProducer::spawn(
+            &mut sim, "prod", first.req_in, first.ack_in, &first.data_in, items.clone(),
+            Time::from_ps(600), Time::ZERO,
+        );
+        let ch = FourPhaseConsumer::spawn(
+            &mut sim, "cons", second.req_out, second.ack_out, &second.data_out,
+            Time::from_ps(400),
+        );
+        sim.run_until(Time::from_us(30)).unwrap();
+        prop_assert_eq!(ph.journal().len(), items.len());
+        prop_assert_eq!(ch.journal().values(), items);
+    }
+
+    /// The OPT token ring invariant: in a ring of machines connected by
+    /// their `we` pulses, pulsing each cell in sequence keeps exactly one
+    /// token alive and it circulates in order.
+    #[test]
+    fn opt_ring_circulates_one_token(n in 2usize..6, laps in 1usize..4) {
+        let mut sim = Simulator::new(0);
+        // we[i] pulses are driven manually (standing in for the put logic).
+        let we: Vec<_> = (0..n).map(|i| sim.net(format!("we{i}"))).collect();
+        let drvs: Vec<_> = we.iter().map(|&w| sim.driver(w)).collect();
+        let ptoks: Vec<_> = (0..n)
+            .map(|i| {
+                let prev = (i + n - 1) % n;
+                BmMachine::spawn(
+                    &mut sim,
+                    opt_spec(i, i == 0),
+                    &[we[prev], we[i]],
+                    Time::from_ps(300),
+                )[0]
+            })
+            .collect();
+        for (&w, &d) in we.iter().zip(&drvs) {
+            sim.drive_at(d, w, Logic::L, Time::ZERO);
+        }
+        let mut t = Time::from_ns(5);
+        for _ in 0..laps {
+            for i in 0..n {
+                // Cell i (which should hold the token) performs a "put":
+                // pulse its we line.
+                sim.drive_at(drvs[i], we[i], Logic::H, t);
+                sim.drive_at(drvs[i], we[i], Logic::L, t + Time::from_ns(2));
+                t += Time::from_ns(6);
+                sim.run_until(t).unwrap();
+                // Exactly one token, and it moved to the next cell.
+                let holders: Vec<usize> = ptoks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &p)| sim.value(p) == Logic::H)
+                    .map(|(k, _)| k)
+                    .collect();
+                prop_assert_eq!(holders, vec![(i + 1) % n], "after cell {}'s put", i);
+            }
+        }
+        prop_assert_eq!(sim.violations_of(ViolationKind::Protocol).count(), 0);
+    }
+
+    /// DV_as under random complete put/get cycles never misbehaves and
+    /// always returns to the empty state.
+    #[test]
+    fn dv_as_cycles_cleanly(cycles in 1usize..12, gap in 500u64..5_000) {
+        let mut sim = Simulator::new(0);
+        let we = sim.net("we");
+        let re = sim.net("re");
+        let nets = StgMachine::spawn(&mut sim, dv_as_spec(0), &[we, re], Time::from_ps(200));
+        let (ei, fi) = (nets[2], nets[3]);
+        let dwe = sim.driver(we);
+        let dre = sim.driver(re);
+        sim.drive_at(dwe, we, Logic::L, Time::ZERO);
+        sim.drive_at(dre, re, Logic::L, Time::ZERO);
+        let mut t = Time::from_ps(2_000);
+        for _ in 0..cycles {
+            sim.drive_at(dwe, we, Logic::H, t);
+            sim.drive_at(dwe, we, Logic::L, t + Time::from_ps(gap));
+            t += Time::from_ps(2 * gap);
+            sim.drive_at(dre, re, Logic::H, t);
+            sim.drive_at(dre, re, Logic::L, t + Time::from_ps(gap));
+            t += Time::from_ps(2 * gap);
+        }
+        sim.run_until(t + Time::from_ns(10)).unwrap();
+        prop_assert_eq!(sim.value(ei), Logic::H, "back to empty");
+        prop_assert_eq!(sim.value(fi), Logic::L);
+        prop_assert_eq!(sim.violations().len(), 0);
+    }
+}
+
+/// The producer's journal and the consumer's journal describe the same
+/// handshakes from both ends: equal lengths, producer-ack never before the
+/// consumer sampled.
+#[test]
+fn journals_are_consistent_views() {
+    let mut sim = Simulator::new(3);
+    let req = sim.net("req");
+    let ack = sim.net("ack");
+    let data = sim.bus("d", 8);
+    let items: Vec<u64> = (0..25).collect();
+    let ph = FourPhaseProducer::spawn(
+        &mut sim, "p", req, ack, &data, items.clone(), Time::from_ps(400), Time::from_ps(900),
+    );
+    let ch = FourPhaseConsumer::spawn(&mut sim, "c", req, ack, &data, Time::from_ps(700));
+    sim.run_until(Time::from_us(5)).unwrap();
+    assert_eq!(ph.journal().len(), ch.journal().len());
+    for i in 0..items.len() {
+        let sampled = ch.journal().time_of(i).unwrap();
+        let acked = ph.journal().time_of(i).unwrap();
+        assert!(
+            acked >= sampled,
+            "item {i}: ack ({acked}) precedes the consumer's sample ({sampled})"
+        );
+    }
+}

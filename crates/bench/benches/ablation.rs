@@ -1,0 +1,84 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Synchronizer depth** (robustness vs speed): fmax at 2/3/4 stages —
+//!   the anticipation window grows with the depth, so both detectors
+//!   deepen and fmax falls. Printed alongside the wall-time measurement.
+//! * **Bi-modal vs plain anticipating empty**: the deadlock-avoidance OR
+//!   path costs gates on the empty critical path; quantified by timing the
+//!   single-item drain that a plain detector would deadlock on.
+//! * **Capacity scaling** of the detector trees.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtf_bench::measure::{periods, throughput, Design};
+use mtf_core::env::{SyncConsumer, SyncProducer};
+use mtf_core::{FifoParams, MixedClockFifo};
+use mtf_gates::Builder;
+use mtf_sim::{ClockGen, Simulator, Time};
+
+fn sync_depth_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sync_depth");
+    g.sample_size(10);
+    for stages in [2usize, 3, 4] {
+        let params = FifoParams::with_sync_stages(8, 8, stages);
+        let t = throughput(Design::MixedClock, params);
+        println!(
+            "sync depth {stages}: put {:6.1} MHz  get {:6.1} MHz",
+            t.put, t.get
+        );
+        g.bench_function(format!("stages_{stages}"), |b| {
+            b.iter(|| periods(Design::MixedClock, params))
+        });
+    }
+    g.finish();
+}
+
+fn capacity_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_capacity");
+    g.sample_size(10);
+    for capacity in [4usize, 8, 16, 32] {
+        let params = FifoParams::new(capacity, 8);
+        let t = throughput(Design::MixedClock, params);
+        println!(
+            "capacity {capacity:2}: put {:6.1} MHz  get {:6.1} MHz (detector tree depth grows)",
+            t.put, t.get
+        );
+        g.bench_function(format!("places_{capacity}"), |b| {
+            b.iter(|| periods(Design::MixedClock, params))
+        });
+    }
+    g.finish();
+}
+
+/// The bi-modal detector's raison d'être: draining the final item. A plain
+/// anticipating-empty FIFO would stall forever; ours must finish, and this
+/// bench times the full drain round-trip.
+fn bimodal_last_item(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bimodal");
+    g.sample_size(10);
+    g.bench_function("single_item_drain", |bch| {
+        bch.iter(|| {
+            let mut sim = Simulator::new(4);
+            let clk_put = sim.net("clk_put");
+            let clk_get = sim.net("clk_get");
+            ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ns(10));
+            ClockGen::builder(Time::from_ns(11))
+                .phase(Time::from_ps(900))
+                .spawn(&mut sim, clk_get);
+            let mut b = Builder::new(&mut sim);
+            let f = MixedClockFifo::build(&mut b, FifoParams::new(4, 8), clk_put, clk_get);
+            drop(b.finish());
+            let _pj = SyncProducer::spawn(
+                &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, vec![42],
+            );
+            let cj = SyncConsumer::spawn(
+                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+            );
+            sim.run_until(Time::from_us(1)).unwrap();
+            assert_eq!(cj.values(), vec![42], "bi-modal detector must not deadlock");
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sync_depth_ablation, capacity_ablation, bimodal_last_item);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion wrapper around the Table 1 latency experiment (E5): one
+//! empty-FIFO single-item injection sweep per design at the paper's
+//! smallest shape, printing the Min/Max so a bench run regenerates the
+//! latency half of Table 1 for that shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtf_bench::measure::{latency, Design};
+use mtf_core::FifoParams;
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_latency");
+    g.sample_size(10);
+    let params = FifoParams::new(4, 8);
+    for design in Design::ALL {
+        let l = latency(design, params, 4);
+        println!(
+            "{:<15} 4x8 latency: min {:.2} ns  max {:.2} ns",
+            design.label(),
+            l.min_ns,
+            l.max_ns
+        );
+        g.bench_function(design.label(), |b| b.iter(|| latency(design, params, 2)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

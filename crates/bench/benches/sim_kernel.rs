@@ -1,0 +1,84 @@
+//! Benchmarks of the simulation substrate itself: raw event throughput of
+//! the kernel, netlist construction cost, and end-to-end transfer rates
+//! through each FIFO design. These guard the *reproduction machinery*
+//! against performance regressions (the Table 1 metrics live in the
+//! `throughput`/`latency` benches and the `table1` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput as CThroughput};
+use mtf_core::env::{SyncConsumer, SyncProducer};
+use mtf_core::{FifoParams, MixedClockFifo};
+use mtf_gates::Builder;
+use mtf_sim::{ClockGen, Simulator, Time};
+
+/// A free-running clock plus an inverter chain: pure kernel event churn.
+fn kernel_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(CThroughput::Elements(1));
+    g.bench_function("clock_plus_inverter_chain_100us", |bch| {
+        bch.iter(|| {
+            let mut sim = Simulator::new(0);
+            let clk = sim.net("clk");
+            ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
+            let mut b = Builder::new(&mut sim);
+            let mut x = clk;
+            for _ in 0..16 {
+                x = b.inv(x);
+            }
+            drop(b.finish());
+            sim.run_until(Time::from_us(100)).unwrap();
+            sim.events_processed()
+        })
+    });
+    g.finish();
+}
+
+fn netlist_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    g.sample_size(20);
+    for &(n, w) in &[(4usize, 8usize), (16, 16)] {
+        g.bench_function(format!("mixed_clock_{n}x{w}"), |bch| {
+            bch.iter(|| {
+                let mut sim = Simulator::new(0);
+                let clk_put = sim.net("clk_put");
+                let clk_get = sim.net("clk_get");
+                let mut b = Builder::new(&mut sim);
+                let f = MixedClockFifo::build(&mut b, FifoParams::new(n, w), clk_put, clk_get);
+                (b.finish().len(), f.cell_full.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn end_to_end_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfer");
+    g.sample_size(10);
+    g.throughput(CThroughput::Elements(64));
+    g.bench_function("mixed_clock_64_items", |bch| {
+        bch.iter(|| {
+            let mut sim = Simulator::new(1);
+            let clk_put = sim.net("clk_put");
+            let clk_get = sim.net("clk_get");
+            ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ns(10));
+            ClockGen::builder(Time::from_ns(11))
+                .phase(Time::from_ps(1_300))
+                .spawn(&mut sim, clk_get);
+            let mut b = Builder::new(&mut sim);
+            let f = MixedClockFifo::build(&mut b, FifoParams::new(8, 8), clk_put, clk_get);
+            drop(b.finish());
+            let items: Vec<u64> = (0..64).collect();
+            let _pj = SyncProducer::spawn(
+                &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            );
+            let cj = SyncConsumer::spawn(
+                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 64,
+            );
+            sim.run_until(Time::from_us(3)).unwrap();
+            assert_eq!(cj.len(), 64);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, kernel_events, netlist_build, end_to_end_transfer);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion wrapper around the Table 1 throughput measurements (E1–E4):
+//! benches the full measurement pipeline (netlist generation, delay
+//! annotation, STA, and — for async puts — steady-state simulation) for
+//! each design, and prints the measured MHz / MegaOps values so a bench
+//! run doubles as a compact Table 1 regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtf_bench::measure::{throughput, Design};
+use mtf_core::FifoParams;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_throughput");
+    g.sample_size(10);
+    for design in Design::ALL {
+        for &(capacity, width) in &[(4usize, 8usize), (16, 16)] {
+            let params = FifoParams::new(capacity, width);
+            let t = throughput(design, params);
+            println!(
+                "{:<15} {capacity:2}x{width:2}: put {:6.1} {}  get {:6.1} MHz",
+                design.label(),
+                t.put,
+                if design.async_put() { "MOps/s" } else { "MHz   " },
+                t.get,
+            );
+            g.bench_function(format!("{}/{capacity}x{width}", design.label()), |b| {
+                b.iter(|| throughput(design, params))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Exports the paper's four designs (plus the two extensions) as
+//! structural Verilog, one file each, into the working directory.
+//!
+//! ```text
+//! cargo run -p mtf-bench --bin export_verilog --release [-- <capacity> <width>]
+//! ```
+
+use mtf_core::{
+    AsyncAsyncFifo, AsyncSyncFifo, AsyncSyncRelayStation, FifoParams, MixedClockFifo,
+    MixedClockRelayStation, SyncAsyncFifo,
+};
+use mtf_gates::{to_verilog, Builder, Port};
+use mtf_sim::Simulator;
+
+fn write(name: &str, contents: String) {
+    let path = format!("{name}.v");
+    std::fs::write(&path, contents).expect("write .v file");
+    println!("  wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let capacity: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let width: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let params = FifoParams::new(capacity, width);
+    println!("exporting {params} designs as structural Verilog:");
+
+    // Mixed-clock FIFO.
+    {
+        let mut sim = Simulator::new(0);
+        let clk_put = sim.net("clk_put");
+        let clk_get = sim.net("clk_get");
+        let mut b = Builder::new(&mut sim);
+        let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
+        let nl = b.finish();
+        let ports = vec![
+            Port::input("clk_put", clk_put),
+            Port::input("clk_get", clk_get),
+            Port::input("req_put", f.req_put),
+            Port::input_bus("data_put", &f.data_put),
+            Port::output("full", f.full),
+            Port::input("req_get", f.req_get),
+            Port::output_bus("data_get", &f.data_get),
+            Port::output("valid_get", f.valid_get),
+            Port::output("empty", f.empty),
+        ];
+        write("mixed_clock_fifo", to_verilog("mixed_clock_fifo", &nl, &sim, &ports));
+    }
+
+    // Async-sync FIFO.
+    {
+        let mut sim = Simulator::new(0);
+        let clk_get = sim.net("clk_get");
+        let mut b = Builder::new(&mut sim);
+        let f = AsyncSyncFifo::build(&mut b, params, clk_get);
+        let nl = b.finish();
+        let ports = vec![
+            Port::input("clk_get", clk_get),
+            Port::input("put_req", f.put_req),
+            Port::input_bus("put_data", &f.put_data),
+            Port::output("put_ack", f.put_ack),
+            Port::input("req_get", f.req_get),
+            Port::output_bus("data_get", &f.data_get),
+            Port::output("valid_get", f.valid_get),
+            Port::output("empty", f.empty),
+        ];
+        write("async_sync_fifo", to_verilog("async_sync_fifo", &nl, &sim, &ports));
+    }
+
+    // Mixed-clock relay station.
+    {
+        let mut sim = Simulator::new(0);
+        let clk_put = sim.net("clk_put");
+        let clk_get = sim.net("clk_get");
+        let mut b = Builder::new(&mut sim);
+        let f = MixedClockRelayStation::build(&mut b, params, clk_put, clk_get);
+        let nl = b.finish();
+        let ports = vec![
+            Port::input("clk_put", clk_put),
+            Port::input("clk_get", clk_get),
+            Port::input("valid_in", f.valid_in),
+            Port::input_bus("data_put", &f.data_put),
+            Port::output("stop_out", f.stop_out),
+            Port::input("stop_in", f.stop_in),
+            Port::output_bus("data_get", &f.data_get),
+            Port::output("valid_get", f.valid_get),
+        ];
+        write("mixed_clock_rs", to_verilog("mixed_clock_rs", &nl, &sim, &ports));
+    }
+
+    // Async-sync relay station.
+    {
+        let mut sim = Simulator::new(0);
+        let clk_get = sim.net("clk_get");
+        let mut b = Builder::new(&mut sim);
+        let f = AsyncSyncRelayStation::build(&mut b, params, clk_get);
+        let nl = b.finish();
+        let ports = vec![
+            Port::input("clk_get", clk_get),
+            Port::input("put_req", f.put_req),
+            Port::input_bus("put_data", &f.put_data),
+            Port::output("put_ack", f.put_ack),
+            Port::input("stop_in", f.stop_in),
+            Port::output_bus("data_get", &f.data_get),
+            Port::output("valid_get", f.valid_get),
+        ];
+        write("async_sync_rs", to_verilog("async_sync_rs", &nl, &sim, &ports));
+    }
+
+    // Extensions.
+    {
+        let mut sim = Simulator::new(0);
+        let mut b = Builder::new(&mut sim);
+        let f = AsyncAsyncFifo::build(&mut b, params);
+        let nl = b.finish();
+        let ports = vec![
+            Port::input("put_req", f.put_req),
+            Port::input_bus("put_data", &f.put_data),
+            Port::output("put_ack", f.put_ack),
+            Port::input("get_req", f.get_req),
+            Port::output_bus("get_data", &f.get_data),
+            Port::output("get_ack", f.get_ack),
+        ];
+        write("async_async_fifo", to_verilog("async_async_fifo", &nl, &sim, &ports));
+    }
+    {
+        let mut sim = Simulator::new(0);
+        let clk_put = sim.net("clk_put");
+        let mut b = Builder::new(&mut sim);
+        let f = SyncAsyncFifo::build(&mut b, params, clk_put);
+        let nl = b.finish();
+        let ports = vec![
+            Port::input("clk_put", clk_put),
+            Port::input("req_put", f.req_put),
+            Port::input_bus("data_put", &f.data_put),
+            Port::output("full", f.full),
+            Port::input("get_req", f.get_req),
+            Port::output_bus("get_data", &f.get_data),
+            Port::output("get_ack", f.get_ack),
+        ];
+        write("sync_async_fifo", to_verilog("sync_async_fifo", &nl, &sim, &ports));
+    }
+    println!("note: behavioural controller macros (OPT/OGT/DV) are emitted as");
+    println!("black boxes; their specifications live in mtf-async.");
+}

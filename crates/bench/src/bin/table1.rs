@@ -1,0 +1,107 @@
+//! Regenerates the paper's **Table 1**: throughput and latency for all
+//! four mixed-timing designs across the capacity × width sweep, printed
+//! side by side with the published numbers.
+//!
+//! ```text
+//! cargo run -p mtf-bench --bin table1 [--quick] [--latency-steps N]
+//! ```
+
+use mtf_bench::measure::{latency, throughput, Design};
+use mtf_bench::paper;
+use mtf_core::FifoParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let steps = args
+        .iter()
+        .position(|a| a == "--latency-steps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick { 4 } else { 10 });
+
+    println!("Table 1 reproduction — Chelcea & Nowick, DAC 2001");
+    println!("(sync interfaces: MHz by static timing analysis; async: MegaOps/s by simulation)");
+    println!();
+
+    // ---- throughput ------------------------------------------------------
+    println!("THROUGHPUT                paper        measured       ratio");
+    for design in Design::ALL {
+        println!("{}", design.label());
+        for &width in &[8usize, 16] {
+            for &capacity in &[4usize, 8, 16] {
+                let params = FifoParams::new(capacity, width);
+                let m = throughput(design, params);
+                let p = paper::throughput_of(design.label(), capacity, width)
+                    .expect("published cell");
+                println!(
+                    "  {capacity:2}-place {width:2}-bit   put {pp:5.0} / {mp:5.0}  ({rp:4.2})   get {pg:5.0} / {mg:5.0}  ({rg:4.2})",
+                    pp = p.put,
+                    mp = m.put,
+                    rp = m.put / p.put,
+                    pg = p.get,
+                    mg = m.get,
+                    rg = m.get / p.get,
+                );
+            }
+        }
+    }
+
+    // ---- latency ----------------------------------------------------------
+    println!();
+    println!("LATENCY (8-bit, empty FIFO)   paper min/max      measured min/max");
+    for design in Design::ALL {
+        println!("{}", design.label());
+        for &capacity in &[4usize, 8, 16] {
+            let params = FifoParams::new(capacity, 8);
+            let m = latency(design, params, steps);
+            let p = paper::latency_of(design.label(), capacity).expect("published cell");
+            println!(
+                "  {capacity:2}-place    {:4.2} / {:4.2} ns      {:4.2} / {:4.2} ns",
+                p.min_ns, p.max_ns, m.min_ns, m.max_ns
+            );
+        }
+    }
+
+    // ---- shape checks -------------------------------------------------------
+    println!();
+    println!("Shape checks (the claims the reproduction must preserve):");
+    let mut pass = 0;
+    let mut fail = 0;
+    let mut check = |name: &str, ok: bool| {
+        println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, name);
+        if ok { pass += 1 } else { fail += 1 }
+    };
+
+    let mc4 = throughput(Design::MixedClock, FifoParams::new(4, 8));
+    let mc8 = throughput(Design::MixedClock, FifoParams::new(8, 8));
+    let mc16 = throughput(Design::MixedClock, FifoParams::new(16, 8));
+    let mc4w = throughput(Design::MixedClock, FifoParams::new(4, 16));
+    let as4 = throughput(Design::AsyncSync, FifoParams::new(4, 8));
+    let rs4 = throughput(Design::MixedClockRs, FifoParams::new(4, 8));
+    check("sync put faster than sync get (empty detector heavier)", mc4.put > mc4.get);
+    check("throughput decreases with capacity", mc4.put > mc8.put && mc8.put > mc16.put);
+    check("throughput decreases with width", mc4.put > mc4w.put);
+    check("async put slower than sync put", as4.put < mc4.put);
+    check(
+        "async-sync get ≈ mixed-clock get (same get part)",
+        (as4.get / mc4.get - 1.0).abs() < 0.1,
+    );
+    check(
+        "MCRS put ≥ mixed-clock put (put controller is one inverter)",
+        rs4.put >= mc4.put * 0.98,
+    );
+    check(
+        "MCRS get ≤ mixed-clock get (stopIn in the controller)",
+        rs4.get <= mc4.get * 1.02,
+    );
+    let l4 = latency(Design::MixedClock, FifoParams::new(4, 8), steps);
+    let l16 = latency(Design::MixedClock, FifoParams::new(16, 8), steps);
+    check("latency grows with capacity", l16.min_ns > l4.min_ns);
+    check("max latency exceeds min", l4.max_ns > l4.min_ns);
+    println!();
+    println!("{pass} shape checks passed, {fail} failed");
+    if fail > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # mtf-bench — the evaluation harness
+//!
+//! Regenerates every artifact of the paper's evaluation section:
+//!
+//! * **Table 1** (throughput + latency): [`measure::throughput`] computes
+//!   each synchronous interface's maximum clock frequency by static timing
+//!   analysis over the generated netlist (custom-circuit calibration — see
+//!   `Tech::hp06_custom`), and each asynchronous interface's MegaOps/s by
+//!   steady-state event simulation; [`measure::latency`] reproduces the
+//!   paper's Min/Max latency experiment by sweeping the put instant across
+//!   one receiver clock period. Run `cargo run -p mtf-bench --bin table1`.
+//! * **Fig. 3** (interface protocols): `cargo run -p mtf-bench --bin fig3`
+//!   renders the put/get protocol waveforms from live simulation (ASCII +
+//!   VCD).
+//! * **Robustness (E8)**: `cargo run -p mtf-bench --bin robustness` sweeps
+//!   synchronizer depth against injected metastability and the analytical
+//!   MTBF model.
+//!
+//! The [`paper`] module holds the published Table 1 numbers so the
+//! binaries can print paper-vs-measured side by side.
+
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod paper;

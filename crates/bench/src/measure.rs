@@ -1,0 +1,521 @@
+//! The measurement procedures behind Table 1.
+//!
+//! Synchronous-interface throughput is a *static timing* quantity (the
+//! maximum clock frequency), so it is computed with [`Sta`] over the
+//! generated netlist after fanout-aware delay annotation. Asynchronous
+//! interface throughput has no clock — following the paper it is measured
+//! in MegaOps/s by saturating the interface in event simulation and timing
+//! the steady-state handshakes. Latency reproduces the paper's experiment
+//! verbatim: in an empty FIFO with the receiver requesting, a single item
+//! is injected at a controlled instant which is swept across one receiver
+//! clock period; Min/Max are the sweep extremes.
+//!
+//! All measurements use the custom-circuit calibration
+//! ([`CellDelays::hp06_custom`]/[`Tech::hp06_custom`]) and the ideal
+//! metastability model (the paper's HSpice runs are deterministic; the
+//! stochastic model is exercised by the robustness experiment instead).
+
+use mtf_async::FourPhaseProducer;
+use mtf_core::env::{PacketSink, SyncConsumer};
+use mtf_core::{
+    AsyncSyncFifo, AsyncSyncRelayStation, FifoParams, MixedClockFifo, MixedClockRelayStation,
+};
+use mtf_gates::{Builder, CellDelays};
+use mtf_sim::{ClockGen, Logic, MetaModel, NetId, Simulator, Time};
+use mtf_timing::{Sta, Tech};
+
+/// Environment reaction delay after a clock edge (request/data driving).
+const EXT: Time = Time::from_ps(100);
+/// Bundling margin used by the asynchronous producer environments.
+const BUNDLING: Time = Time::from_ps(150);
+
+/// The four designs of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Design {
+    /// Section 3: the sync-sync FIFO.
+    MixedClock,
+    /// Section 4: the async-sync FIFO.
+    AsyncSync,
+    /// Section 5.2: the mixed-clock relay station.
+    MixedClockRs,
+    /// Section 5.3: the async-sync relay station.
+    AsyncSyncRs,
+}
+
+impl Design {
+    /// All four, in the paper's row order.
+    pub const ALL: [Design; 4] = [
+        Design::MixedClock,
+        Design::AsyncSync,
+        Design::MixedClockRs,
+        Design::AsyncSyncRs,
+    ];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::MixedClock => "Mixed-Clock",
+            Design::AsyncSync => "Async-Sync",
+            Design::MixedClockRs => "Mixed-Clock RS",
+            Design::AsyncSyncRs => "Async-Sync RS",
+        }
+    }
+
+    /// True if the put interface is asynchronous (throughput in MegaOps/s).
+    pub fn async_put(self) -> bool {
+        matches!(self, Design::AsyncSync | Design::AsyncSyncRs)
+    }
+}
+
+/// A measured throughput pair. Units: MHz for synchronous interfaces,
+/// MegaOps/s for asynchronous ones (same magnitude).
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Put-interface throughput.
+    pub put: f64,
+    /// Get-interface throughput.
+    pub get: f64,
+}
+
+/// A measured Min/Max latency range in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyRange {
+    /// Best-case alignment.
+    pub min_ns: f64,
+    /// Worst-case alignment.
+    pub max_ns: f64,
+}
+
+fn builder(sim: &mut Simulator) -> Builder<'_> {
+    Builder::with_delays(sim, CellDelays::hp06_custom(), MetaModel::ideal())
+}
+
+/// The STA-derived minimum clock periods of a design's synchronous
+/// interfaces (put period is `None` for asynchronous puts).
+#[derive(Clone, Copy, Debug)]
+pub struct Periods {
+    /// Minimum put-clock period, if the put interface is synchronous.
+    pub put: Option<Time>,
+    /// Minimum get-clock period.
+    pub get: Time,
+}
+
+/// Computes the STA periods for `design` at `params`.
+pub fn periods(design: Design, params: FifoParams) -> Periods {
+    let mut sim = Simulator::new(1);
+    let clk_put = sim.net("clk_put");
+    let clk_get = sim.net("clk_get");
+    let mut b = builder(&mut sim);
+    let (req_like, data_put, req_get_like, stop_in, nclk_get): (
+        NetId,
+        Vec<NetId>,
+        Option<NetId>,
+        Option<NetId>,
+        NetId,
+    );
+    match design {
+        Design::MixedClock => {
+            let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
+            req_like = f.req_put;
+            data_put = f.data_put.clone();
+            req_get_like = Some(f.req_get);
+            stop_in = None;
+            nclk_get = f.nclk_get;
+        }
+        Design::AsyncSync => {
+            let f = AsyncSyncFifo::build(&mut b, params, clk_get);
+            req_like = f.put_req;
+            data_put = f.put_data.clone();
+            req_get_like = Some(f.req_get);
+            stop_in = None;
+            nclk_get = f.nclk_get;
+        }
+        Design::MixedClockRs => {
+            let f = MixedClockRelayStation::build(&mut b, params, clk_put, clk_get);
+            req_like = f.valid_in;
+            data_put = f.data_put.clone();
+            req_get_like = None;
+            stop_in = Some(f.stop_in);
+            nclk_get = f.nclk_get;
+        }
+        Design::AsyncSyncRs => {
+            let f = AsyncSyncRelayStation::build(&mut b, params, clk_get);
+            req_like = f.put_req;
+            data_put = f.put_data.clone();
+            req_get_like = None;
+            stop_in = Some(f.stop_in);
+            nclk_get = f.nclk_get;
+        }
+    }
+    let nl = b.finish();
+    Tech::hp06_custom().annotate(&nl);
+    let mut sta = Sta::new(&nl);
+    // The mid-cycle dequeue commit launches from the falling get edge.
+    sta.external_launch_half(nclk_get, clk_get, Time::from_ps(100));
+    if !design.async_put() {
+        sta.external_launch(req_like, clk_put, EXT);
+        for &d in &data_put {
+            sta.external_launch(d, clk_put, EXT);
+        }
+    }
+    if let Some(rg) = req_get_like {
+        sta.external_launch(rg, clk_get, EXT);
+    }
+    if let Some(si) = stop_in {
+        sta.external_launch(si, clk_get, EXT);
+    }
+    let get = sta
+        .min_period(clk_get)
+        .expect("get domain must have paths")
+        .period;
+    let put = if design.async_put() {
+        None
+    } else {
+        Some(
+            sta.min_period(clk_put)
+                .expect("put domain must have paths")
+                .period,
+        )
+    };
+    Periods { put, get }
+}
+
+/// Measures the Table 1 throughput cell for `design` at `params`.
+pub fn throughput(design: Design, params: FifoParams) -> Throughput {
+    let p = periods(design, params);
+    let get = 1.0e6 / p.get.as_ps() as f64;
+    let put = match p.put {
+        Some(t) => 1.0e6 / t.as_ps() as f64,
+        None => async_put_mops(design, params, p.get),
+    };
+    Throughput { put, get }
+}
+
+/// Measures an asynchronous put interface's steady-state throughput in
+/// MegaOps/s, with the synchronous get side clocked at its own maximum
+/// frequency so the FIFO never back-pressures.
+fn async_put_mops(design: Design, params: FifoParams, get_period: Time) -> f64 {
+    let ops: u64 = 300;
+    let mut sim = Simulator::new(2);
+    let clk_get = sim.net("clk_get");
+    // 5% margin over the STA period keeps the drain side comfortably legal.
+    let period = Time::from_ps(get_period.as_ps() * 21 / 20);
+    ClockGen::builder(period)
+        .phase(Time::from_ps(333))
+        .spawn(&mut sim, clk_get);
+    let mut b = builder(&mut sim);
+    let journal = match design {
+        Design::AsyncSync => {
+            let f = AsyncSyncFifo::build(&mut b, params, clk_get);
+            let nl = b.finish();
+            Tech::hp06_custom().annotate(&nl);
+            let ph = FourPhaseProducer::spawn(
+                &mut sim, "prod", f.put_req, f.put_ack, &f.put_data,
+                (0..ops).collect(), BUNDLING, Time::ZERO,
+            );
+            let _cj = SyncConsumer::spawn(
+                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, ops,
+            );
+            ph.journal().clone()
+        }
+        Design::AsyncSyncRs => {
+            let f = AsyncSyncRelayStation::build(&mut b, params, clk_get);
+            let nl = b.finish();
+            Tech::hp06_custom().annotate(&nl);
+            let ph = FourPhaseProducer::spawn(
+                &mut sim, "prod", f.put_req, f.put_ack, &f.put_data,
+                (0..ops).collect(), BUNDLING, Time::ZERO,
+            );
+            let _kj = PacketSink::spawn(
+                &mut sim, "sink", clk_get, &f.data_get, f.valid_get, f.stop_in, vec![],
+            );
+            ph.journal().clone()
+        }
+        _ => unreachable!("synchronous puts are timed statically"),
+    };
+    sim.run_until(Time::from_us(40)).expect("simulation runs");
+    assert_eq!(journal.len() as u64, ops, "producer must finish");
+    journal.ops_per_second(40).expect("steady state reached") / 1.0e6
+}
+
+/// Independently cross-checks the STA throughput bound by *simulation*:
+/// scales both clock periods by a common factor of their STA minima and
+/// binary-searches the smallest factor at which a transfer stays clean (no
+/// setup/hold reports, data intact, in order). Returns that factor —
+/// 1.0 means the STA bound is exactly where simulation first succeeds;
+/// values below 1.0 mean STA is conservative by that margin.
+pub fn sim_fmax_factor_mixed_clock(params: FifoParams) -> f64 {
+    let p = periods(Design::MixedClock, params);
+    let (t_put, t_get) = (p.put.expect("sync put"), p.get);
+
+    let clean_at = |factor: f64| -> bool {
+        let scale = |t: Time| Time::from_ps((t.as_ps() as f64 * factor).round() as u64);
+        let (tp, tg) = (scale(t_put), scale(t_get));
+        let mut sim = Simulator::new(17);
+        let clk_put = sim.net("clk_put");
+        let clk_get = sim.net("clk_get");
+        ClockGen::spawn_simple(&mut sim, clk_put, tp);
+        ClockGen::builder(tg).phase(Time::from_ps(tg.as_ps() / 3)).spawn(&mut sim, clk_get);
+        let mut b = builder(&mut sim);
+        let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
+        let nl = b.finish();
+        Tech::hp06_custom().annotate(&nl);
+        let items: Vec<u64> = (0..60).collect();
+        let pj = mtf_core::env::SyncProducer::spawn(
+            &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        );
+        let cj = SyncConsumer::spawn(
+            &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        );
+        let horizon = Time::from_ps(tp.max(tg).as_ps() * 200);
+        if sim.run_until(horizon).is_err() {
+            return false;
+        }
+        let viol = sim
+            .violations_of(mtf_sim::ViolationKind::Setup)
+            .count()
+            + sim.violations_of(mtf_sim::ViolationKind::Hold).count();
+        viol == 0 && pj.len() == items.len() && cj.values() == items
+    };
+
+    // Bracket, then bisect to ~1% resolution.
+    let mut lo = 0.4; // assumed dirty
+    let mut hi = 1.2; // assumed clean (2% guard over STA plus margin)
+    assert!(clean_at(hi), "simulation must pass above the STA bound");
+    for _ in 0..7 {
+        let mid = (lo + hi) / 2.0;
+        if clean_at(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Reproduces the paper's latency experiment: empty FIFO, receiver
+/// requesting; one item injected at an instant swept over one get-clock
+/// period in `steps` steps. Returns the Min/Max of
+/// `capture edge − data-valid instant` in nanoseconds.
+pub fn latency(design: Design, params: FifoParams, steps: usize) -> LatencyRange {
+    assert!(steps >= 2, "a sweep needs at least two points");
+    let p = periods(design, params);
+    let t_get = p.get;
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in 0..steps {
+        let offset = Time::from_ps(t_get.as_ps() * s as u64 / steps as u64);
+        let ns = latency_once(design, params, p, offset);
+        lo = lo.min(ns);
+        hi = hi.max(ns);
+    }
+    LatencyRange { min_ns: lo, max_ns: hi }
+}
+
+fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) -> f64 {
+    let t_get = p.get;
+    // The relay station enqueues continuously — bubbles included — so a
+    // put clock faster than the get clock would fill it with invalid
+    // packets and the measured "latency" would be the drain time of the
+    // whole ring. The paper's empty-FIFO latency setup implies
+    // rate-matched interfaces; use the slower period on both sides.
+    let t_put = match (design, p.put) {
+        (Design::MixedClockRs, Some(tp)) => tp.max(t_get),
+        (_, Some(tp)) => tp,
+        (_, None) => t_get,
+    };
+    let warmup = t_get * 40;
+
+    let mut sim = Simulator::new(3);
+    let clk_put = sim.net("clk_put");
+    let clk_get = sim.net("clk_get");
+    ClockGen::spawn_simple(&mut sim, clk_get, t_get);
+
+    // For synchronous puts the injection instant is tied to a put-clock
+    // edge, so the sweep shifts the whole put clock; for asynchronous puts
+    // the instant is free.
+    let put_edge = {
+        // First put edge after warmup, for phase `offset`: edges at
+        // offset + k·t_put.
+        let k = (warmup.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps())
+            / t_put.as_ps();
+        offset + t_put * k
+    };
+    if !design.async_put() {
+        ClockGen::builder(t_put).phase(offset).spawn(&mut sim, clk_put);
+    }
+
+    let mut b = builder(&mut sim);
+    enum Rig {
+        Sync { req: NetId, data: Vec<NetId>, valid_get: NetId },
+        Async { req: NetId, data: Vec<NetId>, valid_get: NetId },
+    }
+    let rig = match design {
+        Design::MixedClock => {
+            let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
+            let nl = b.finish();
+            Tech::hp06_custom().annotate(&nl);
+            let _cj = SyncConsumer::spawn(
+                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+            );
+            Rig::Sync { req: f.req_put, data: f.data_put, valid_get: f.valid_get }
+        }
+        Design::AsyncSync => {
+            let f = AsyncSyncFifo::build(&mut b, params, clk_get);
+            let nl = b.finish();
+            Tech::hp06_custom().annotate(&nl);
+            let _cj = SyncConsumer::spawn(
+                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+            );
+            Rig::Async { req: f.put_req, data: f.put_data, valid_get: f.valid_get }
+        }
+        Design::MixedClockRs => {
+            // The relay station streams continuously (bubbles included) and
+            // self-regulates its occupancy, so the valid packet must come
+            // from a real upstream source that holds it under
+            // back-pressure. Latency is measured from the traced rise of
+            // `valid_in` (the instant the packet is on the bus).
+            let f = MixedClockRelayStation::build(&mut b, params, clk_put, clk_get);
+            let nl = b.finish();
+            Tech::hp06_custom().annotate(&nl);
+            let _kj = PacketSink::spawn(
+                &mut sim, "sink", clk_get, &f.data_get, f.valid_get, f.stop_in, vec![],
+            );
+            let mut packets: Vec<Option<u64>> = vec![None; 45];
+            packets.push(Some(0xA5));
+            packets.extend(std::iter::repeat_n(None, 40));
+            let _sj = mtf_core::env::PacketSource::spawn(
+                &mut sim, "src", clk_put, f.valid_in, &f.data_put, f.stop_out, packets,
+            );
+            sim.trace(f.valid_in);
+            sim.trace(f.valid_get);
+            sim.run_until(warmup + t_get * 120).expect("simulation runs");
+            let t0 = sim
+                .waveform(f.valid_in)
+                .expect("traced")
+                .edges(mtf_sim::Edge::Rising)
+                .next()
+                .expect("the valid packet was presented");
+            let wf = sim.waveform(f.valid_get).expect("traced");
+            let mut k = t0.as_ps() / t_get.as_ps();
+            let capture = loop {
+                k += 1;
+                let edge = Time::from_ps(k * t_get.as_ps());
+                assert!(
+                    edge <= t0 + t_get * 80,
+                    "packet was never delivered ({design:?} {params})"
+                );
+                if wf.value_at(edge) == Logic::H {
+                    break edge;
+                }
+            };
+            return (capture - t0).as_ps() as f64 / 1000.0;
+        }
+        Design::AsyncSyncRs => {
+            let f = AsyncSyncRelayStation::build(&mut b, params, clk_get);
+            let nl = b.finish();
+            Tech::hp06_custom().annotate(&nl);
+            let _kj = PacketSink::spawn(
+                &mut sim, "sink", clk_get, &f.data_get, f.valid_get, f.stop_in, vec![],
+            );
+            Rig::Async { req: f.put_req, data: f.put_data, valid_get: f.valid_get }
+        }
+    };
+
+    // Inject exactly one item; `t0` is the instant the put data bus holds
+    // valid data (the paper's latency origin).
+    let item: u64 = 0xA5;
+    let (t0, valid_get) = match rig {
+        Rig::Sync { req, data, valid_get } => {
+            let t0 = put_edge + EXT;
+            for (i, &dnet) in data.iter().enumerate() {
+                let drv = sim.driver(dnet);
+                sim.drive_at(drv, dnet, Logic::from_bool((item >> i) & 1 == 1), t0);
+            }
+            let rd = sim.driver(req);
+            sim.drive_at(rd, req, Logic::L, Time::ZERO);
+            sim.drive_at(rd, req, Logic::H, t0);
+            // One packet only: deassert before the following edge closes.
+            sim.drive_at(rd, req, Logic::L, put_edge + t_put + EXT);
+            (t0, valid_get)
+        }
+        Rig::Async { req, data, valid_get } => {
+            let t0 = warmup + offset;
+            for (i, &dnet) in data.iter().enumerate() {
+                let drv = sim.driver(dnet);
+                sim.drive_at(drv, dnet, Logic::from_bool((item >> i) & 1 == 1), t0);
+            }
+            let rd = sim.driver(req);
+            sim.drive_at(rd, req, Logic::L, Time::ZERO);
+            sim.drive_at(rd, req, Logic::H, t0 + BUNDLING);
+            sim.drive_at(rd, req, Logic::L, t0 + BUNDLING + t_get * 3);
+            (t0, valid_get)
+        }
+    };
+
+    sim.trace(valid_get);
+    sim.run_until(t0 + t_get * 60).expect("simulation runs");
+
+    // The receiver "retrieves the data item and can use it" at the first
+    // get-clock edge where valid_get is high. Get edges fall at k·t_get.
+    let wf = sim.waveform(valid_get).expect("traced");
+    let mut k = t0.as_ps() / t_get.as_ps(); // first edge at or after t0
+    let capture = loop {
+        k += 1;
+        let edge = Time::from_ps(k * t_get.as_ps());
+        if edge > t0 + t_get * 59 {
+            panic!("item was never delivered ({design:?} {params})");
+        }
+        if wf.value_at(edge) == Logic::H {
+            break edge;
+        }
+    };
+    (capture - t0).as_ps() as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_clock_throughput_shape() {
+        let t4 = throughput(Design::MixedClock, FifoParams::new(4, 8));
+        let t16 = throughput(Design::MixedClock, FifoParams::new(16, 8));
+        assert!(t4.put > t4.get, "put must beat get (detector complexity)");
+        assert!(t4.put > t16.put, "throughput decreases with capacity");
+        assert!(t4.get > t16.get);
+        let w16 = throughput(Design::MixedClock, FifoParams::new(4, 16));
+        assert!(t4.put > w16.put, "throughput decreases with width");
+    }
+
+    #[test]
+    fn async_put_is_slower_than_sync_put() {
+        let mc = throughput(Design::MixedClock, FifoParams::new(4, 8));
+        let asy = throughput(Design::AsyncSync, FifoParams::new(4, 8));
+        assert!(asy.put < mc.put, "async {} vs sync {}", asy.put, mc.put);
+        assert!(asy.put > 50.0, "but still in a sane range: {}", asy.put);
+    }
+
+    #[test]
+    fn async_sync_get_matches_mixed_clock_get() {
+        // The get part is reused verbatim; the STA should agree closely.
+        let mc = throughput(Design::MixedClock, FifoParams::new(8, 8));
+        let asy = throughput(Design::AsyncSync, FifoParams::new(8, 8));
+        let ratio = asy.get / mc.get;
+        assert!((0.9..1.1).contains(&ratio), "get ratio {ratio}");
+    }
+
+    #[test]
+    fn latency_range_is_sane_and_grows_with_capacity() {
+        let l4 = latency(Design::MixedClock, FifoParams::new(4, 8), 6);
+        let l16 = latency(Design::MixedClock, FifoParams::new(16, 8), 6);
+        assert!(l4.min_ns > 0.0);
+        assert!(l4.max_ns >= l4.min_ns);
+        assert!(
+            l16.min_ns > l4.min_ns,
+            "bigger FIFO, longer latency: {} vs {}",
+            l16.min_ns,
+            l4.min_ns
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! The published numbers of the paper's Table 1, for side-by-side
+//! reporting.
+
+/// One throughput row-cell of Table 1: the put and get figures for a
+/// (design, capacity, width) point. Synchronous interfaces are MHz;
+/// asynchronous ones MegaOps/s (same magnitude, directly comparable).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperThroughput {
+    /// Design row name as printed in the paper.
+    pub design: &'static str,
+    /// FIFO capacity (places).
+    pub capacity: usize,
+    /// Data width (bits).
+    pub width: usize,
+    /// Put-interface throughput.
+    pub put: f64,
+    /// Get-interface throughput.
+    pub get: f64,
+}
+
+/// One latency cell of Table 1 (8-bit rows only, as published): min/max
+/// nanoseconds through an empty FIFO.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperLatency {
+    /// Design row name.
+    pub design: &'static str,
+    /// FIFO capacity (places).
+    pub capacity: usize,
+    /// Minimum latency (ns).
+    pub min_ns: f64,
+    /// Maximum latency (ns).
+    pub max_ns: f64,
+}
+
+/// The four design rows, in the paper's order.
+pub const DESIGNS: [&str; 4] = [
+    "Mixed-Clock",
+    "Async-Sync",
+    "Mixed-Clock RS",
+    "Async-Sync RS",
+];
+
+/// Table 1, throughput section (MHz / MegaOps-per-second).
+pub fn throughput() -> Vec<PaperThroughput> {
+    let rows: [(&str, [[f64; 2]; 6]); 4] = [
+        // capacity 4, 8, 16 at width 8; then 4, 8, 16 at width 16.
+        ("Mixed-Clock", [
+            [565., 549.], [544., 523.], [505., 484.],
+            [505., 492.], [488., 471.], [460., 439.],
+        ]),
+        ("Async-Sync", [
+            [421., 549.], [379., 523.], [357., 484.],
+            [386., 492.], [351., 471.], [332., 439.],
+        ]),
+        ("Mixed-Clock RS", [
+            [580., 539.], [550., 517.], [509., 475.],
+            [521., 478.], [498., 459.], [467., 430.],
+        ]),
+        ("Async-Sync RS", [
+            [421., 539.], [379., 517.], [357., 475.],
+            [386., 478.], [351., 459.], [332., 430.],
+        ]),
+    ];
+    let mut out = Vec::new();
+    for (design, cells) in rows {
+        for (i, [put, get]) in cells.into_iter().enumerate() {
+            let width = if i < 3 { 8 } else { 16 };
+            let capacity = [4, 8, 16][i % 3];
+            out.push(PaperThroughput { design, capacity, width, put, get });
+        }
+    }
+    out
+}
+
+/// Table 1, latency section (8-bit data items).
+pub fn latency() -> Vec<PaperLatency> {
+    let rows: [(&str, [[f64; 2]; 3]); 4] = [
+        ("Mixed-Clock", [[5.43, 6.34], [5.79, 6.64], [6.14, 7.17]]),
+        ("Async-Sync", [[5.53, 6.45], [6.13, 7.17], [6.47, 7.51]]),
+        ("Mixed-Clock RS", [[5.48, 6.41], [6.05, 7.02], [6.23, 7.28]]),
+        ("Async-Sync RS", [[5.61, 6.35], [6.18, 7.13], [6.57, 7.62]]),
+    ];
+    let mut out = Vec::new();
+    for (design, cells) in rows {
+        for (i, [min_ns, max_ns]) in cells.into_iter().enumerate() {
+            out.push(PaperLatency {
+                design,
+                capacity: [4, 8, 16][i],
+                min_ns,
+                max_ns,
+            });
+        }
+    }
+    out
+}
+
+/// Looks up the paper throughput cell for a design/shape.
+pub fn throughput_of(design: &str, capacity: usize, width: usize) -> Option<PaperThroughput> {
+    throughput()
+        .into_iter()
+        .find(|c| c.design == design && c.capacity == capacity && c.width == width)
+}
+
+/// Looks up the paper latency cell for a design/capacity (8-bit rows).
+pub fn latency_of(design: &str, capacity: usize) -> Option<PaperLatency> {
+    latency()
+        .into_iter()
+        .find(|c| c.design == design && c.capacity == capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shapes() {
+        assert_eq!(throughput().len(), 24);
+        assert_eq!(latency().len(), 12);
+    }
+
+    #[test]
+    fn lookups_match_published_cells() {
+        let t = throughput_of("Mixed-Clock", 4, 8).unwrap();
+        assert_eq!(t.put, 565.0);
+        assert_eq!(t.get, 549.0);
+        let t = throughput_of("Async-Sync RS", 16, 16).unwrap();
+        assert_eq!(t.put, 332.0);
+        assert_eq!(t.get, 430.0);
+        let l = latency_of("Async-Sync", 16).unwrap();
+        assert_eq!(l.min_ns, 6.47);
+        assert!(latency_of("Mixed-Clock", 5).is_none());
+    }
+
+    #[test]
+    fn paper_shape_claims_hold_in_the_reference_data() {
+        // These are the qualitative claims our reproduction must preserve;
+        // assert they are really present in the published table.
+        for w in [8, 16] {
+            for c in [4, 8, 16] {
+                let mc = throughput_of("Mixed-Clock", c, w).unwrap();
+                let asy = throughput_of("Async-Sync", c, w).unwrap();
+                assert!(mc.put > mc.get, "sync put faster than sync get");
+                assert!(asy.put < mc.put, "async put slower than sync put");
+                assert_eq!(asy.get, mc.get, "get part reused verbatim");
+            }
+            // Monotone decrease with capacity.
+            let f = |c| throughput_of("Mixed-Clock", c, w).unwrap().put;
+            assert!(f(4) > f(8) && f(8) > f(16));
+        }
+        // Monotone decrease with width.
+        assert!(
+            throughput_of("Mixed-Clock", 8, 8).unwrap().put
+                > throughput_of("Mixed-Clock", 8, 16).unwrap().put
+        );
+        // Latency grows with capacity; max exceeds min.
+        for d in DESIGNS {
+            let l4 = latency_of(d, 4).unwrap();
+            let l16 = latency_of(d, 16).unwrap();
+            assert!(l16.min_ns > l4.min_ns);
+            assert!(l4.max_ns > l4.min_ns);
+        }
+    }
+}

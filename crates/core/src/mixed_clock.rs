@@ -1,0 +1,529 @@
+//! The mixed-clock (sync–sync) FIFO of Section 3.
+
+use mtf_gates::Builder;
+use mtf_sim::{Logic, MetaModel, NetId};
+
+use crate::detectors::{
+    build_bimodal_empty, build_full_detector, build_ne_detector, build_oe_detector,
+};
+use crate::params::FifoParams;
+
+/// The nets of a built synchronous cell array (shared between the
+/// mixed-clock FIFO and the mixed-clock relay station, which differ only
+/// in their controllers).
+#[derive(Clone, Debug)]
+pub(crate) struct SyncCellArray {
+    pub cell_full: Vec<NetId>,
+    pub cell_empty: Vec<NetId>,
+    pub ptok: Vec<NetId>,
+    pub gtok: Vec<NetId>,
+    /// The inverted get clock gating the mid-cycle dequeue commit — a
+    /// falling-edge launch point for timing analysis.
+    pub nclk_get: NetId,
+}
+
+/// Builds the circular cell array of paper Fig. 5: token rings, data
+/// registers (word + validity bit), SR data-validity latches and tri-state
+/// read ports. The caller provides the control nets (`en_put`, `en_get`)
+/// and buses; the controllers around them define whether this is a FIFO or
+/// a relay station.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_sync_cell_array(
+    b: &mut Builder<'_>,
+    params: FifoParams,
+    clk_put: NetId,
+    clk_get: NetId,
+    en_put: NetId,
+    en_get: NetId,
+    valid_in: NetId,
+    data_put: &[NetId],
+    data_get: &[NetId],
+    valid_bus: NetId,
+) -> SyncCellArray {
+    let n = params.capacity;
+    let w = params.width;
+    let ptok: Vec<NetId> = (0..n).map(|i| b.sim().net(format!("ptok[{i}]"))).collect();
+    let gtok: Vec<NetId> = (0..n).map(|i| b.sim().net(format!("gtok[{i}]"))).collect();
+    let mut cell_full = Vec::with_capacity(n);
+    let mut cell_empty = Vec::with_capacity(n);
+    // The DV reset is gated to the second half of the get cycle (the
+    // paper: the cell is declared not-full "asynchronously, in the middle
+    // of the CLK_get clock cycle"). This is load-bearing: when the global
+    // empty flag rises it kills `en_get` about a gate-delay after the
+    // clock edge — an *aborted* get window. Without the clock gate the
+    // reset pulse would already have fired at window start, marking a cell
+    // consumed that was never delivered.
+    let nclk_get = b.inv(clk_get);
+
+    for i in 0..n {
+        b.push_scope(format!("cell{i}"));
+        let prev = (i + n - 1) % n;
+
+        // Token ETDFFs: the one-hot tokens rotate by one position on
+        // every enabled operation. Cell 0 powers on holding both.
+        let init = Logic::from_bool(i == 0);
+        let pq = b.dff_opts(clk_put, ptok[prev], Some(en_put), init, MetaModel::ideal(), true);
+        b.buf_onto(pq, ptok[i]);
+        let gq = b.dff_opts(clk_get, gtok[prev], Some(en_get), init, MetaModel::ideal(), true);
+        b.buf_onto(gq, gtok[i]);
+
+        // This cell performs a put (get) in cycles where it holds the
+        // token and the operation is globally enabled.
+        let do_put = b.and2(ptok[i], en_put);
+        let do_get = b.and2(gtok[i], en_get);
+        // Mid-cycle commit of the dequeue (see `nclk_get` above).
+        let do_get_commit = b.and(&[gtok[i], en_get, nclk_get]);
+        // Matched delay on the set path: the put's `s` must outlive any
+        // legitimate reset tail, so that (with the set-dominant latch) a
+        // reset can only win once the put has fully committed.
+        let set_pulse = b.buf(do_put);
+        // The cell's data *commits* at the latching clock edge; this flop
+        // raises the committed flag exactly then. The claim (`set_pulse`)
+        // precedes it by up to a full put cycle — the full detector needs
+        // that early warning, but the get side must never be steered
+        // toward data that is still in flight.
+        let committed = b.dff_opts(clk_put, do_put, None, Logic::L, MetaModel::ideal(), true);
+
+        // Data register: data word plus the validity bit.
+        let mut reg_in: Vec<NetId> = data_put.to_vec();
+        reg_in.push(valid_in);
+        let reg_q = b.register(clk_put, Some(do_put), &reg_in);
+
+        // Data-validity state, split per timing role. The *claim* latch
+        // drives `e_i` for the full detector: it leaves the empty pool the
+        // moment the put is enabled (the anticipation margin needs that).
+        // The *committed* latch drives `f_i` for the empty detectors and
+        // the validity broadcast: it joins the full pool only once the
+        // data is really in the register, so a stale grant can never steer
+        // the get side into in-flight data. Both are set-dominant (the put
+        // must win a spurious overlapping reset) and reset by the
+        // mid-cycle dequeue commit.
+        let (_claim_q, e_i) = b.sr_latch_qn_set_dominant(set_pulse, do_get_commit, Logic::L);
+        let (f_i, _) = b.sr_latch_qn_set_dominant(committed, do_get_commit, Logic::L);
+        cell_full.push(f_i);
+        cell_empty.push(e_i);
+
+        // Read port: broadcast word + validity while dequeuing. The
+        // effective validity is the stored bit gated by "this cell held
+        // committed data when the window opened" — sampled by a get-side
+        // flop so it survives the mid-window reset of `f_i` until the
+        // receiver's closing edge. A window that reached a stale or
+        // still-in-flight cell therefore delivers invalid, never a
+        // duplicate or a phantom.
+        let f_at_open = b.dff_opts(clk_get, f_i, None, Logic::L, MetaModel::ideal(), false);
+        let v_eff = b.and2(f_at_open, reg_q[w]);
+        b.tri_word_onto(do_get, &reg_q[..w], data_get);
+        b.tribuf_onto(do_get, v_eff, valid_bus);
+
+        b.pop_scope();
+    }
+    SyncCellArray { cell_full, cell_empty, ptok, gtok, nclk_get }
+}
+
+/// The mixed-clock FIFO (paper Section 3): a circular array of
+/// [`FifoParams::capacity`] cells between a put interface clocked by
+/// `clk_put` and a get interface clocked by `clk_get`.
+///
+/// Structure per cell (paper Fig. 5):
+///
+/// * an ETDFF ring carrying the one-hot **put token** (shifted on every
+///   enabled put), and a second ring for the **get token**;
+/// * a `width + 1`-bit register capturing `data_put` plus the validity bit
+///   (`req_put`) when the cell holds the put token and `en_put` is high;
+/// * an SR data-validity latch: set (`f_i` high) asynchronously as the put
+///   is enabled, reset (`e_i` high) asynchronously as the get is enabled;
+/// * tri-state read ports broadcasting the stored word and validity on the
+///   shared `data_get`/`valid` buses while the cell holds the get token
+///   during an enabled get.
+///
+/// Global logic: the anticipating full detector (synchronized into the put
+/// domain), the bi-modal ne/oe empty detector (synchronized into the get
+/// domain, deadlock-free), and the two one-gate controllers of Fig. 7.
+///
+/// # Operating envelope
+///
+/// The design sets `f_i` asynchronously at the *start* of a put cycle
+/// (that early warning is what makes the one-cell anticipation margin of
+/// the detectors sufficient) while the data itself is latched at the *end*
+/// of the cycle. A get, in turn, can act at the earliest `sync_stages`
+/// get-cycles after `f_i` rises. Cross-domain correctness therefore
+/// requires
+///
+/// ```text
+/// T_put < sync_stages · T_get      (and symmetrically
+/// T_get < sync_stages · T_put)
+/// ```
+///
+/// i.e. with the paper's two synchronizer stages the two clocks must stay
+/// within 2× of each other (the paper's evaluation keeps them within
+/// ~1.3×). Deeper synchronizers widen the envelope along with improving
+/// MTBF. The `clock_ratio_envelope` tests demonstrate both sides of the
+/// boundary.
+///
+/// All external nets are public fields; the cell-state nets are exposed for
+/// tests and detectors-of-detectors experiments.
+#[derive(Clone, Debug)]
+pub struct MixedClockFifo {
+    /// Parameters this instance was built with.
+    pub params: FifoParams,
+    /// Put-domain clock (input).
+    pub clk_put: NetId,
+    /// Get-domain clock (input).
+    pub clk_get: NetId,
+    /// Put request / data-valid (input, sampled on `clk_put`).
+    pub req_put: NetId,
+    /// Put data bus (input).
+    pub data_put: Vec<NetId>,
+    /// Full flag to the sender (output, synchronized to `clk_put`).
+    pub full: NetId,
+    /// Get request (input, sampled on `clk_get`).
+    pub req_get: NetId,
+    /// Get data bus (output, tri-state).
+    pub data_get: Vec<NetId>,
+    /// Validity of the current `data_get` word (output).
+    pub valid_get: NetId,
+    /// Empty flag to the receiver (output, synchronized to `clk_get`).
+    pub empty: NetId,
+    /// Internal: global put enable (put controller output).
+    pub en_put: NetId,
+    /// Internal: global get enable (get controller output).
+    pub en_get: NetId,
+    /// Internal: per-cell full lines `f_i`.
+    pub cell_full: Vec<NetId>,
+    /// Internal: per-cell empty lines `e_i`.
+    pub cell_empty: Vec<NetId>,
+    /// Internal: per-cell put-token lines.
+    pub ptok: Vec<NetId>,
+    /// Internal: per-cell get-token lines.
+    pub gtok: Vec<NetId>,
+    /// Internal: the inverted get clock (falling-edge launch point of the
+    /// mid-cycle dequeue commit; used by timing analysis).
+    pub nclk_get: NetId,
+}
+
+impl MixedClockFifo {
+    /// Builds the FIFO into `b`. The caller supplies the two clock nets
+    /// (usually driven by [`mtf_sim::ClockGen`]s) and connects or drives
+    /// the returned interface nets.
+    pub fn build(b: &mut Builder<'_>, params: FifoParams, clk_put: NetId, clk_get: NetId) -> Self {
+        let w = params.width;
+        b.push_scope("mcfifo");
+
+        // External interface nets.
+        let req_put = b.input("req_put");
+        let data_put = b.input_bus("data_put", w);
+        let req_get = b.input("req_get");
+        let data_get = b.input_bus("data_get", w);
+        let valid_bus = b.input("valid_bus");
+
+        // Controller outputs, created up front because the cells need them.
+        let en_put = b.input("en_put");
+        let en_get = b.input("en_get");
+
+        // ---- cell array (paper Fig. 5, shared with the relay station) -------
+        let array = build_sync_cell_array(
+            b, params, clk_put, clk_get, en_put, en_get, req_put, &data_put, &data_get,
+            valid_bus,
+        );
+        let SyncCellArray { cell_full, cell_empty, ptok, gtok, nclk_get } = array;
+
+        // ---- detectors and synchronizers ------------------------------------
+        let full_raw = build_full_detector(b, &cell_empty, params.sync_stages.max(2));
+        let full = b.sync_chain(clk_put, full_raw, params.sync_stages, Logic::L);
+
+        let ne_raw = build_ne_detector(b, &cell_full, params.sync_stages.max(2));
+        let oe_raw = build_oe_detector(b, &cell_full);
+        let empty = build_bimodal_empty(b, clk_get, ne_raw, oe_raw, en_get, params.sync_stages);
+
+        // ---- controllers (paper Fig. 7) --------------------------------------
+        // Put controller: enable puts while a valid item is offered and the
+        // FIFO is not full.
+        let en_put_val = b.and_not(req_put, full);
+        b.buf_onto(en_put_val, en_put);
+        // Get controller: enable gets while requested and not empty.
+        let en_get_val = b.and_not(req_get, empty);
+        b.buf_onto(en_get_val, en_get);
+
+        // External validity: low whenever no dequeue is in progress.
+        let valid_get = b.and2(en_get, valid_bus);
+
+        b.pop_scope();
+        MixedClockFifo {
+            params,
+            clk_put,
+            clk_get,
+            req_put,
+            data_put,
+            full,
+            req_get,
+            data_get,
+            valid_get,
+            empty,
+            en_put,
+            en_get,
+            cell_full,
+            cell_empty,
+            ptok,
+            gtok,
+            nclk_get,
+        }
+    }
+
+    /// The number of cells currently holding data, read combinationally
+    /// from the `f_i` lines (test observability; returns `None` if any
+    /// line is not definite).
+    pub fn occupancy(&self, sim: &mtf_sim::Simulator) -> Option<usize> {
+        let mut n = 0;
+        for &f in &self.cell_full {
+            match sim.value(f).to_bool() {
+                Some(true) => n += 1,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{SyncConsumer, SyncProducer};
+    use mtf_sim::{ClockGen, Simulator, Time};
+
+    fn build(
+        sim: &mut Simulator,
+        params: FifoParams,
+        tput: Time,
+        tget: Time,
+    ) -> MixedClockFifo {
+        let clk_put = sim.net("clk_put");
+        let clk_get = sim.net("clk_get");
+        ClockGen::spawn_simple(sim, clk_put, tput);
+        ClockGen::builder(tget).phase(Time::from_ps(1_300)).spawn(sim, clk_get);
+        let mut b = Builder::new(sim);
+        let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
+        drop(b.finish());
+        f
+    }
+
+    #[test]
+    fn transfers_all_items_in_order() {
+        let mut sim = Simulator::new(1);
+        let f = build(
+            &mut sim,
+            FifoParams::new(4, 8),
+            Time::from_ns(10),
+            Time::from_ns(13),
+        );
+        let items: Vec<u64> = (0..40).map(|i| (i * 7) % 256).collect();
+        let pj = SyncProducer::spawn(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        );
+        let cj = SyncConsumer::spawn(
+            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        );
+        sim.run_until(Time::from_us(3)).unwrap();
+        assert_eq!(pj.len(), items.len(), "all items enqueued");
+        assert_eq!(cj.values(), items, "all items dequeued in order");
+    }
+
+    #[test]
+    fn faster_get_clock_still_correct() {
+        // 12 ns put vs 7 ns get: inside the T_put < 2·T_get envelope.
+        let mut sim = Simulator::new(2);
+        let f = build(
+            &mut sim,
+            FifoParams::new(8, 8),
+            Time::from_ns(12),
+            Time::from_ns(7),
+        );
+        let items: Vec<u64> = (0..60).collect();
+        let pj = SyncProducer::spawn(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        );
+        let cj = SyncConsumer::spawn(
+            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        );
+        sim.run_until(Time::from_us(5)).unwrap();
+        assert_eq!(pj.len(), items.len());
+        assert_eq!(cj.values(), items);
+    }
+
+    #[test]
+    fn saturating_producer_fills_exactly_to_capacity() {
+        // Under saturation, the one-cell anticipation margin of the full
+        // detector is consumed by the in-flight put during the
+        // synchronization delay: the FIFO fills to exactly N, never N+1.
+        let mut sim = Simulator::new(3);
+        let f = build(
+            &mut sim,
+            FifoParams::new(4, 8),
+            Time::from_ns(10),
+            Time::from_ns(10),
+        );
+        let pj = SyncProducer::spawn(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, (0..20).collect(),
+        );
+        sim.run_until(Time::from_us(2)).unwrap();
+        assert_eq!(pj.len(), 4, "fills to capacity, no overflow");
+        assert_eq!(f.occupancy(&sim), Some(4));
+        assert_eq!(sim.value(f.full), mtf_sim::Logic::H);
+    }
+
+    #[test]
+    fn trickle_producer_sees_n_minus_1_places() {
+        // With no put in flight when full asserts, the anticipation makes
+        // the n-place FIFO look like an (n-1)-place one (paper Sec. 3.2:
+        // "sometimes the two systems see an n-place FIFO as a n-1 place
+        // one").
+        let mut sim = Simulator::new(8);
+        let f = build(
+            &mut sim,
+            FifoParams::new(4, 8),
+            Time::from_ns(10),
+            Time::from_ns(10),
+        );
+        let pj = SyncProducer::spawn_every(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, (0..20).collect(), 5,
+        );
+        sim.run_until(Time::from_us(3)).unwrap();
+        assert_eq!(pj.len(), 3, "blocked with one cell still free");
+        assert_eq!(f.occupancy(&sim), Some(3));
+        assert_eq!(sim.value(f.full), mtf_sim::Logic::H);
+    }
+
+    #[test]
+    fn last_item_is_retrievable_no_deadlock() {
+        // The bi-modal detector's whole point: a FIFO holding one item must
+        // serve it (plain anticipating-empty would stall forever).
+        let mut sim = Simulator::new(4);
+        let f = build(
+            &mut sim,
+            FifoParams::new(4, 8),
+            Time::from_ns(10),
+            Time::from_ns(11),
+        );
+        let pj = SyncProducer::spawn(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, vec![0xAB],
+        );
+        let cj = SyncConsumer::spawn(
+            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+        );
+        sim.run_until(Time::from_us(2)).unwrap();
+        assert_eq!(pj.len(), 1);
+        assert_eq!(cj.values(), vec![0xAB], "the single item must come out");
+        assert_eq!(f.occupancy(&sim), Some(0));
+    }
+
+    #[test]
+    fn empty_fifo_yields_nothing() {
+        let mut sim = Simulator::new(5);
+        let f = build(
+            &mut sim,
+            FifoParams::new(4, 8),
+            Time::from_ns(10),
+            Time::from_ns(10),
+        );
+        // Tie the unused put request inactive (an undriven control input
+        // reads as unknown).
+        let d = sim.driver(f.req_put);
+        sim.drive_at(d, f.req_put, mtf_sim::Logic::L, Time::ZERO);
+        let cj = SyncConsumer::spawn(
+            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, 5,
+        );
+        sim.run_until(Time::from_us(1)).unwrap();
+        assert_eq!(cj.len(), 0, "no items can be dequeued from an empty FIFO");
+        assert_eq!(sim.value(f.empty), mtf_sim::Logic::H);
+    }
+
+    #[test]
+    fn interleaved_trickle_traffic() {
+        // Slow, non-saturating traffic exercises the oe-dominates path of
+        // the bi-modal detector on every item.
+        let mut sim = Simulator::new(6);
+        let f = build(
+            &mut sim,
+            FifoParams::new(4, 8),
+            Time::from_ns(10),
+            Time::from_ns(10),
+        );
+        let items: Vec<u64> = (100..110).collect();
+        let _pj = SyncProducer::spawn_every(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(), 7,
+        );
+        let cj = SyncConsumer::spawn_every(
+            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get,
+            items.len() as u64, 3,
+        );
+        sim.run_until(Time::from_us(3)).unwrap();
+        assert_eq!(cj.values(), items);
+    }
+
+    #[test]
+    fn clock_ratio_envelope_violation_corrupts() {
+        // 17 ns put vs 5 ns get is a 3.4× ratio — outside the
+        // T_put < 2·T_get envelope. The get side then acts on a cell whose
+        // put is still in flight and the stream corrupts. This documents
+        // the design's (implicit, in the paper) operating assumption.
+        let mut sim = Simulator::new(2);
+        let f = build(
+            &mut sim,
+            FifoParams::new(8, 8),
+            Time::from_ns(17),
+            Time::from_ns(5),
+        );
+        let items: Vec<u64> = (0..60).collect();
+        let _pj = SyncProducer::spawn(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        );
+        let cj = SyncConsumer::spawn(
+            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        );
+        sim.run_until(Time::from_us(5)).unwrap();
+        assert_ne!(cj.values(), items, "outside the envelope the stream corrupts");
+    }
+
+    #[test]
+    fn deeper_synchronizers_widen_the_envelope() {
+        // The same 3.4× ratio becomes safe with 4-stage synchronizers
+        // (T_put < 4·T_get): the get side now trails the put by 4 get
+        // cycles, which covers the put-side latching delay.
+        let mut sim = Simulator::new(2);
+        let f = build(
+            &mut sim,
+            FifoParams::with_sync_stages(8, 8, 4),
+            Time::from_ns(17),
+            Time::from_ns(5),
+        );
+        let items: Vec<u64> = (0..60).collect();
+        let _pj = SyncProducer::spawn(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        );
+        let cj = SyncConsumer::spawn(
+            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        );
+        sim.run_until(Time::from_us(6)).unwrap();
+        assert_eq!(cj.values(), items);
+    }
+
+    #[test]
+    fn sixteen_place_sixteen_bit() {
+        let mut sim = Simulator::new(7);
+        let f = build(
+            &mut sim,
+            FifoParams::new(16, 16),
+            Time::from_ns(9),
+            Time::from_ns(12),
+        );
+        let items: Vec<u64> = (0..100).map(|i| (i * 257) % 65_536).collect();
+        let _pj = SyncProducer::spawn(
+            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        );
+        let cj = SyncConsumer::spawn(
+            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        );
+        sim.run_until(Time::from_us(5)).unwrap();
+        assert_eq!(cj.values(), items);
+    }
+}

@@ -1,0 +1,115 @@
+//! Design parameters shared by all FIFO variants.
+
+use std::fmt;
+
+/// Parameters of a FIFO or relay-station instance.
+///
+/// The paper's Table 1 sweeps `capacity` over {4, 8, 16} and `width` over
+/// {8, 16}; `sync_stages` is 2 throughout the paper ("a pair of
+/// synchronizing latches"), with the remark that more can be used "for
+/// arbitrary robustness" — experiment E8 sweeps it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FifoParams {
+    /// Number of cells in the circular array. Must be at least 3: the
+    /// anticipating detectors declare an `n`-place FIFO full/empty with one
+    /// place in reserve, so 2 places would leave no usable capacity.
+    pub capacity: usize,
+    /// Data width in bits (excluding the validity bit the cell stores
+    /// alongside).
+    pub width: usize,
+    /// Depth of each global-signal synchronizer.
+    pub sync_stages: usize,
+}
+
+impl FifoParams {
+    /// Parameters with the paper's default synchronizer depth (2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 3`, `width == 0` or `width > 63` (one extra
+    /// bit is reserved for validity and journals carry `u64` values).
+    pub fn new(capacity: usize, width: usize) -> Self {
+        Self::with_sync_stages(capacity, width, 2)
+    }
+
+    /// Parameters with an explicit synchronizer depth (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// As [`FifoParams::new`], plus `sync_stages == 0`.
+    pub fn with_sync_stages(capacity: usize, width: usize, sync_stages: usize) -> Self {
+        assert!(capacity >= 3, "capacity must be at least 3 (got {capacity})");
+        assert!(
+            width > 0 && width <= 63,
+            "width must be in 1..=63 (got {width})"
+        );
+        assert!(sync_stages >= 1, "at least one synchronizer stage required");
+        FifoParams {
+            capacity,
+            width,
+            sync_stages,
+        }
+    }
+
+    /// The six (capacity, width) points of the paper's Table 1, with the
+    /// default synchronizer depth.
+    pub fn table1_sweep() -> Vec<FifoParams> {
+        let mut v = Vec::new();
+        for &width in &[8usize, 16] {
+            for &capacity in &[4usize, 8, 16] {
+                v.push(FifoParams::new(capacity, width));
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for FifoParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-place/{}-bit", self.capacity, self.width)?;
+        if self.sync_stages != 2 {
+            write!(f, "/{}-sync", self.sync_stages)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_table1() {
+        let s = FifoParams::table1_sweep();
+        assert_eq!(s.len(), 6);
+        assert!(s.contains(&FifoParams::new(16, 8)));
+        assert!(s.contains(&FifoParams::new(4, 16)));
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        assert_eq!(FifoParams::new(8, 16).to_string(), "8-place/16-bit");
+        assert_eq!(
+            FifoParams::with_sync_stages(4, 8, 3).to_string(),
+            "4-place/8-bit/3-sync"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn capacity_two_rejected() {
+        let _ = FifoParams::new(2, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        let _ = FifoParams::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sync_rejected() {
+        let _ = FifoParams::with_sync_stages(4, 8, 0);
+    }
+}

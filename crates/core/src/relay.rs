@@ -1,0 +1,362 @@
+//! The mixed-timing relay stations of Section 5: the basic FIFOs with
+//! their external controllers swapped for relay-station controllers
+//! (paper Figs. 13 and 16), so they drop into Carloni-style
+//! latency-insensitive relay chains.
+
+use mtf_gates::Builder;
+use mtf_sim::NetId;
+
+use crate::async_sync::{build_async_cell_array, AsyncCellArray};
+use crate::detectors::{
+    build_bimodal_empty, build_full_detector, build_ne_detector, build_oe_detector,
+};
+use crate::mixed_clock::{build_sync_cell_array, SyncCellArray};
+use crate::params::FifoParams;
+
+/// The mixed-clock relay station (MCRS, paper Section 5.2): the
+/// [`MixedClockFifo`](crate::MixedClockFifo) cell array with relay-station
+/// controllers (Fig. 13).
+///
+/// Unlike the FIFO there are no active requests: packets (a data word plus
+/// a validity bit) flow continuously from left to right.
+///
+/// * The **put controller is a single inverter**: enqueue every cycle
+///   unless full. `valid_in` is part of the packet, not a control signal —
+///   bubbles are enqueued like anything else.
+/// * `full` doubles as **`stop_out`** to the left relay chain.
+/// * The **get controller** dequeues every cycle unless the station is
+///   empty or the right neighbour asserts **`stop_in`**; `valid_get` is
+///   forced invalid in either case.
+#[derive(Clone, Debug)]
+pub struct MixedClockRelayStation {
+    /// Parameters this instance was built with.
+    pub params: FifoParams,
+    /// Put-domain clock (input).
+    pub clk_put: NetId,
+    /// Get-domain clock (input).
+    pub clk_get: NetId,
+    /// Incoming packet validity bit (input; part of `packetIn`).
+    pub valid_in: NetId,
+    /// Incoming packet data (input).
+    pub data_put: Vec<NetId>,
+    /// Back-pressure to the left chain (output; the synchronized `full`).
+    pub stop_out: NetId,
+    /// Back-pressure from the right chain (input, `clk_get` domain).
+    pub stop_in: NetId,
+    /// Outgoing packet data (output).
+    pub data_get: Vec<NetId>,
+    /// Outgoing packet validity (output).
+    pub valid_get: NetId,
+    /// Internal: the synchronized empty flag.
+    pub empty: NetId,
+    /// Internal: global put/get enables.
+    pub en_put: NetId,
+    /// Internal: global get enable.
+    pub en_get: NetId,
+    /// Internal: per-cell full lines.
+    pub cell_full: Vec<NetId>,
+    /// Internal: inverted get clock (timing-analysis launch point).
+    pub nclk_get: NetId,
+}
+
+impl MixedClockRelayStation {
+    /// Builds the relay station into `b`.
+    pub fn build(b: &mut Builder<'_>, params: FifoParams, clk_put: NetId, clk_get: NetId) -> Self {
+        let w = params.width;
+        b.push_scope("mcrs");
+
+        let valid_in = b.input("valid_in");
+        let data_put = b.input_bus("data_put", w);
+        let stop_in = b.input("stop_in");
+        let data_get = b.input_bus("data_get", w);
+        let valid_bus = b.input("valid_bus");
+        let en_put = b.input("en_put");
+        let en_get = b.input("en_get");
+
+        let array = build_sync_cell_array(
+            b, params, clk_put, clk_get, en_put, en_get, valid_in, &data_put, &data_get,
+            valid_bus,
+        );
+        let SyncCellArray { cell_full, cell_empty, nclk_get, .. } = array;
+
+        let full_raw = build_full_detector(b, &cell_empty, params.sync_stages.max(2));
+        let stop_out = b.sync_chain(clk_put, full_raw, params.sync_stages, mtf_sim::Logic::L);
+
+        let ne_raw = build_ne_detector(b, &cell_full, params.sync_stages.max(2));
+        let oe_raw = build_oe_detector(b, &cell_full);
+        let empty = build_bimodal_empty(b, clk_get, ne_raw, oe_raw, en_get, params.sync_stages);
+
+        // Put controller (Fig. 13a): a single inverter on full.
+        let en_put_val = b.inv(stop_out);
+        b.buf_onto(en_put_val, en_put);
+
+        // Get controller (Fig. 13b): dequeue unless empty or stopped.
+        let en_get_val = b.nor(&[empty, stop_in]);
+        b.buf_onto(en_get_val, en_get);
+        // Outgoing validity: the stored validity bit, gated by the enable.
+        let valid_get = b.and2(en_get, valid_bus);
+
+        b.pop_scope();
+        MixedClockRelayStation {
+            params,
+            clk_put,
+            clk_get,
+            valid_in,
+            data_put,
+            stop_out,
+            stop_in,
+            data_get,
+            valid_get,
+            empty,
+            en_put,
+            en_get,
+            cell_full,
+            nclk_get,
+        }
+    }
+}
+
+/// The async–sync relay station (ASRS, paper Section 5.3) — per the paper,
+/// the first design to solve mixed async/sync interfacing and long
+/// interconnect simultaneously.
+///
+/// The asynchronous put interface is *identical* to the async-sync FIFO's
+/// (it already matches the micropipeline/ARS interface, and needs no
+/// validity bit: data is enqueued only when requested). Only the get
+/// controller changes (Fig. 16): the station outputs a packet every
+/// `clk_get` cycle, with `valid_get` low whenever it is empty or stopped
+/// from the right.
+#[derive(Clone, Debug)]
+pub struct AsyncSyncRelayStation {
+    /// Parameters this instance was built with.
+    pub params: FifoParams,
+    /// Get-domain clock (input).
+    pub clk_get: NetId,
+    /// Asynchronous put request (input, 4-phase bundled data).
+    pub put_req: NetId,
+    /// Put data bus (input).
+    pub put_data: Vec<NetId>,
+    /// Put acknowledge (output).
+    pub put_ack: NetId,
+    /// Back-pressure from the right relay chain (input, `clk_get` domain).
+    pub stop_in: NetId,
+    /// Outgoing packet data (output).
+    pub data_get: Vec<NetId>,
+    /// Outgoing packet validity (output).
+    pub valid_get: NetId,
+    /// Internal: synchronized empty flag.
+    pub empty: NetId,
+    /// Internal: global get enable.
+    pub en_get: NetId,
+    /// Internal: per-cell full lines.
+    pub cell_full: Vec<NetId>,
+    /// Internal: inverted get clock (timing-analysis launch point).
+    pub nclk_get: NetId,
+}
+
+impl AsyncSyncRelayStation {
+    /// Builds the relay station into `b`.
+    pub fn build(b: &mut Builder<'_>, params: FifoParams, clk_get: NetId) -> Self {
+        let w = params.width;
+        b.push_scope("asrs");
+
+        let put_req = b.input("put_req");
+        let put_data = b.input_bus("put_data", w);
+        let stop_in = b.input("stop_in");
+        let data_get = b.input_bus("data_get", w);
+        let en_get = b.input("en_get");
+
+        let array = build_async_cell_array(
+            b, params, clk_get, en_get, put_req, &put_data, &data_get,
+        );
+        let AsyncCellArray { put_ack, valid_bus, nclk_get, cell_full, .. } = array;
+
+        let ne_raw = build_ne_detector(b, &cell_full, params.sync_stages.max(2));
+        let oe_raw = build_oe_detector(b, &cell_full);
+        let empty = build_bimodal_empty(b, clk_get, ne_raw, oe_raw, en_get, params.sync_stages);
+
+        // Get controller (Fig. 16): continuous dequeue unless empty or
+        // stopped; the outgoing validity is the enable gated by the
+        // selected cell's broadcast non-empty flag (see the FIFO's get
+        // controller for why the enable alone is not enough).
+        let en_get_val = b.nor(&[empty, stop_in]);
+        b.buf_onto(en_get_val, en_get);
+        let valid_get = b.and2(en_get, valid_bus);
+
+        b.pop_scope();
+        AsyncSyncRelayStation {
+            params,
+            clk_get,
+            put_req,
+            put_data,
+            put_ack,
+            stop_in,
+            data_get,
+            valid_get,
+            empty,
+            en_get,
+            cell_full,
+            nclk_get,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{PacketSink, PacketSource};
+    use mtf_async::FourPhaseProducer;
+    use mtf_sim::{ClockGen, Logic, Simulator, Time};
+
+    fn build_mcrs(
+        sim: &mut Simulator,
+        params: FifoParams,
+        tput: Time,
+        tget: Time,
+    ) -> MixedClockRelayStation {
+        let clk_put = sim.net("clk_put");
+        let clk_get = sim.net("clk_get");
+        ClockGen::spawn_simple(sim, clk_put, tput);
+        ClockGen::builder(tget).phase(Time::from_ps(1_700)).spawn(sim, clk_get);
+        let mut b = Builder::new(sim);
+        let rs = MixedClockRelayStation::build(&mut b, params, clk_put, clk_get);
+        drop(b.finish());
+        rs
+    }
+
+    #[test]
+    fn streams_packets_across_clock_boundary() {
+        let mut sim = Simulator::new(21);
+        let rs = build_mcrs(
+            &mut sim,
+            FifoParams::new(8, 8),
+            Time::from_ns(10),
+            Time::from_ns(12),
+        );
+        let packets: Vec<Option<u64>> = (0..50).map(Some).collect();
+        let sj = PacketSource::spawn(
+            &mut sim, "src", rs.clk_put, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+        );
+        let kj = PacketSink::spawn(
+            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+        );
+        sim.run_until(Time::from_us(3)).unwrap();
+        assert_eq!(sj.len(), 50);
+        assert_eq!(kj.values(), (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn bubbles_pass_through_without_appearing() {
+        let mut sim = Simulator::new(22);
+        let rs = build_mcrs(
+            &mut sim,
+            FifoParams::new(4, 8),
+            Time::from_ns(10),
+            Time::from_ns(10),
+        );
+        // Alternate valid packets and bubbles.
+        let mut packets = Vec::new();
+        for i in 0..20u64 {
+            packets.push(Some(i));
+            packets.push(None);
+        }
+        let _sj = PacketSource::spawn(
+            &mut sim, "src", rs.clk_put, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+        );
+        let kj = PacketSink::spawn(
+            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+        );
+        sim.run_until(Time::from_us(3)).unwrap();
+        assert_eq!(kj.values(), (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stop_in_backpressures_to_stop_out() {
+        let mut sim = Simulator::new(23);
+        let rs = build_mcrs(
+            &mut sim,
+            FifoParams::new(4, 8),
+            Time::from_ns(10),
+            Time::from_ns(10),
+        );
+        let packets: Vec<Option<u64>> = (0..60).map(Some).collect();
+        let _sj = PacketSource::spawn(
+            &mut sim, "src", rs.clk_put, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+        );
+        // Sink stalls for a long window mid-stream.
+        let kj = PacketSink::spawn(
+            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in,
+            vec![(10, 40)],
+        );
+        sim.trace(rs.stop_out);
+        sim.run_until(Time::from_us(4)).unwrap();
+        // No packet lost or duplicated despite the stall…
+        assert_eq!(kj.values(), (0..60).collect::<Vec<u64>>());
+        // …and the stall propagated upstream as stop_out.
+        assert!(
+            sim.waveform(rs.stop_out).unwrap().transition_count() >= 2,
+            "stop_out must assert while the sink stalls"
+        );
+    }
+
+    fn build_asrs(sim: &mut Simulator, params: FifoParams, tget: Time) -> AsyncSyncRelayStation {
+        let clk_get = sim.net("clk_get");
+        ClockGen::builder(tget).phase(Time::from_ps(900)).spawn(sim, clk_get);
+        let mut b = Builder::new(sim);
+        let rs = AsyncSyncRelayStation::build(&mut b, params, clk_get);
+        drop(b.finish());
+        rs
+    }
+
+    #[test]
+    fn asrs_bridges_async_producer_to_sync_chain() {
+        let mut sim = Simulator::new(24);
+        let rs = build_asrs(&mut sim, FifoParams::new(8, 8), Time::from_ns(10));
+        let items: Vec<u64> = (0..40).collect();
+        let ph = FourPhaseProducer::spawn(
+            &mut sim, "prod", rs.put_req, rs.put_ack, &rs.put_data, items.clone(),
+            Time::from_ps(500), Time::ZERO,
+        );
+        let kj = PacketSink::spawn(
+            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+        );
+        sim.run_until(Time::from_us(3)).unwrap();
+        assert_eq!(ph.journal().len(), items.len());
+        assert_eq!(kj.values(), items);
+    }
+
+    #[test]
+    fn asrs_stop_in_withholds_ack() {
+        let mut sim = Simulator::new(25);
+        let rs = build_asrs(&mut sim, FifoParams::new(4, 8), Time::from_ns(10));
+        let ph = FourPhaseProducer::spawn(
+            &mut sim, "prod", rs.put_req, rs.put_ack, &rs.put_data, (0..20).collect(),
+            Time::from_ps(500), Time::ZERO,
+        );
+        // Sink permanently stopped from the start.
+        let kj = PacketSink::spawn(
+            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in,
+            vec![(0, u64::MAX)],
+        );
+        sim.run_until(Time::from_us(2)).unwrap();
+        // The station fills, then asynchronous back-pressure freezes puts.
+        assert_eq!(ph.journal().len(), 4);
+        assert_eq!(kj.len(), 0, "a stopped sink receives no valid packets");
+        assert_eq!(sim.value(rs.put_ack), Logic::L);
+    }
+
+    #[test]
+    fn asrs_emits_invalid_packets_while_empty() {
+        let mut sim = Simulator::new(26);
+        let rs = build_asrs(&mut sim, FifoParams::new(4, 8), Time::from_ns(10));
+        // No producer: tie the put request off.
+        let d = sim.driver(rs.put_req);
+        sim.drive_at(d, rs.put_req, Logic::L, Time::ZERO);
+        let kj = PacketSink::spawn(
+            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+        );
+        sim.run_until(Time::from_us(1)).unwrap();
+        assert_eq!(kj.len(), 0, "an empty station streams only bubbles");
+        assert_eq!(sim.value(rs.valid_get), Logic::L);
+    }
+}

@@ -1,0 +1,442 @@
+//! The structural netlist and the shared delay table.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use mtf_sim::{NetId, Time};
+
+use crate::kind::CellKind;
+
+/// Identifies an [`Instance`] within a [`Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct InstanceId(pub(crate) u32);
+
+impl InstanceId {
+    /// Raw index into [`Netlist::instances`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index (for tools that iterate
+    /// [`Netlist::instances`] by position).
+    pub fn from_index(i: usize) -> Self {
+        InstanceId(i as u32)
+    }
+}
+
+/// One placed library cell.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Hierarchical instance name (used in timing reports).
+    pub name: String,
+    /// What cell this is.
+    pub kind: CellKind,
+    /// Data inputs, in the pin order documented on [`CellKind`].
+    pub data_in: Vec<NetId>,
+    /// Outputs (one for most cells; `width` for word cells).
+    pub outputs: Vec<NetId>,
+    /// Clock pin, for edge-triggered cells.
+    pub clock: Option<NetId>,
+    /// For [`CellKind::AsymCElement`]: how many leading entries of
+    /// `data_in` are *common* inputs (the rest are `+`-only).
+    pub asym_common: usize,
+}
+
+/// The shared per-instance propagation-delay table.
+///
+/// Simulation components hold a clone of this `Rc` and read their entry on
+/// every evaluation, so a later pass (the fanout-aware annotator in
+/// `mtf-timing`) can overwrite delays *after* the circuit is built and the
+/// running simulation picks them up immediately.
+pub type DelayTable = Rc<RefCell<Vec<Time>>>;
+
+/// Unloaded (intrinsic) delays per cell kind, plus flip-flop timing rules.
+///
+/// Values are in picoseconds, loosely calibrated to a 0.6 µm, 3.3 V
+/// standard-cell library (the paper's technology): an unloaded inverter at
+/// ~150 ps, a fanout-of-4 inverter at ~450 ps once the `mtf-timing` loading
+/// model is applied.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellDelays {
+    /// Buffer delay.
+    pub buf: Time,
+    /// Inverter delay.
+    pub inv: Time,
+    /// 2-input NAND delay; wider gates scale per [`CellDelays::gate_delay`].
+    pub nand2: Time,
+    /// 2-input NOR delay.
+    pub nor2: Time,
+    /// 2-input AND delay (NAND + inverter).
+    pub and2: Time,
+    /// 2-input OR delay.
+    pub or2: Time,
+    /// XOR delay.
+    pub xor2: Time,
+    /// MUX2 delay.
+    pub mux2: Time,
+    /// Tri-state driver enable/data-to-output delay.
+    pub tribuf: Time,
+    /// Flip-flop clock-to-Q delay.
+    pub dff_cq: Time,
+    /// Enable flip-flop clock-to-Q delay.
+    pub etdff_cq: Time,
+    /// D-latch delay (enable or data to output while transparent).
+    pub dlatch: Time,
+    /// SR-latch set/reset-to-output delay.
+    pub srlatch: Time,
+    /// C-element delay.
+    pub celement: Time,
+    /// Asymmetric C-element delay.
+    pub acelement: Time,
+    /// Word register clock-to-Q delay.
+    pub register_cq: Time,
+    /// Word latch delay.
+    pub latchword: Time,
+    /// Word tri-state delay.
+    pub triword: Time,
+    /// Flip-flop setup time (data stable before the edge).
+    pub setup: Time,
+    /// Flip-flop hold time (data stable after the edge).
+    pub hold: Time,
+}
+
+impl CellDelays {
+    /// Delays calibrated to the paper's 0.6 µm HP CMOS process at 3.3 V.
+    pub fn hp06() -> Self {
+        let ps = Time::from_ps;
+        CellDelays {
+            buf: ps(200),
+            inv: ps(150),
+            nand2: ps(200),
+            nor2: ps(250),
+            and2: ps(320),
+            or2: ps(360),
+            xor2: ps(450),
+            mux2: ps(400),
+            tribuf: ps(300),
+            dff_cq: ps(400),
+            etdff_cq: ps(450),
+            dlatch: ps(300),
+            srlatch: ps(350),
+            celement: ps(400),
+            acelement: ps(450),
+            register_cq: ps(500),
+            latchword: ps(350),
+            triword: ps(350),
+            setup: ps(250),
+            hold: ps(100),
+        }
+    }
+
+    /// Delays for the paper's *custom* transistor-level circuits: the
+    /// published 0.6 µm throughputs (≈565 MHz mixed-clock put) imply
+    /// critical paths of only a handful of FO4 delays, i.e. aggressive
+    /// transistor sizing roughly 2.4× faster than a generic standard-cell
+    /// mapping. This calibration scales [`CellDelays::hp06`] by that
+    /// factor; the Table 1 harness uses it so absolute numbers land near
+    /// the paper's, while `hp06` stays the honest library-cell model.
+    pub fn hp06_custom() -> Self {
+        let ps = |v: u64| Time::from_ps((v as f64 * 0.42).round() as u64);
+        CellDelays {
+            buf: ps(200),
+            inv: ps(150),
+            nand2: ps(200),
+            nor2: ps(250),
+            and2: ps(320),
+            or2: ps(360),
+            xor2: ps(450),
+            mux2: ps(400),
+            tribuf: ps(300),
+            dff_cq: ps(400),
+            etdff_cq: ps(450),
+            dlatch: ps(300),
+            srlatch: ps(350),
+            celement: ps(400),
+            acelement: ps(450),
+            register_cq: ps(500),
+            latchword: ps(350),
+            triword: ps(350),
+            setup: ps(250),
+            hold: ps(100),
+        }
+    }
+
+    /// Unit delays — every cell 100 ps, no setup/hold. Useful for protocol
+    /// tests where physical timing is irrelevant.
+    pub fn unit() -> Self {
+        let d = Time::from_ps(100);
+        CellDelays {
+            buf: d,
+            inv: d,
+            nand2: d,
+            nor2: d,
+            and2: d,
+            or2: d,
+            xor2: d,
+            mux2: d,
+            tribuf: d,
+            dff_cq: d,
+            etdff_cq: d,
+            dlatch: d,
+            srlatch: d,
+            celement: d,
+            acelement: d,
+            register_cq: d,
+            latchword: d,
+            triword: d,
+            setup: Time::ZERO,
+            hold: Time::ZERO,
+        }
+    }
+
+    /// The unloaded delay for a `kind` cell with `fan_in` data inputs.
+    ///
+    /// Fan-in beyond 2 is modelled as a tree of 2-input gates:
+    /// `ceil(log2(fan_in))` levels.
+    pub fn gate_delay(&self, kind: CellKind, fan_in: usize) -> Time {
+        let base = match kind {
+            CellKind::Buf => self.buf,
+            CellKind::Inv => self.inv,
+            CellKind::And => self.and2,
+            CellKind::Or => self.or2,
+            CellKind::Nand => self.nand2,
+            CellKind::Nor => self.nor2,
+            CellKind::Xor => self.xor2,
+            CellKind::Mux2 => self.mux2,
+            CellKind::TriBuf => self.tribuf,
+            CellKind::Dff => self.dff_cq,
+            CellKind::Etdff => self.etdff_cq,
+            CellKind::DLatch => self.dlatch,
+            CellKind::SrLatch => self.srlatch,
+            CellKind::CElement => self.celement,
+            CellKind::AsymCElement => self.acelement,
+            CellKind::Register => self.register_cq,
+            CellKind::LatchWord => self.latchword,
+            CellKind::TriWord => self.triword,
+            // Macros carry their own delay (set via `push_with_delay`);
+            // this default only applies if one is pushed generically.
+            CellKind::Macro => self.acelement,
+        };
+        let levels = match kind {
+            CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor
+            | CellKind::CElement => {
+                tree_levels(fan_in)
+            }
+            _ => 1,
+        };
+        Time::from_ps(base.as_ps() * levels as u64)
+    }
+}
+
+impl Default for CellDelays {
+    fn default() -> Self {
+        CellDelays::hp06()
+    }
+}
+
+/// Number of 2-input-gate levels needed to combine `n` inputs.
+pub(crate) fn tree_levels(n: usize) -> u32 {
+    match n {
+        0..=2 => 1,
+        _ => (n as u64 - 1).ilog2() + 1, // ceil(log2(n))
+    }
+}
+
+/// The structural description of a built circuit: every cell placed by a
+/// [`Builder`](crate::Builder), plus the shared [`DelayTable`].
+pub struct Netlist {
+    instances: Vec<Instance>,
+    delays: DelayTable,
+    cell_delays: CellDelays,
+}
+
+impl fmt::Debug for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Netlist")
+            .field("instances", &self.instances.len())
+            .finish()
+    }
+}
+
+impl Netlist {
+    pub(crate) fn new(cell_delays: CellDelays) -> Self {
+        Netlist {
+            instances: Vec::new(),
+            delays: Rc::new(RefCell::new(Vec::new())),
+            cell_delays,
+        }
+    }
+
+    /// Records a behavioural macro (controller engine) as a black-box
+    /// instance with an explicit input-to-output delay, so timing analysis
+    /// can trace paths through it.
+    pub fn push_macro(
+        &mut self,
+        name: impl Into<String>,
+        data_in: Vec<NetId>,
+        outputs: Vec<NetId>,
+        delay: Time,
+    ) -> InstanceId {
+        let id = InstanceId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            name: name.into(),
+            kind: CellKind::Macro,
+            data_in,
+            outputs,
+            clock: None,
+            asym_common: 0,
+        });
+        self.delays.borrow_mut().push(delay);
+        id
+    }
+
+    pub(crate) fn push(&mut self, inst: Instance) -> InstanceId {
+        let id = InstanceId(self.instances.len() as u32);
+        let d = self
+            .cell_delays
+            .gate_delay(inst.kind, inst.data_in.len().max(1));
+        self.instances.push(inst);
+        self.delays.borrow_mut().push(d);
+        id
+    }
+
+    /// All placed instances, in placement order (index = [`InstanceId`]).
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// The instance with the given id.
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.0 as usize]
+    }
+
+    /// The shared delay table (clone the `Rc` to annotate from outside).
+    pub fn delay_table(&self) -> DelayTable {
+        Rc::clone(&self.delays)
+    }
+
+    /// The current propagation delay of an instance.
+    pub fn delay_of(&self, id: InstanceId) -> Time {
+        self.delays.borrow()[id.0 as usize]
+    }
+
+    /// The cell-delay calibration this netlist was built with.
+    pub fn cell_delays(&self) -> &CellDelays {
+        &self.cell_delays
+    }
+
+    /// Total number of placed cells.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True if nothing was placed.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Instances driving the given net.
+    pub fn drivers_of(&self, net: NetId) -> impl Iterator<Item = (InstanceId, &Instance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(move |(_, i)| i.outputs.contains(&net))
+            .map(|(idx, i)| (InstanceId(idx as u32), i))
+    }
+
+    /// Instances reading the given net (through any input pin).
+    pub fn loads_of(&self, net: NetId) -> impl Iterator<Item = (InstanceId, &Instance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(move |(_, i)| i.data_in.contains(&net) || i.clock == Some(net))
+            .map(|(idx, i)| (InstanceId(idx as u32), i))
+    }
+
+    /// Merges another netlist into this one (used when a design is composed
+    /// of separately built blocks). Returns the id offset applied to the
+    /// other netlist's instances.
+    pub fn absorb(&mut self, other: Netlist) -> usize {
+        let offset = self.instances.len();
+        let other_delays = other.delays.borrow().clone();
+        self.instances.extend(other.instances);
+        self.delays.borrow_mut().extend(other_delays);
+        offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_levels_is_ceil_log2() {
+        assert_eq!(tree_levels(1), 1);
+        assert_eq!(tree_levels(2), 1);
+        assert_eq!(tree_levels(3), 2);
+        assert_eq!(tree_levels(4), 2);
+        assert_eq!(tree_levels(5), 3);
+        assert_eq!(tree_levels(8), 3);
+        assert_eq!(tree_levels(9), 4);
+        assert_eq!(tree_levels(16), 4);
+        assert_eq!(tree_levels(17), 5);
+    }
+
+    #[test]
+    fn wide_gates_cost_more() {
+        let d = CellDelays::hp06();
+        let two = d.gate_delay(CellKind::And, 2);
+        let eight = d.gate_delay(CellKind::And, 8);
+        assert_eq!(eight.as_ps(), 3 * two.as_ps());
+    }
+
+    #[test]
+    fn unit_delays_are_uniform() {
+        let d = CellDelays::unit();
+        assert_eq!(d.gate_delay(CellKind::Inv, 1), Time::from_ps(100));
+        assert_eq!(d.gate_delay(CellKind::Xor, 2), Time::from_ps(100));
+        assert_eq!(d.setup, Time::ZERO);
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids_and_delays() {
+        let mut nl = Netlist::new(CellDelays::unit());
+        let a = nl.push(Instance {
+            name: "i0".into(),
+            kind: CellKind::Inv,
+            data_in: vec![],
+            outputs: vec![],
+            clock: None,
+            asym_common: 0,
+        });
+        let b = nl.push(Instance {
+            name: "i1".into(),
+            kind: CellKind::And,
+            data_in: vec![],
+            outputs: vec![],
+            clock: None,
+            asym_common: 0,
+        });
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(nl.len(), 2);
+        assert_eq!(nl.delay_of(a), Time::from_ps(100));
+    }
+
+    #[test]
+    fn delay_table_is_shared() {
+        let mut nl = Netlist::new(CellDelays::unit());
+        let id = nl.push(Instance {
+            name: "i0".into(),
+            kind: CellKind::Inv,
+            data_in: vec![],
+            outputs: vec![],
+            clock: None,
+            asym_common: 0,
+        });
+        let table = nl.delay_table();
+        table.borrow_mut()[0] = Time::from_ps(777);
+        assert_eq!(nl.delay_of(id), Time::from_ps(777));
+    }
+}

@@ -1,0 +1,478 @@
+//! Sequential single-bit cells: D flip-flop (with optional enable),
+//! D latch, SR latch.
+
+use mtf_sim::{Component, Ctx, DriverId, Logic, MetaModel, NetId, Time, Violation, ViolationKind};
+
+use crate::netlist::DelayTable;
+
+/// A positive-edge D flip-flop, optionally with a synchronous enable (the
+/// paper's ETDFF — the token-passing registers of the FIFO cells).
+///
+/// Behaviour beyond the textbook truth table:
+///
+/// * **Setup/hold checking** — if the data (or enable) input changes within
+///   `setup` before or `hold` after a sampling edge, a
+///   [`ViolationKind::Setup`]/[`ViolationKind::Hold`] report is recorded.
+///   The fmax measurement in `mtf-bench` relies on these reports.
+/// * **Metastability** — if an input changes inside the [`MetaModel`]
+///   window around the edge, the output goes `X`, a
+///   [`ViolationKind::Metastability`] report is recorded, and after an
+///   exponentially-distributed settling time the output resolves to a
+///   *random* definite value. This is how the synchronizer chains built
+///   from these flops exhibit the failures the paper's design guards
+///   against.
+pub struct Dff {
+    name: String,
+    clk: NetId,
+    d: NetId,
+    en: Option<NetId>,
+    q: DriverId,
+    state: Logic,
+    prev_clk: Logic,
+    last_edge: Option<Time>,
+    last_captured: bool,
+    meta: MetaModel,
+    setup: Time,
+    hold: Time,
+    check_timing: bool,
+    pending: Option<(Time, Logic)>,
+    delays: DelayTable,
+    inst: usize,
+}
+
+impl std::fmt::Debug for Dff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dff")
+            .field("name", &self.name)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+/// Everything needed to instantiate a [`Dff`]; filled in by
+/// [`Builder`](crate::Builder).
+#[derive(Debug)]
+pub struct DffConfig {
+    /// Instance name.
+    pub name: String,
+    /// Clock net.
+    pub clk: NetId,
+    /// Data net.
+    pub d: NetId,
+    /// Optional synchronous enable net.
+    pub en: Option<NetId>,
+    /// Output driver.
+    pub q: DriverId,
+    /// Power-on state.
+    pub init: Logic,
+    /// Metastability model ([`MetaModel::ideal`] disables it).
+    pub meta: MetaModel,
+    /// Setup window for violation reports.
+    pub setup: Time,
+    /// Hold window for violation reports.
+    pub hold: Time,
+    /// Whether to record setup/hold reports at all.
+    pub check_timing: bool,
+    /// Shared delay table.
+    pub delays: DelayTable,
+    /// This instance's index in the delay table.
+    pub inst: usize,
+}
+
+impl Dff {
+    /// Creates the behavioural half of a flip-flop instance.
+    pub fn new(cfg: DffConfig) -> Self {
+        Dff {
+            name: cfg.name,
+            clk: cfg.clk,
+            d: cfg.d,
+            en: cfg.en,
+            q: cfg.q,
+            state: cfg.init,
+            prev_clk: Logic::X,
+            last_edge: None,
+            last_captured: false,
+            meta: cfg.meta,
+            setup: cfg.setup,
+            hold: cfg.hold,
+            check_timing: cfg.check_timing,
+            pending: None,
+            delays: cfg.delays,
+            inst: cfg.inst,
+        }
+    }
+
+    fn cq(&self) -> Time {
+        self.delays.borrow()[self.inst]
+    }
+}
+
+impl Component for Dff {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+
+        // Resolve a pending metastable settle first.
+        if let Some((at, v)) = self.pending {
+            if now >= at {
+                self.pending = None;
+                self.state = v;
+                ctx.drive(self.q, v, Time::ZERO);
+            }
+        }
+
+        let clk = ctx.get(self.clk);
+        let rising = self.prev_clk == Logic::L && clk == Logic::H;
+        let first_eval = self.prev_clk == Logic::X && self.last_edge.is_none();
+        self.prev_clk = clk;
+
+        if first_eval {
+            // Establish the power-on output immediately: the state has
+            // been on the output since t = 0 (see CElement::eval for why a
+            // delayed initial drive is hazardous).
+            ctx.drive(self.q, self.state, Time::ZERO);
+        }
+
+        if rising {
+            self.last_edge = Some(now);
+            let enabled = match self.en {
+                None => Logic::H,
+                Some(en) => ctx.get(en),
+            };
+            // Did any sampled input move inside the metastability window?
+            let mut vulnerable = self.meta.is_vulnerable(ctx.last_change(self.d), now)
+                && ctx.last_change(self.d) != Time::ZERO;
+            if let Some(en) = self.en {
+                vulnerable |= self.meta.is_vulnerable(ctx.last_change(en), now)
+                    && ctx.last_change(en) != Time::ZERO;
+            }
+            if vulnerable {
+                ctx.report(Violation {
+                    kind: ViolationKind::Metastability,
+                    time: now,
+                    source: self.name.clone(),
+                    message: "input moved inside the metastability window".into(),
+                });
+                let settle = self.meta.draw_settle(ctx.rng());
+                let resolved = self.meta.draw_resolution(ctx.rng());
+                self.state = Logic::X;
+                self.last_captured = true;
+                ctx.drive(self.q, Logic::X, self.cq());
+                self.pending = Some((now + self.cq() + settle, resolved));
+                ctx.wake_in(self.cq() + settle);
+                return;
+            }
+            // Plain setup report (data changed close to, but outside, the
+            // metastability window).
+            if self.check_timing {
+                let check_setup = |net: NetId, ctx: &mut Ctx<'_>, name: &str| {
+                    let ch = ctx.last_change(net);
+                    if ch < now && now - ch < self.setup {
+                        ctx.report(Violation {
+                            kind: ViolationKind::Setup,
+                            time: now,
+                            source: name.to_string(),
+                            message: format!(
+                                "data changed {} before edge (setup {})",
+                                now - ch,
+                                self.setup
+                            ),
+                        });
+                    }
+                };
+                check_setup(self.d, ctx, &self.name);
+                if let Some(en) = self.en {
+                    check_setup(en, ctx, &self.name);
+                }
+            }
+            match enabled {
+                Logic::H => {
+                    self.last_captured = true;
+                    let d = ctx.get(self.d);
+                    self.state = if d == Logic::Z { Logic::X } else { d };
+                    self.pending = None;
+                    ctx.drive(self.q, self.state, self.cq());
+                    // A synchronizer stage that captures a still-metastable
+                    // (X) input goes metastable itself and resolves per its
+                    // own settling model — this is what makes deeper
+                    // synchronizer chains exponentially safer (E8).
+                    if self.state == Logic::X && self.meta.window > mtf_sim::Time::ZERO {
+                        let settle = self.meta.draw_settle(ctx.rng());
+                        let resolved = self.meta.draw_resolution(ctx.rng());
+                        self.pending = Some((now + self.cq() + settle, resolved));
+                        ctx.wake_in(self.cq() + settle);
+                    }
+                }
+                Logic::L => {
+                    self.last_captured = false;
+                }
+                _ => {
+                    self.last_captured = true;
+                    self.state = Logic::X;
+                    self.pending = None;
+                    ctx.drive(self.q, Logic::X, self.cq());
+                }
+            }
+            return;
+        }
+
+        // Hold check: a sampled input moved just after a capturing edge.
+        if self.check_timing && self.last_captured {
+            if let Some(edge) = self.last_edge {
+                let moved_now = ctx.last_change(self.d) == now
+                    || self.en.is_some_and(|en| ctx.last_change(en) == now);
+                if moved_now && now > edge && now - edge < self.hold {
+                    ctx.report(Violation {
+                        kind: ViolationKind::Hold,
+                        time: now,
+                        source: self.name.clone(),
+                        message: format!(
+                            "data changed {} after edge (hold {})",
+                            now - edge,
+                            self.hold
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A level-sensitive D latch: transparent while `en` is high, opaque while
+/// low.
+pub struct DLatch {
+    name: String,
+    en: NetId,
+    d: NetId,
+    q: DriverId,
+    state: Logic,
+    started: bool,
+    delays: DelayTable,
+    inst: usize,
+}
+
+impl std::fmt::Debug for DLatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DLatch").field("name", &self.name).finish()
+    }
+}
+
+impl DLatch {
+    /// Creates the behavioural half of a D-latch instance.
+    pub fn new(
+        name: impl Into<String>,
+        en: NetId,
+        d: NetId,
+        q: DriverId,
+        init: Logic,
+        delays: DelayTable,
+        inst: usize,
+    ) -> Self {
+        DLatch {
+            name: name.into(),
+            en,
+            d,
+            q,
+            state: init,
+            started: false,
+            delays,
+            inst,
+        }
+    }
+}
+
+impl Component for DLatch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.started {
+            self.started = true;
+            ctx.drive(self.q, self.state, Time::ZERO);
+            return; // see CElement::eval — do not supersede the init drive
+        }
+        let en = ctx.get(self.en);
+        let d = ctx.get(self.d);
+        let next = match en {
+            // Transparent: follow the data, including a still-pending Z.
+            Logic::H => d,
+            // Z enable = not driven yet = opaque (see SrLatch::next_state
+            // for the power-up rationale).
+            Logic::L | Logic::Z => self.state,
+            // Unknown enable: only safe if the data equals the held state.
+            _ => {
+                if d == self.state && d.is_definite() {
+                    self.state
+                } else {
+                    Logic::X
+                }
+            }
+        };
+        self.state = next;
+        let delay = self.delays.borrow()[self.inst];
+        ctx.drive(self.q, next, delay);
+    }
+}
+
+/// A set/reset latch (the mixed-clock cell's data-validity controller).
+///
+/// `s` high sets, `r` high resets, both low holds. The simultaneous case
+/// is configurable: a plain latch drives `X` (invalid), while a
+/// **set-dominant** latch stays set — which is what the FIFO cells need,
+/// because the get side's synchronization staleness can fire a harmless
+/// spurious read pulse into a cell whose put is still in progress; the
+/// put must win or the item is lost.
+pub struct SrLatch {
+    name: String,
+    s: NetId,
+    r: NetId,
+    q: DriverId,
+    qn: Option<DriverId>,
+    state: Logic,
+    set_dominant: bool,
+    started: bool,
+    delays: DelayTable,
+    inst: usize,
+}
+
+impl std::fmt::Debug for SrLatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SrLatch")
+            .field("name", &self.name)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl SrLatch {
+    /// Creates the behavioural half of an SR-latch instance. `qn`, when
+    /// present, always carries the complement of `q`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        s: NetId,
+        r: NetId,
+        q: DriverId,
+        qn: Option<DriverId>,
+        init: Logic,
+        set_dominant: bool,
+        delays: DelayTable,
+        inst: usize,
+    ) -> Self {
+        SrLatch {
+            name: name.into(),
+            s,
+            r,
+            q,
+            qn,
+            state: init,
+            set_dominant,
+            started: false,
+            delays,
+            inst,
+        }
+    }
+
+    fn next_state(state: Logic, s: Logic, r: Logic, set_dominant: bool) -> Logic {
+        use Logic::*;
+        // An undriven (Z) set/reset input is *inactive*, not unknown: at
+        // power-up the driving gates have not produced a value yet, and a
+        // state-holding cell must not be poisoned by that. (A definite X —
+        // a real conflict or metastable driver — stays pessimistic.)
+        let s = if s == Z { L } else { s };
+        let r = if r == Z { L } else { r };
+        match (s, r) {
+            (H, L) => H,
+            (L, H) => L,
+            (L, L) => state,
+            (H, H) => {
+                if set_dominant {
+                    H
+                } else {
+                    X
+                }
+            }
+            // An unknown control is only harmless if it cannot change the
+            // state.
+            (X, L) => {
+                if state == H {
+                    H
+                } else {
+                    X
+                }
+            }
+            (L, X) => {
+                if state == L {
+                    L
+                } else {
+                    X
+                }
+            }
+            _ => X,
+        }
+    }
+}
+
+impl Component for SrLatch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.started {
+            self.started = true;
+            ctx.drive(self.q, self.state, Time::ZERO);
+            if let Some(qn) = self.qn {
+                ctx.drive(qn, !self.state, Time::ZERO);
+            }
+            return; // see CElement::eval — do not supersede the init drive
+        }
+        let s = ctx.get(self.s);
+        let r = ctx.get(self.r);
+        self.state = Self::next_state(self.state, s, r, self.set_dominant);
+        let delay = self.delays.borrow()[self.inst];
+        ctx.drive(self.q, self.state, delay);
+        if let Some(qn) = self.qn {
+            ctx.drive(qn, !self.state, delay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn sr_truth_table() {
+        assert_eq!(SrLatch::next_state(L, H, L, false), H);
+        assert_eq!(SrLatch::next_state(H, L, H, false), L);
+        assert_eq!(SrLatch::next_state(H, L, L, false), H);
+        assert_eq!(SrLatch::next_state(L, L, L, false), L);
+        assert_eq!(SrLatch::next_state(L, H, H, false), X);
+    }
+
+    #[test]
+    fn set_dominance_resolves_the_overlap() {
+        assert_eq!(SrLatch::next_state(L, H, H, true), H);
+        assert_eq!(SrLatch::next_state(H, H, H, true), H);
+        // The plain cases are unchanged.
+        assert_eq!(SrLatch::next_state(H, L, H, true), L);
+        assert_eq!(SrLatch::next_state(L, H, L, true), H);
+    }
+
+    #[test]
+    fn sr_unknowns_are_pessimistic_only_when_they_matter() {
+        // X on set while already set: harmless.
+        assert_eq!(SrLatch::next_state(H, X, L, false), H);
+        // X on set while reset-state: might set -> X.
+        assert_eq!(SrLatch::next_state(L, X, L, false), X);
+        // X on reset while already reset: harmless.
+        assert_eq!(SrLatch::next_state(L, L, X, false), L);
+        assert_eq!(SrLatch::next_state(H, L, X, false), X);
+    }
+}

@@ -1,0 +1,278 @@
+//! Word-wide data-path cells: registers, transparent latches, tri-state
+//! drivers.
+//!
+//! Modelling a W-bit register as one component (rather than W flip-flops)
+//! keeps event counts proportional to *changes* rather than width, which
+//! matters for the 16-place × 16-bit FIFO sweeps of Table 1. Structurally
+//! each word cell is still recorded as a single [`Instance`] whose pin
+//! lists carry the full width, so the timing analyser sees the real
+//! enable/clock loading.
+//!
+//! [`Instance`]: crate::Instance
+
+use mtf_sim::{Component, Ctx, DriverId, Logic, LogicVec, NetId, Time, Violation, ViolationKind};
+
+use crate::netlist::DelayTable;
+use crate::tristate::TriBuf;
+
+/// A W-bit positive-edge register with a shared synchronous enable — the
+/// `REG` block of the paper's FIFO cell (Fig. 5), which latches
+/// `data_put` plus the validity bit when the cell holds the put token.
+pub struct RegisterWord {
+    name: String,
+    clk: NetId,
+    en: Option<NetId>,
+    d: Vec<NetId>,
+    q: Vec<DriverId>,
+    state: LogicVec,
+    prev_clk: Logic,
+    initialised: bool,
+    setup: Time,
+    check_timing: bool,
+    last_edge: Option<Time>,
+    delays: DelayTable,
+    inst: usize,
+}
+
+impl std::fmt::Debug for RegisterWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisterWord")
+            .field("name", &self.name)
+            .field("width", &self.d.len())
+            .finish()
+    }
+}
+
+impl RegisterWord {
+    /// Creates the behavioural half of a word-register instance.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        clk: NetId,
+        en: Option<NetId>,
+        d: Vec<NetId>,
+        q: Vec<DriverId>,
+        setup: Time,
+        check_timing: bool,
+        delays: DelayTable,
+        inst: usize,
+    ) -> Self {
+        let width = d.len();
+        assert_eq!(width, q.len(), "d/q width mismatch");
+        RegisterWord {
+            name: name.into(),
+            clk,
+            en,
+            d,
+            q,
+            state: LogicVec::unknown(width),
+            prev_clk: Logic::X,
+            initialised: false,
+            setup,
+            check_timing,
+            last_edge: None,
+            delays,
+            inst,
+        }
+    }
+
+    fn drive_state(&self, ctx: &mut Ctx<'_>, delay: Time) {
+        for (i, &drv) in self.q.iter().enumerate() {
+            ctx.drive(drv, self.state.bit(i), delay);
+        }
+    }
+}
+
+impl Component for RegisterWord {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let clk = ctx.get(self.clk);
+        let rising = self.prev_clk == Logic::L && clk == Logic::H;
+        self.prev_clk = clk;
+        let cq = self.delays.borrow()[self.inst];
+
+        if !self.initialised {
+            self.initialised = true;
+            self.drive_state(ctx, cq);
+        }
+        if !rising {
+            return;
+        }
+        self.last_edge = Some(now);
+        let enabled = match self.en {
+            None => Logic::H,
+            Some(en) => ctx.get(en),
+        };
+        match enabled {
+            Logic::L => {}
+            Logic::H => {
+                if self.check_timing {
+                    for &dn in &self.d {
+                        let ch = ctx.last_change(dn);
+                        if ch < now && now - ch < self.setup {
+                            ctx.report(Violation {
+                                kind: ViolationKind::Setup,
+                                time: now,
+                                source: self.name.clone(),
+                                message: format!(
+                                    "data bit changed {} before edge",
+                                    now - ch
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+                for (i, &dn) in self.d.iter().enumerate() {
+                    let v = ctx.get(dn);
+                    self.state
+                        .set_bit(i, if v == Logic::Z { Logic::X } else { v });
+                }
+                self.drive_state(ctx, cq);
+            }
+            _ => {
+                self.state = LogicVec::unknown(self.state.width());
+                self.drive_state(ctx, cq);
+            }
+        }
+    }
+}
+
+/// A W-bit transparent latch with a shared enable — the write port of the
+/// async-sync cell's register, which latches while the `we` pulse is high
+/// (the bundled-data convention guarantees the data bus is stable for the
+/// whole pulse).
+pub struct LatchWord {
+    name: String,
+    en: NetId,
+    d: Vec<NetId>,
+    q: Vec<DriverId>,
+    state: LogicVec,
+    delays: DelayTable,
+    inst: usize,
+}
+
+impl std::fmt::Debug for LatchWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatchWord")
+            .field("name", &self.name)
+            .field("width", &self.d.len())
+            .finish()
+    }
+}
+
+impl LatchWord {
+    /// Creates the behavioural half of a word-latch instance.
+    pub fn new(
+        name: impl Into<String>,
+        en: NetId,
+        d: Vec<NetId>,
+        q: Vec<DriverId>,
+        delays: DelayTable,
+        inst: usize,
+    ) -> Self {
+        let width = d.len();
+        assert_eq!(width, q.len(), "d/q width mismatch");
+        LatchWord {
+            name: name.into(),
+            en,
+            d,
+            q,
+            state: LogicVec::unknown(width),
+            delays,
+            inst,
+        }
+    }
+}
+
+impl Component for LatchWord {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let en = ctx.get(self.en);
+        let delay = self.delays.borrow()[self.inst];
+        match en {
+            Logic::H => {
+                // Transparent: follow the data, including still-pending Z.
+                for (i, &dn) in self.d.iter().enumerate() {
+                    let v = ctx.get(dn);
+                    self.state.set_bit(i, v);
+                    ctx.drive(self.q[i], v, delay);
+                }
+            }
+            Logic::L => {} // opaque: outputs hold
+            _ => {
+                for (i, &dn) in self.d.iter().enumerate() {
+                    let v = ctx.get(dn);
+                    if v != self.state.bit(i) || !v.is_definite() {
+                        self.state.set_bit(i, Logic::X);
+                        ctx.drive(self.q[i], Logic::X, delay);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A W-bit tri-state driver bank with a shared enable — the read port a
+/// FIFO cell uses to broadcast its word on the common `get_data` bus.
+pub struct TriWord {
+    name: String,
+    en: NetId,
+    d: Vec<NetId>,
+    out: Vec<DriverId>,
+    delays: DelayTable,
+    inst: usize,
+}
+
+impl std::fmt::Debug for TriWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TriWord")
+            .field("name", &self.name)
+            .field("width", &self.d.len())
+            .finish()
+    }
+}
+
+impl TriWord {
+    /// Creates the behavioural half of a word tri-state instance.
+    pub fn new(
+        name: impl Into<String>,
+        en: NetId,
+        d: Vec<NetId>,
+        out: Vec<DriverId>,
+        delays: DelayTable,
+        inst: usize,
+    ) -> Self {
+        assert_eq!(d.len(), out.len(), "d/out width mismatch");
+        TriWord {
+            name: name.into(),
+            en,
+            d,
+            out,
+            delays,
+            inst,
+        }
+    }
+}
+
+impl Component for TriWord {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let en = ctx.get(self.en);
+        let delay = self.delays.borrow()[self.inst];
+        for (i, &dn) in self.d.iter().enumerate() {
+            let v = TriBuf::output_value(en, ctx.get(dn));
+            ctx.drive(self.out[i], v, delay);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Property tests for the cell library: built gate networks must agree
+//! with a boolean reference model once inputs are definite and the
+//! network has settled.
+
+use mtf_gates::{Builder, GateFunc};
+use mtf_sim::{ClockGen, Logic, NetId, Simulator, Time};
+use proptest::prelude::*;
+
+/// Reference evaluation of a gate function over booleans.
+fn reference(func: GateFunc, inputs: &[bool]) -> bool {
+    match func {
+        GateFunc::Buf => inputs[0],
+        GateFunc::Inv => !inputs[0],
+        GateFunc::And => inputs.iter().all(|&b| b),
+        GateFunc::Or => inputs.iter().any(|&b| b),
+        GateFunc::Nand => !inputs.iter().all(|&b| b),
+        GateFunc::Nor => !inputs.iter().any(|&b| b),
+        GateFunc::Xor => inputs[0] ^ inputs[1],
+        GateFunc::Mux2 => {
+            if inputs[0] {
+                inputs[2]
+            } else {
+                inputs[1]
+            }
+        }
+        GateFunc::AndNot => inputs[0] && !inputs[1],
+        GateFunc::OrNot => inputs[0] || !inputs[1],
+    }
+}
+
+fn build_gate(
+    b: &mut Builder<'_>,
+    func: GateFunc,
+    ins: &[NetId],
+) -> NetId {
+    match func {
+        GateFunc::Buf => b.buf(ins[0]),
+        GateFunc::Inv => b.inv(ins[0]),
+        GateFunc::And => b.and(ins),
+        GateFunc::Or => b.or(ins),
+        GateFunc::Nand => b.nand(ins),
+        GateFunc::Nor => b.nor(ins),
+        GateFunc::Xor => b.xor2(ins[0], ins[1]),
+        GateFunc::Mux2 => b.mux2(ins[0], ins[1], ins[2]),
+        GateFunc::AndNot => b.and_not(ins[0], ins[1]),
+        GateFunc::OrNot => b.or_not(ins[0], ins[1]),
+    }
+}
+
+fn arity(func: GateFunc, wide: usize) -> usize {
+    match func {
+        GateFunc::Buf | GateFunc::Inv => 1,
+        GateFunc::Xor | GateFunc::AndNot | GateFunc::OrNot => 2,
+        GateFunc::Mux2 => 3,
+        _ => wide,
+    }
+}
+
+fn any_func() -> impl Strategy<Value = GateFunc> {
+    prop_oneof![
+        Just(GateFunc::Buf),
+        Just(GateFunc::Inv),
+        Just(GateFunc::And),
+        Just(GateFunc::Or),
+        Just(GateFunc::Nand),
+        Just(GateFunc::Nor),
+        Just(GateFunc::Xor),
+        Just(GateFunc::Mux2),
+        Just(GateFunc::AndNot),
+        Just(GateFunc::OrNot),
+    ]
+}
+
+proptest! {
+    /// Every gate, any fan-in, any input vector: simulated output equals
+    /// the boolean reference after settling.
+    #[test]
+    fn gates_match_reference(
+        func in any_func(),
+        wide in 2usize..9,
+        bits in prop::collection::vec(any::<bool>(), 9),
+    ) {
+        let n = arity(func, wide);
+        let mut sim = Simulator::new(0);
+        let mut b = Builder::new(&mut sim);
+        let ins: Vec<NetId> = (0..n).map(|i| b.input(format!("i{i}"))).collect();
+        let out = build_gate(&mut b, func, &ins);
+        drop(b.finish());
+        for (i, &net) in ins.iter().enumerate() {
+            let d = sim.driver(net);
+            sim.drive_at(d, net, Logic::from_bool(bits[i]), Time::ZERO);
+        }
+        sim.run_until(Time::from_ns(20)).unwrap();
+        let expect = Logic::from_bool(reference(func, &bits[..n]));
+        prop_assert_eq!(sim.value(out), expect, "{:?} over {:?}", func, &bits[..n]);
+    }
+
+    /// A register chain is a delay line: after k cycles the input pattern
+    /// appears at the output, regardless of chain depth and data.
+    #[test]
+    fn dff_chain_is_a_delay_line(depth in 1usize..6, stream in prop::collection::vec(any::<bool>(), 6..20)) {
+        let period = Time::from_ns(10);
+        let mut sim = Simulator::new(0);
+        let clk = sim.net("clk");
+        ClockGen::spawn_simple(&mut sim, clk, period);
+        let mut b = Builder::new(&mut sim);
+        let d = b.input("d");
+        let mut q = d;
+        for _ in 0..depth {
+            q = b.dff(clk, q, Logic::L);
+        }
+        drop(b.finish());
+        let drv = sim.driver(d);
+        // Drive one bit per cycle, just after each edge.
+        for (i, &bit) in stream.iter().enumerate() {
+            let t = period * i as u64 + Time::from_ns(2);
+            sim.drive_at(drv, d, Logic::from_bool(bit), t);
+        }
+        sim.trace(q);
+        sim.run_until(period * (stream.len() + depth + 2) as u64).unwrap();
+        // Sample q at each edge; bit i (launched in cycle i, captured at
+        // edge i+1) must appear after `depth` captures, i.e. be q's value
+        // during cycle i + depth (sampled at edge i + depth + 1).
+        let wf = sim.waveform(q).unwrap();
+        for (i, &bit) in stream.iter().enumerate() {
+            let sample = period * (i as u64 + depth as u64 + 1) - Time::from_ps(100);
+            prop_assert_eq!(
+                wf.value_at(sample),
+                Logic::from_bool(bit),
+                "bit {} through {} stages",
+                i,
+                depth
+            );
+        }
+    }
+
+    /// Word register == w independent bit registers.
+    #[test]
+    fn register_word_matches_bit_flops(w in 1usize..12, value in any::<u64>()) {
+        let period = Time::from_ns(10);
+        let mut sim = Simulator::new(0);
+        let clk = sim.net("clk");
+        ClockGen::spawn_simple(&mut sim, clk, period);
+        let mut b = Builder::new(&mut sim);
+        let d = b.input_bus("d", w);
+        let en = b.hi();
+        let q_word = b.register(clk, Some(en), &d);
+        let q_bits: Vec<NetId> = d.iter().map(|&bit| b.dff(clk, bit, Logic::L)).collect();
+        drop(b.finish());
+        for (i, &net) in d.iter().enumerate() {
+            let drv = sim.driver(net);
+            sim.drive_at(drv, net, Logic::from_bool((value >> i) & 1 == 1), Time::from_ns(2));
+        }
+        sim.run_until(Time::from_ns(25)).unwrap();
+        let word = sim.value_vec(&q_word);
+        let bits = sim.value_vec(&q_bits);
+        prop_assert_eq!(word.to_u64(), bits.to_u64());
+        prop_assert_eq!(word.to_u64(), Some(value & ((1u64 << w) - 1)));
+    }
+
+    /// The C-element's output only changes on full consensus: simulate a
+    /// random input schedule and check against a reference state machine.
+    #[test]
+    fn celement_matches_reference(events in prop::collection::vec((0usize..2, any::<bool>()), 1..30)) {
+        let mut sim = Simulator::new(0);
+        let mut b = Builder::new(&mut sim);
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.celement(&[a, c], Logic::L);
+        drop(b.finish());
+        let da = sim.driver(a);
+        let dc = sim.driver(c);
+        sim.drive_at(da, a, Logic::L, Time::ZERO);
+        sim.drive_at(dc, c, Logic::L, Time::ZERO);
+        let mut vals = [false, false];
+        let mut state = false;
+        let mut t = Time::from_ns(5);
+        for &(which, level) in &events {
+            let (net, drv) = if which == 0 { (a, da) } else { (c, dc) };
+            sim.drive_at(drv, net, Logic::from_bool(level), t);
+            vals[which] = level;
+            // Reference: settle between events, so consensus rules apply
+            // to each stable input vector.
+            if vals[0] && vals[1] {
+                state = true;
+            } else if !vals[0] && !vals[1] {
+                state = false;
+            }
+            t += Time::from_ns(5);
+        }
+        sim.run_until(t + Time::from_ns(5)).unwrap();
+        prop_assert_eq!(sim.value(y), Logic::from_bool(state));
+    }
+
+    /// Synchronizer chains preserve stable values: a level held long
+    /// enough always comes out the other side unchanged (whatever the
+    /// metastability model did in between).
+    #[test]
+    fn sync_chain_converges(stages in 1usize..5, level in any::<bool>(), seed in any::<u64>()) {
+        let mut sim = Simulator::new(seed);
+        let clk = sim.net("clk");
+        ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(7));
+        let mut b = Builder::new(&mut sim);
+        let d = b.input("d");
+        let q = b.sync_chain(clk, d, stages, Logic::L);
+        drop(b.finish());
+        let drv = sim.driver(d);
+        sim.drive_at(drv, d, Logic::from_bool(!level), Time::ZERO);
+        // Change at an arbitrary (possibly edge-adjacent) instant.
+        sim.drive_at(drv, d, Logic::from_bool(level), Time::from_ps(35_000 + seed % 7_000));
+        sim.run_until(Time::from_ns(200)).unwrap();
+        prop_assert_eq!(sim.value(q), Logic::from_bool(level));
+    }
+}

@@ -1,0 +1,436 @@
+//! # mtf-lis — latency-insensitive protocol substrate
+//!
+//! Carloni et al. \[2\] make a synchronous design tolerant of long wires by
+//! segmenting each wire and inserting **relay stations** — clocked 2-place
+//! buffers with back-pressure (`stopIn`/`stopOut`). The paper under
+//! reproduction generalises relay stations to mixed-timing interfaces
+//! (`mtf-core`'s [`MixedClockRelayStation`](mtf_core::MixedClockRelayStation)
+//! and [`AsyncSyncRelayStation`](mtf_core::AsyncSyncRelayStation)); this
+//! crate provides the *single-clock* substrate they plug into:
+//!
+//! * [`SyncRelayStation`] — Carloni's relay station (paper Fig. 11b): a
+//!   main register, an auxiliary register that absorbs the one packet in
+//!   flight when the right neighbour stalls, and a registered `stop_out`.
+//! * [`WireSegment`] — a pure transport delay standing in for one
+//!   clock-cycle's worth of interconnect.
+//! * [`RelayChain`] — `k` stations separated by wire segments, the unit of
+//!   composition in Figs. 11a and 14.
+//!
+//! The relay stations here are behavioural components (the paper's
+//! *baseline*, not its contribution — see DESIGN.md); the mixed-timing
+//! stations they sandwich are full gate-level netlists from `mtf-core`.
+//!
+//! # Example: a pipelined long wire
+//!
+//! ```
+//! use mtf_core::env::{PacketSink, PacketSource};
+//! use mtf_lis::RelayChain;
+//! use mtf_sim::{ClockGen, Simulator, Time};
+//!
+//! let mut sim = Simulator::new(1);
+//! let clk = sim.net("clk");
+//! ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
+//! // Three relay stations with 3 ns of wire between consecutive hops.
+//! let chain = RelayChain::spawn(&mut sim, "wire", clk, 8, 3, Time::from_ns(3));
+//! let sent = PacketSource::spawn(&mut sim, "src", clk, chain.port.in_valid,
+//!     &chain.port.in_data, chain.port.stop_out, (0..20).map(Some).collect());
+//! let got = PacketSink::spawn(&mut sim, "sink", clk, &chain.port.out_data,
+//!     chain.port.out_valid, chain.port.stop_in, vec![(5, 12)]); // a stall
+//! sim.run_until(Time::from_us(2)).unwrap();
+//! assert_eq!(got.values(), sent.values());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+
+use mtf_sim::{Component, Ctx, DriverId, Logic, LogicVec, NetId, Simulator, Time};
+
+/// How soon after a clock edge a relay station's registered outputs settle.
+const RS_CQ: Time = Time::from_ps(400);
+
+/// Carloni's synchronous relay station (paper Fig. 11b): a clocked
+/// 2-place packet buffer.
+///
+/// Per rising clock edge, in order: the head packet is consumed by the
+/// right neighbour unless `stop_in` was asserted; the packet launched by
+/// the left neighbour is absorbed unless `stop_out` was asserted (the left
+/// neighbour froze). `stop_out` rises (registered) when the buffer would
+/// overflow otherwise — i.e. it still has room for exactly the one packet
+/// that is in flight when it asserts, which is why two registers suffice.
+///
+/// Invalid packets (bubbles, `valid` low) are *not* buffered: a stalled
+/// station simply stops emitting valid packets, and bubbles carry no
+/// information worth storing. This matches the τ-abstraction of
+/// latency-insensitive theory.
+pub struct SyncRelayStation {
+    name: String,
+    clk: NetId,
+    in_valid: NetId,
+    in_data: Vec<NetId>,
+    stop_in: NetId,
+    out_valid: DriverId,
+    out_data: Vec<DriverId>,
+    stop_out: DriverId,
+    queue: VecDeque<LogicVec>,
+    prev_clk: Logic,
+    stopped_upstream: bool,
+}
+
+impl std::fmt::Debug for SyncRelayStation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncRelayStation")
+            .field("name", &self.name)
+            .field("occupancy", &self.queue.len())
+            .finish()
+    }
+}
+
+/// The external nets of a spawned [`SyncRelayStation`] (or a whole
+/// [`RelayChain`]).
+#[derive(Clone, Debug)]
+pub struct RelayPort {
+    /// Packet-in validity (input).
+    pub in_valid: NetId,
+    /// Packet-in data (input).
+    pub in_data: Vec<NetId>,
+    /// Back-pressure to the left (output).
+    pub stop_out: NetId,
+    /// Packet-out validity (output).
+    pub out_valid: NetId,
+    /// Packet-out data (output).
+    pub out_data: Vec<NetId>,
+    /// Back-pressure from the right (input).
+    pub stop_in: NetId,
+}
+
+impl SyncRelayStation {
+    /// Spawns a relay station in `sim`, creating all of its external nets.
+    pub fn spawn(sim: &mut Simulator, name: &str, clk: NetId, width: usize) -> RelayPort {
+        let in_valid = sim.net(format!("{name}.in_valid"));
+        let in_data = sim.bus(&format!("{name}.in_data"), width);
+        let stop_in = sim.net(format!("{name}.stop_in"));
+        let out_valid_net = sim.net(format!("{name}.out_valid"));
+        let out_data_nets = sim.bus(&format!("{name}.out_data"), width);
+        let stop_out_net = sim.net(format!("{name}.stop_out"));
+        let out_valid = sim.driver(out_valid_net);
+        let out_data = out_data_nets.iter().map(|&n| sim.driver(n)).collect();
+        let stop_out = sim.driver(stop_out_net);
+        let rs = SyncRelayStation {
+            name: name.to_string(),
+            clk,
+            in_valid,
+            in_data: in_data.clone(),
+            stop_in,
+            out_valid,
+            out_data,
+            stop_out,
+            queue: VecDeque::new(),
+            prev_clk: Logic::X,
+            stopped_upstream: false,
+        };
+        sim.add_component(Box::new(rs), &[clk]);
+        RelayPort {
+            in_valid,
+            in_data,
+            stop_out: stop_out_net,
+            out_valid: out_valid_net,
+            out_data: out_data_nets,
+            stop_in,
+        }
+    }
+
+    fn drive_outputs(&mut self, ctx: &mut Ctx<'_>) {
+        match self.queue.front() {
+            Some(pkt) => {
+                ctx.drive(self.out_valid, Logic::H, RS_CQ);
+                for (i, &d) in self.out_data.iter().enumerate().take(pkt.width()) {
+                    ctx.drive(d, pkt.bit(i), RS_CQ);
+                }
+            }
+            None => {
+                ctx.drive(self.out_valid, Logic::L, RS_CQ);
+            }
+        }
+        let stop = self.queue.len() >= 2;
+        self.stopped_upstream = stop;
+        ctx.drive(self.stop_out, Logic::from_bool(stop), RS_CQ);
+    }
+}
+
+impl Component for SyncRelayStation {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let clk = ctx.get(self.clk);
+        let rising = self.prev_clk == Logic::L && clk == Logic::H;
+        let first = self.prev_clk == Logic::X;
+        self.prev_clk = clk;
+        if first {
+            ctx.drive(self.out_valid, Logic::L, Time::ZERO);
+            ctx.drive(self.stop_out, Logic::L, Time::ZERO);
+            return;
+        }
+        if !rising {
+            return;
+        }
+        // Head consumed by the right neighbour unless it stalled us.
+        if ctx.get(self.stop_in) != Logic::H && !self.queue.is_empty() {
+            self.queue.pop_front();
+        }
+        // Absorb the packet in flight from the left (unless we had frozen
+        // the left neighbour, in which case nothing new arrives).
+        if !self.stopped_upstream && ctx.get(self.in_valid) == Logic::H {
+            let pkt = ctx.get_vec(&self.in_data);
+            self.queue.push_back(pkt);
+            debug_assert!(self.queue.len() <= 2, "{}: overflowed two slots", self.name);
+        }
+        self.drive_outputs(ctx);
+    }
+}
+
+/// A pure transport delay on a packet bundle — one segment of a long wire
+/// after relay-station insertion (the delay should be below the receiving
+/// station's clock period; that is the whole point of segmentation).
+pub struct WireSegment {
+    name: String,
+    inputs: Vec<NetId>,
+    outputs: Vec<DriverId>,
+    delay: Time,
+}
+
+impl std::fmt::Debug for WireSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireSegment")
+            .field("name", &self.name)
+            .field("delay", &self.delay)
+            .finish()
+    }
+}
+
+impl WireSegment {
+    /// Connects `from` nets to freshly created nets through `delay`;
+    /// returns the downstream nets.
+    pub fn spawn(
+        sim: &mut Simulator,
+        name: &str,
+        from: &[NetId],
+        delay: Time,
+    ) -> Vec<NetId> {
+        let outs: Vec<NetId> = (0..from.len())
+            .map(|i| sim.net(format!("{name}[{i}]")))
+            .collect();
+        let drvs = outs.iter().map(|&n| sim.driver(n)).collect();
+        let w = WireSegment {
+            name: name.to_string(),
+            inputs: from.to_vec(),
+            outputs: drvs,
+            delay,
+        };
+        sim.add_component(Box::new(w), from);
+        outs
+    }
+}
+
+impl Component for WireSegment {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        for (i, &n) in self.inputs.iter().enumerate() {
+            let v = ctx.get(n);
+            ctx.drive(self.outputs[i], v, self.delay);
+        }
+    }
+}
+
+/// A chain of `stations` relay stations in one clock domain, with
+/// `wire_delay` of interconnect between consecutive stations (and none at
+/// the endpoints — those belong to the neighbouring blocks). Packets enter
+/// at [`RelayPort::in_valid`]/[`RelayPort::in_data`] and leave at
+/// [`RelayPort::out_valid`]/[`RelayPort::out_data`]; back-pressure flows
+/// the other way.
+#[derive(Debug)]
+pub struct RelayChain {
+    /// The chain's composite external port.
+    pub port: RelayPort,
+    /// Number of stations.
+    pub stations: usize,
+}
+
+impl RelayChain {
+    /// Builds the chain. `stations` must be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stations` is zero.
+    pub fn spawn(
+        sim: &mut Simulator,
+        name: &str,
+        clk: NetId,
+        width: usize,
+        stations: usize,
+        wire_delay: Time,
+    ) -> RelayChain {
+        assert!(stations >= 1, "a chain needs at least one station");
+        let ports: Vec<RelayPort> = (0..stations)
+            .map(|i| SyncRelayStation::spawn(sim, &format!("{name}.rs{i}"), clk, width))
+            .collect();
+        // Wire each station's output bundle to the next station's input,
+        // and each station's stop_out back to the previous stop_in.
+        for i in 0..stations - 1 {
+            let mut fwd = vec![ports[i].out_valid];
+            fwd.extend_from_slice(&ports[i].out_data);
+            let arrived = WireSegment::spawn(sim, &format!("{name}.wire{i}"), &fwd, wire_delay);
+            connect(sim, arrived[0], ports[i + 1].in_valid);
+            for (k, &a) in arrived[1..].iter().enumerate() {
+                connect(sim, a, ports[i + 1].in_data[k]);
+            }
+            let back = WireSegment::spawn(
+                sim,
+                &format!("{name}.stopwire{i}"),
+                &[ports[i + 1].stop_out],
+                wire_delay,
+            );
+            connect(sim, back[0], ports[i].stop_in);
+        }
+        let first = ports.first().expect("non-empty").clone();
+        let last = ports.last().expect("non-empty").clone();
+        RelayChain {
+            port: RelayPort {
+                in_valid: first.in_valid,
+                in_data: first.in_data,
+                stop_out: first.stop_out,
+                out_valid: last.out_valid,
+                out_data: last.out_data,
+                stop_in: last.stop_in,
+            },
+            stations,
+        }
+    }
+}
+
+/// Shorts net `from` onto net `to` with a negligible (1 ps) repeater —
+/// used to join separately created interface nets.
+pub fn connect(sim: &mut Simulator, from: NetId, to: NetId) {
+    let drv = sim.driver(to);
+    let w = WireSegment {
+        name: "connect".into(),
+        inputs: vec![from],
+        outputs: vec![drv],
+        delay: Time::from_ps(1),
+    };
+    sim.add_component(Box::new(w), &[from]);
+}
+
+/// Connects a whole bundle pairwise (see [`connect`]).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn connect_bus(sim: &mut Simulator, from: &[NetId], to: &[NetId]) {
+    assert_eq!(from.len(), to.len(), "bundle width mismatch");
+    for (&f, &t) in from.iter().zip(to) {
+        connect(sim, f, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtf_core::env::{PacketSink, PacketSource};
+    use mtf_sim::ClockGen;
+
+    fn rig(stations: usize, stalls: Vec<(u64, u64)>) -> (Vec<u64>, Vec<u64>) {
+        let mut sim = Simulator::new(55);
+        let clk = sim.net("clk");
+        ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
+        let chain = RelayChain::spawn(&mut sim, "chain", clk, 8, stations, Time::from_ns(3));
+        let packets: Vec<Option<u64>> = (0..40).map(Some).collect();
+        let sj = PacketSource::spawn(
+            &mut sim, "src", clk, chain.port.in_valid, &chain.port.in_data,
+            chain.port.stop_out, packets,
+        );
+        let kj = PacketSink::spawn(
+            &mut sim, "sink", clk, &chain.port.out_data, chain.port.out_valid,
+            chain.port.stop_in, stalls,
+        );
+        sim.run_until(Time::from_us(3)).unwrap();
+        (sj.values(), kj.values())
+    }
+
+    #[test]
+    fn single_station_passes_everything() {
+        let (sent, got) = rig(1, vec![]);
+        assert_eq!(sent.len(), 40);
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn long_chain_preserves_order() {
+        let (sent, got) = rig(6, vec![]);
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn chain_survives_sink_stalls() {
+        let (sent, got) = rig(4, vec![(8, 20), (30, 45)]);
+        assert_eq!(got, sent, "stalls must not lose or duplicate packets");
+    }
+
+    #[test]
+    fn chain_latency_grows_with_length() {
+        let first_arrival = |stations: usize| {
+            let mut sim = Simulator::new(7);
+            let clk = sim.net("clk");
+            ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
+            let chain =
+                RelayChain::spawn(&mut sim, "chain", clk, 8, stations, Time::from_ns(3));
+            let sj = PacketSource::spawn(
+                &mut sim, "src", clk, chain.port.in_valid, &chain.port.in_data,
+                chain.port.stop_out, vec![Some(42)],
+            );
+            let kj = PacketSink::spawn(
+                &mut sim, "sink", clk, &chain.port.out_data, chain.port.out_valid,
+                chain.port.stop_in, vec![],
+            );
+            sim.run_until(Time::from_us(2)).unwrap();
+            assert_eq!(sj.len(), 1);
+            kj.time_of(0).expect("delivered")
+        };
+        let short = first_arrival(1);
+        let long = first_arrival(5);
+        assert!(
+            long >= short + Time::from_ns(30),
+            "each extra station adds at least a cycle: {short} -> {long}"
+        );
+    }
+
+    #[test]
+    fn steady_state_throughput_is_one_packet_per_cycle() {
+        let mut sim = Simulator::new(9);
+        let clk = sim.net("clk");
+        ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
+        let chain = RelayChain::spawn(&mut sim, "chain", clk, 8, 4, Time::from_ns(3));
+        let packets: Vec<Option<u64>> = (0..100).map(Some).collect();
+        let _sj = PacketSource::spawn(
+            &mut sim, "src", clk, chain.port.in_valid, &chain.port.in_data,
+            chain.port.stop_out, packets,
+        );
+        let kj = PacketSink::spawn(
+            &mut sim, "sink", clk, &chain.port.out_data, chain.port.out_valid,
+            chain.port.stop_in, vec![],
+        );
+        sim.run_until(Time::from_us(3)).unwrap();
+        let times = kj.times();
+        assert!(times.len() >= 90);
+        let mid = &times[20..80];
+        for w in mid.windows(2) {
+            assert_eq!((w[1] - w[0]).as_ps(), 10_000, "no bubbles in steady state");
+        }
+    }
+}

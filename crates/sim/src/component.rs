@@ -1,0 +1,119 @@
+//! The component trait and the evaluation context handed to components.
+
+use rand::rngs::StdRng;
+
+use crate::logic::{Logic, LogicVec};
+use crate::net::{DriverId, NetId};
+use crate::sim::{Simulator, Violation};
+use crate::time::Time;
+
+/// Identifies a component registered with a [`Simulator`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ComponentId(pub(crate) u32);
+
+/// A behavioural element of the simulated circuit.
+///
+/// Everything that *does* something is a component: primitive gates and
+/// flip-flops (`mtf-gates`), burst-mode and Petri-net controller engines
+/// (`mtf-async`), clock generators, and the synchronous/asynchronous test
+/// environments that drive the FIFOs.
+///
+/// A component is evaluated (its [`eval`](Component::eval) method called)
+/// whenever one of the nets it was registered as watching changes resolved
+/// value, and whenever a self-scheduled wake-up ([`Ctx::wake_in`]) fires.
+/// Evaluation happens at a single instant: the component reads its input
+/// nets through the [`Ctx`] and schedules *future* output changes; it never
+/// sees time advance inside `eval`.
+pub trait Component: 'static {
+    /// A short human-readable instance name, used in violation reports and
+    /// debug output.
+    fn name(&self) -> &str {
+        "component"
+    }
+
+    /// React to a net change or wake-up. See the trait docs for the model.
+    fn eval(&mut self, ctx: &mut Ctx<'_>);
+}
+
+/// The evaluation context: a component's window onto the simulator.
+///
+/// Provides current time, net reads, future drive scheduling, self wake-up,
+/// the shared deterministic RNG, and violation reporting.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    pub(crate) sim: &'a mut Simulator,
+    pub(crate) me: ComponentId,
+}
+
+impl<'a> Ctx<'a> {
+    /// The current simulation time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// The resolved value of `net` at this instant.
+    pub fn get(&self, net: NetId) -> Logic {
+        self.sim.value(net)
+    }
+
+    /// Reads a multi-bit bus (`nets[0]` = LSB).
+    pub fn get_vec(&self, nets: &[NetId]) -> LogicVec {
+        self.sim.value_vec(nets)
+    }
+
+    /// The instant at which `net` last changed resolved value.
+    ///
+    /// Flip-flops use this to detect transitions inside their setup/hold
+    /// window.
+    pub fn last_change(&self, net: NetId) -> Time {
+        self.sim.last_change(net)
+    }
+
+    /// Schedules `driver` to contribute `value` after `delay`.
+    ///
+    /// A later call for the same driver cancels any still-pending earlier
+    /// one (inertial behaviour): a pulse shorter than a gate's delay does
+    /// not propagate through it.
+    pub fn drive(&mut self, driver: DriverId, value: Logic, delay: Time) {
+        self.sim.drive_in(driver, value, delay);
+    }
+
+    /// Schedules `driver` to contribute `value` at the current instant
+    /// (still via the event queue, preserving deterministic ordering).
+    pub fn drive_now(&mut self, driver: DriverId, value: Logic) {
+        self.sim.drive_in(driver, value, Time::ZERO);
+    }
+
+    /// Requests a re-evaluation of this component after `delay`.
+    pub fn wake_in(&mut self, delay: Time) {
+        let t = self.sim.now() + delay;
+        self.sim.schedule_wake(self.me, t);
+    }
+
+    /// The simulator's deterministic random-number generator (used by the
+    /// metastability model).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.sim.rng()
+    }
+
+    /// Records a timing-rule violation (setup/hold, drive conflicts, …).
+    ///
+    /// Violations do not stop the simulation; they are collected so that
+    /// experiments can assert their presence or absence — the fmax search in
+    /// `mtf-bench` shrinks the clock period until violations appear.
+    pub fn report(&mut self, v: Violation) {
+        self.sim.record_violation(v);
+    }
+
+    /// Asks the simulator to stop at the end of the current instant.
+    /// [`Simulator::run_until`] returns early; used by test environments
+    /// once they have produced/consumed their quota of data items.
+    pub fn request_stop(&mut self) {
+        self.sim.request_stop();
+    }
+
+    /// This component's own id (useful for logging).
+    pub fn id(&self) -> ComponentId {
+        self.me
+    }
+}

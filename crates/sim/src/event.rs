@@ -1,0 +1,120 @@
+//! The event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::component::ComponentId;
+use crate::logic::Logic;
+use crate::net::DriverId;
+use crate::time::Time;
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EventKind {
+    /// Apply a driver contribution scheduled earlier. `stamp` must still
+    /// match the driver's `pending_seq`, otherwise the event was cancelled.
+    Drive {
+        driver: DriverId,
+        value: Logic,
+        stamp: u64,
+    },
+    /// Re-evaluate a component (net change notification or self-wake).
+    Wake { comp: ComponentId },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: Time,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest*
+    /// (time, seq) first. Ties on time break on insertion order, which keeps
+    /// same-timestamp processing deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// The sequence number the next `push` will assign; lets callers embed
+    /// an event's own seq inside it (drive cancellation stamps).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    pub fn push(&mut self, time: Time, kind: EventKind) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+        seq
+    }
+
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = EventQueue::default();
+        q.push(Time::from_ns(5), EventKind::Wake { comp: ComponentId(0) });
+        q.push(Time::from_ns(1), EventKind::Wake { comp: ComponentId(1) });
+        q.push(Time::from_ns(1), EventKind::Wake { comp: ComponentId(2) });
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        let c = q.pop().unwrap();
+        assert_eq!(a.time, Time::from_ns(1));
+        assert!(matches!(a.kind, EventKind::Wake { comp: ComponentId(1) }));
+        assert_eq!(b.time, Time::from_ns(1));
+        assert!(matches!(b.kind, EventKind::Wake { comp: ComponentId(2) }));
+        assert_eq!(c.time, Time::from_ns(5));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::default();
+        assert_eq!(q.len(), 0);
+        q.push(Time::ZERO, EventKind::Wake { comp: ComponentId(0) });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! The analytical synchronizer-metastability model.
+//!
+//! When a flip-flop samples a data input that changes inside a small
+//! *metastability window* `T_w` around the clock edge, its output may hover
+//! between levels for an unbounded settling time; the probability of still
+//! being unresolved after `t` decays as `e^{-t/τ}`. This is the standard
+//! model behind the paper's claim that its FIFOs "can be made arbitrarily
+//! robust with regard to metastability": each added synchronizer latch
+//! multiplies the available settling time by a clock period, growing MTBF
+//! exponentially.
+//!
+//! `mtf-gates`' flip-flops consult a [`MetaModel`] to decide whether a
+//! sample went metastable and, if so, how long the `X` output persists
+//! before resolving to a random definite value.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::logic::Logic;
+use crate::time::Time;
+
+/// Parameters of the metastability model for one flip-flop (or latch).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetaModel {
+    /// Width of the vulnerable window centred on the sampling edge. A data
+    /// transition within ±`window/2` of the edge makes the sample
+    /// metastable.
+    pub window: Time,
+    /// Settling time constant τ: resolution times are drawn from
+    /// `Exp(1/τ)`.
+    pub tau: Time,
+    /// Hard cap on a drawn resolution time, keeping pathological draws from
+    /// stalling a simulation (physically: a downstream circuit would have
+    /// failed long before).
+    pub max_settle: Time,
+}
+
+impl MetaModel {
+    /// A model calibrated to 0.6 µm-era flip-flops: `T_w` = 100 ps,
+    /// τ = 150 ps, capped at 30 τ.
+    pub fn hp06() -> Self {
+        MetaModel {
+            window: Time::from_ps(100),
+            tau: Time::from_ps(150),
+            max_settle: Time::from_ps(150 * 30),
+        }
+    }
+
+    /// A model that never goes metastable — for experiments that want ideal
+    /// flops (e.g. pure-throughput runs where the clocks are rationally
+    /// related by construction).
+    pub fn ideal() -> Self {
+        MetaModel {
+            window: Time::ZERO,
+            tau: Time::from_ps(1),
+            max_settle: Time::ZERO,
+        }
+    }
+
+    /// Would a data change at `data_change` make a sample at `edge`
+    /// metastable?
+    pub fn is_vulnerable(&self, data_change: Time, edge: Time) -> bool {
+        if self.window == Time::ZERO {
+            return false;
+        }
+        let half = Time::from_ps(self.window.as_ps() / 2);
+        data_change.abs_diff(edge) <= half
+    }
+
+    /// Draws a settling time from the exponential distribution, capped at
+    /// `max_settle`.
+    pub fn draw_settle(&self, rng: &mut StdRng) -> Time {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let t = -(self.tau.as_ps() as f64) * u.ln();
+        let capped = t.min(self.max_settle.as_ps() as f64);
+        Time::from_ps(capped.round() as u64)
+    }
+
+    /// Draws the definite value the metastable node finally resolves to
+    /// (uniformly random — the input kept moving, so neither old nor new
+    /// value is privileged).
+    pub fn draw_resolution(&self, rng: &mut StdRng) -> Logic {
+        if rng.gen::<bool>() {
+            Logic::H
+        } else {
+            Logic::L
+        }
+    }
+}
+
+/// Mean time between synchronizer failures, in seconds:
+///
+/// `MTBF = e^{t_r / τ} / (T_w · f_clk · f_data)`
+///
+/// where `t_r` is the settling time available before the output is used
+/// (for a chain of `k` two-latch synchronizer stages clocked at period `T`,
+/// roughly `(k − 1)·T` plus the slack in the first cycle), `τ` and `T_w`
+/// are the flop constants, and `f_clk`/`f_data` are the sampling-clock and
+/// data-change rates.
+///
+/// This is the quantity behind the paper's "arbitrarily robust" knob: the
+/// `robustness` experiment (E8) sweeps the synchronizer depth and shows the
+/// exponential growth.
+///
+/// # Panics
+///
+/// Panics if any rate or time constant is non-positive.
+pub fn mtbf_seconds(
+    settle_available: Time,
+    tau: Time,
+    window: Time,
+    f_clk_hz: f64,
+    f_data_hz: f64,
+) -> f64 {
+    assert!(tau > Time::ZERO, "tau must be positive");
+    assert!(window > Time::ZERO, "window must be positive");
+    assert!(
+        f_clk_hz > 0.0 && f_data_hz > 0.0,
+        "rates must be positive"
+    );
+    let tr = settle_available.as_ps() as f64;
+    let tau_ps = tau.as_ps() as f64;
+    let tw_s = window.as_ps() as f64 * 1e-12;
+    (tr / tau_ps).exp() / (tw_s * f_clk_hz * f_data_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vulnerability_window_is_symmetric() {
+        let m = MetaModel::hp06(); // window 100 ps -> half 50 ps
+        let edge = Time::from_ns(10);
+        assert!(m.is_vulnerable(Time::from_ps(9_950), edge));
+        assert!(m.is_vulnerable(Time::from_ps(10_050), edge));
+        assert!(!m.is_vulnerable(Time::from_ps(9_949), edge));
+        assert!(!m.is_vulnerable(Time::from_ps(10_051), edge));
+    }
+
+    #[test]
+    fn ideal_model_is_never_vulnerable() {
+        let m = MetaModel::ideal();
+        assert!(!m.is_vulnerable(Time::from_ns(10), Time::from_ns(10)));
+    }
+
+    #[test]
+    fn settle_times_are_capped_and_positive() {
+        let m = MetaModel::hp06();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let t = m.draw_settle(&mut rng);
+            assert!(t <= m.max_settle);
+        }
+    }
+
+    #[test]
+    fn settle_mean_is_roughly_tau() {
+        let m = MetaModel::hp06();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| m.draw_settle(&mut rng).as_ps()).sum();
+        let mean = sum as f64 / n as f64;
+        let tau = m.tau.as_ps() as f64;
+        assert!((mean - tau).abs() < tau * 0.1, "mean {mean} vs tau {tau}");
+    }
+
+    #[test]
+    fn resolution_is_roughly_fair() {
+        let m = MetaModel::hp06();
+        let mut rng = StdRng::seed_from_u64(3);
+        let highs = (0..10_000)
+            .filter(|_| m.draw_resolution(&mut rng) == Logic::H)
+            .count();
+        assert!((4_000..6_000).contains(&highs));
+    }
+
+    #[test]
+    fn mtbf_grows_exponentially_with_settle_time() {
+        let tau = Time::from_ps(150);
+        let tw = Time::from_ps(100);
+        let one = mtbf_seconds(Time::from_ns(2), tau, tw, 500e6, 500e6);
+        let two = mtbf_seconds(Time::from_ns(4), tau, tw, 500e6, 500e6);
+        // Adding 2 ns of settling multiplies MTBF by e^(2000/150) ≈ 6.2e5.
+        let ratio = two / one;
+        assert!((5e5..8e5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mtbf_rejects_zero_rate() {
+        let _ = mtbf_seconds(
+            Time::from_ns(2),
+            Time::from_ps(150),
+            Time::from_ps(100),
+            0.0,
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Nets (wires) and drivers.
+
+use crate::logic::Logic;
+use crate::time::Time;
+
+/// Identifies a net (a wire, possibly with several drivers) in a
+/// [`Simulator`](crate::Simulator).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index of this net; stable for the lifetime of the simulator.
+    /// Used by `mtf-timing` to align its netlist graph with the simulator.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from a raw index (for tools that iterate nets by
+    /// position; the index must come from [`NetId::index`] or be below
+    /// [`Simulator::net_count`](crate::Simulator::net_count)).
+    pub fn from_index(i: usize) -> Self {
+        NetId(i as u32)
+    }
+}
+
+/// Identifies one driver (output pin) attached to a net.
+///
+/// Each driver contributes a [`Logic`] level; the net's resolved value is
+/// the [`Logic::resolve`] fold of all contributions. A driver that has never
+/// been driven contributes `Z`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DriverId(pub(crate) u32);
+
+#[derive(Debug)]
+pub(crate) struct Net {
+    pub name: String,
+    pub drivers: Vec<DriverId>,
+    pub watchers: Vec<crate::component::ComponentId>,
+    pub resolved: Logic,
+    pub last_change: Time,
+    pub traced: bool,
+    /// Number of resolved-value changes since construction (the raw
+    /// material of dynamic-energy estimation).
+    pub toggles: u64,
+}
+
+impl Net {
+    pub(crate) fn new(name: String) -> Self {
+        Net {
+            name,
+            drivers: Vec::new(),
+            watchers: Vec::new(),
+            resolved: Logic::Z,
+            last_change: Time::ZERO,
+            traced: false,
+            toggles: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Driver {
+    pub net: NetId,
+    pub value: Logic,
+    /// Sequence number of the most recently scheduled drive event for this
+    /// driver; an event whose stamp does not match is stale (cancelled by a
+    /// later schedule — inertial-delay behaviour).
+    pub pending_seq: u64,
+}

@@ -1,0 +1,209 @@
+//! Waveform recording and querying.
+
+use crate::logic::Logic;
+use crate::net::NetId;
+use crate::time::Time;
+
+/// Which signal edges to select in [`Waveform::edges`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Edge {
+    /// Transitions whose new value is `H`.
+    Rising,
+    /// Transitions whose new value is `L`.
+    Falling,
+    /// Every recorded transition.
+    Any,
+}
+
+/// The recorded history of one net: a sequence of `(time, new_value)`
+/// change points, starting with the value at the moment tracing began.
+///
+/// Enable recording with [`Simulator::trace`](crate::Simulator::trace) and
+/// retrieve with [`Simulator::waveform`](crate::Simulator::waveform).
+#[derive(Clone, Debug, Default)]
+pub struct Waveform {
+    points: Vec<(Time, Logic)>,
+}
+
+impl Waveform {
+    pub(crate) fn new() -> Self {
+        Waveform { points: Vec::new() }
+    }
+
+    pub(crate) fn record(&mut self, t: Time, v: Logic) {
+        if let Some(&(lt, lv)) = self.points.last() {
+            if lv == v {
+                return;
+            }
+            if lt == t {
+                // Same-instant refinement: keep the final value.
+                let last = self.points.last_mut().expect("non-empty");
+                last.1 = v;
+                // Collapse if this undoes the previous change.
+                if self.points.len() >= 2
+                    && self.points[self.points.len() - 2].1 == v
+                {
+                    self.points.pop();
+                }
+                return;
+            }
+        }
+        self.points.push((t, v));
+    }
+
+    /// The change points, in time order. The first entry is the value when
+    /// tracing was enabled.
+    pub fn points(&self) -> &[(Time, Logic)] {
+        &self.points
+    }
+
+    /// The value at instant `t` (the most recent change at or before `t`);
+    /// `Z` if `t` precedes the first record.
+    pub fn value_at(&self, t: Time) -> Logic {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => Logic::Z,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Iterates over the instants of the selected `edge` kind.
+    ///
+    /// The initial record (tracing start) is not an edge.
+    pub fn edges(&self, edge: Edge) -> impl Iterator<Item = Time> + '_ {
+        self.points
+            .iter()
+            .skip(1)
+            .filter(move |(_, v)| match edge {
+                Edge::Rising => *v == Logic::H,
+                Edge::Falling => *v == Logic::L,
+                Edge::Any => true,
+            })
+            .map(|&(t, _)| t)
+    }
+
+    /// The first edge of the given kind at or after `from`, if any.
+    pub fn next_edge(&self, from: Time, edge: Edge) -> Option<Time> {
+        self.edges(edge).find(|&t| t >= from)
+    }
+
+    /// Number of transitions recorded (excluding the initial value).
+    pub fn transition_count(&self) -> usize {
+        self.points.len().saturating_sub(1)
+    }
+}
+
+/// A handle pairing a net with its name, convenient for bundling the
+/// signals an experiment wants to inspect or render to VCD.
+#[derive(Clone, Debug)]
+pub struct Probe {
+    /// Display name for reports and VCD.
+    pub label: String,
+    /// The nets making up the signal, LSB first (one net for a scalar).
+    pub nets: Vec<NetId>,
+}
+
+impl Probe {
+    /// A scalar probe.
+    pub fn scalar(label: impl Into<String>, net: NetId) -> Self {
+        Probe {
+            label: label.into(),
+            nets: vec![net],
+        }
+    }
+
+    /// A bus probe (`nets[0]` = LSB).
+    pub fn bus(label: impl Into<String>, nets: &[NetId]) -> Self {
+        Probe {
+            label: label.into(),
+            nets: nets.to_vec(),
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    fn wf(points: &[(u64, Logic)]) -> Waveform {
+        let mut w = Waveform::new();
+        for &(t, v) in points {
+            w.record(Time::from_ns(t), v);
+        }
+        w
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let w = wf(&[(0, L), (10, H), (20, L)]);
+        assert_eq!(w.value_at(Time::ZERO), L);
+        assert_eq!(w.value_at(Time::from_ns(9)), L);
+        assert_eq!(w.value_at(Time::from_ns(10)), H);
+        assert_eq!(w.value_at(Time::from_ns(15)), H);
+        assert_eq!(w.value_at(Time::from_ns(25)), L);
+    }
+
+    #[test]
+    fn value_before_first_record_is_z() {
+        let w = wf(&[(5, H)]);
+        assert_eq!(w.value_at(Time::from_ns(1)), Z);
+    }
+
+    #[test]
+    fn duplicate_values_collapse() {
+        let mut w = wf(&[(0, L), (10, H)]);
+        w.record(Time::from_ns(12), H);
+        assert_eq!(w.transition_count(), 1);
+    }
+
+    #[test]
+    fn same_instant_refinement_keeps_final_value() {
+        let mut w = wf(&[(0, L)]);
+        w.record(Time::from_ns(5), H);
+        w.record(Time::from_ns(5), X);
+        assert_eq!(w.value_at(Time::from_ns(5)), X);
+        assert_eq!(w.transition_count(), 1);
+    }
+
+    #[test]
+    fn same_instant_bounce_collapses_away() {
+        let mut w = wf(&[(0, L)]);
+        w.record(Time::from_ns(5), H);
+        w.record(Time::from_ns(5), L); // back to previous: no net change
+        assert_eq!(w.transition_count(), 0);
+        assert_eq!(w.value_at(Time::from_ns(6)), L);
+    }
+
+    #[test]
+    fn edge_selection() {
+        let w = wf(&[(0, L), (10, H), (20, L), (30, H)]);
+        let rises: Vec<Time> = w.edges(Edge::Rising).collect();
+        assert_eq!(rises, vec![Time::from_ns(10), Time::from_ns(30)]);
+        let falls: Vec<Time> = w.edges(Edge::Falling).collect();
+        assert_eq!(falls, vec![Time::from_ns(20)]);
+        assert_eq!(w.edges(Edge::Any).count(), 3);
+    }
+
+    #[test]
+    fn next_edge_is_inclusive() {
+        let w = wf(&[(0, L), (10, H), (20, L)]);
+        assert_eq!(w.next_edge(Time::from_ns(10), Edge::Rising), Some(Time::from_ns(10)));
+        assert_eq!(w.next_edge(Time::from_ns(11), Edge::Rising), None);
+        assert_eq!(w.next_edge(Time::ZERO, Edge::Falling), Some(Time::from_ns(20)));
+    }
+
+    #[test]
+    fn probe_constructors() {
+        let p = Probe::scalar("clk", NetId(3));
+        assert_eq!(p.width(), 1);
+        let b = Probe::bus("data", &[NetId(0), NetId(1)]);
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.label, "data");
+    }
+}

@@ -1,0 +1,433 @@
+//! The simulator: nets, drivers, components, the event loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+use crate::component::{Component, ComponentId, Ctx};
+use crate::error::SimError;
+use crate::event::{EventKind, EventQueue};
+use crate::logic::{Logic, LogicVec};
+use crate::net::{Driver, DriverId, Net, NetId};
+use crate::probe::Waveform;
+use crate::time::Time;
+
+/// What kind of timing rule was broken.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// Data input changed too close *before* a sampling clock edge.
+    Setup,
+    /// Data input changed too close *after* a sampling clock edge.
+    Hold,
+    /// Two drivers fought over a net with conflicting definite values.
+    DriveConflict,
+    /// A flip-flop went metastable (its data input moved inside the
+    /// metastability window around the sampling edge).
+    Metastability,
+    /// A protocol checker observed an illegal interface sequence.
+    Protocol,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::Setup => "setup",
+            ViolationKind::Hold => "hold",
+            ViolationKind::DriveConflict => "drive-conflict",
+            ViolationKind::Metastability => "metastability",
+            ViolationKind::Protocol => "protocol",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A recorded timing/protocol violation.
+///
+/// Violations never abort the run; they accumulate on the simulator so
+/// experiments can assert on them. The fmax measurement in `mtf-bench`
+/// works by shrinking the clock period until the first [`Setup`]
+/// (or data-corruption) report appears.
+///
+/// [`Setup`]: ViolationKind::Setup
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What rule was broken.
+    pub kind: ViolationKind,
+    /// When.
+    pub time: Time,
+    /// Reporting component instance name.
+    pub source: String,
+    /// Free-form details.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} at {}: {}",
+            self.kind, self.source, self.time, self.message
+        )
+    }
+}
+
+/// The discrete-event simulator. See the [crate docs](crate) for the model.
+pub struct Simulator {
+    nets: Vec<Net>,
+    drivers: Vec<Driver>,
+    components: Vec<Option<Box<dyn Component>>>,
+    queue: EventQueue,
+    time: Time,
+    rng: StdRng,
+    violations: Vec<Violation>,
+    waveforms: Vec<Option<Waveform>>,
+    stop_requested: bool,
+    /// Guard against zero-delay oscillation: maximum events processed at a
+    /// single timestamp before the run aborts with
+    /// [`SimError::DeltaOverflow`].
+    pub max_events_per_instant: u64,
+    events_processed: u64,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.time)
+            .field("nets", &self.nets.len())
+            .field("drivers", &self.drivers.len())
+            .field("components", &self.components.len())
+            .field("pending_events", &self.queue.len())
+            .field("violations", &self.violations.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator with the given RNG seed.
+    ///
+    /// All stochastic behaviour (metastability resolution) flows from this
+    /// seed, so identical seeds give identical runs.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nets: Vec::new(),
+            drivers: Vec::new(),
+            components: Vec::new(),
+            queue: EventQueue::default(),
+            time: Time::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            violations: Vec::new(),
+            waveforms: Vec::new(),
+            stop_requested: false,
+            max_events_per_instant: 2_000_000,
+            events_processed: 0,
+        }
+    }
+
+    // ---- construction ----------------------------------------------------
+
+    /// Creates a new net named `name` (names need not be unique; they label
+    /// traces and violation reports).
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net::new(name.into()));
+        self.waveforms.push(None);
+        id
+    }
+
+    /// Creates `width` nets named `name[0]`…`name[width-1]` (LSB first).
+    pub fn bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.net(format!("{name}[{i}]"))).collect()
+    }
+
+    /// Attaches a new driver (initially contributing `Z`) to `net`.
+    pub fn driver(&mut self, net: NetId) -> DriverId {
+        let id = DriverId(self.drivers.len() as u32);
+        self.drivers.push(Driver {
+            net,
+            value: Logic::Z,
+            pending_seq: u64::MAX,
+        });
+        self.nets[net.0 as usize].drivers.push(id);
+        id
+    }
+
+    /// Registers a component and subscribes it to `watch`ed nets. The
+    /// component receives an initial wake at the current time so it can
+    /// establish its outputs.
+    pub fn add_component(
+        &mut self,
+        component: Box<dyn Component>,
+        watch: &[NetId],
+    ) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(Some(component));
+        for &n in watch {
+            let w = &mut self.nets[n.0 as usize].watchers;
+            if !w.contains(&id) {
+                w.push(id);
+            }
+        }
+        self.schedule_wake(id, self.time);
+        id
+    }
+
+    /// Additionally subscribes an existing component to `net`.
+    pub fn watch(&mut self, comp: ComponentId, net: NetId) {
+        let w = &mut self.nets[net.0 as usize].watchers;
+        if !w.contains(&comp) {
+            w.push(comp);
+        }
+    }
+
+    /// Enables waveform recording for `net` (see [`Simulator::waveform`]).
+    pub fn trace(&mut self, net: NetId) {
+        let idx = net.0 as usize;
+        if !self.nets[idx].traced {
+            self.nets[idx].traced = true;
+            let mut wf = Waveform::new();
+            wf.record(self.time, self.nets[idx].resolved);
+            self.waveforms[idx] = Some(wf);
+        }
+    }
+
+    /// Enables waveform recording for every net of a bus.
+    pub fn trace_bus(&mut self, nets: &[NetId]) {
+        for &n in nets {
+            self.trace(n);
+        }
+    }
+
+    // ---- inspection ------------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// Resolved value of `net`.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.nets[net.0 as usize].resolved
+    }
+
+    /// Resolved value of a multi-bit bus (`nets[0]` = LSB).
+    pub fn value_vec(&self, nets: &[NetId]) -> LogicVec {
+        LogicVec::from_bits(&nets.iter().map(|&n| self.value(n)).collect::<Vec<_>>())
+    }
+
+    /// When `net` last changed resolved value.
+    pub fn last_change(&self, net: NetId) -> Time {
+        self.nets[net.0 as usize].last_change
+    }
+
+    /// How many times `net` has changed resolved value since construction.
+    /// Always counted (no tracing needed); the raw material of
+    /// dynamic-energy estimation (`mtf-timing`'s power module).
+    pub fn toggles(&self, net: NetId) -> u64 {
+        self.nets[net.0 as usize].toggles
+    }
+
+    /// Resets every net's toggle counter (e.g. after a warm-up phase, so an
+    /// energy measurement covers only the steady state).
+    pub fn reset_toggles(&mut self) {
+        for n in &mut self.nets {
+            n.toggles = 0;
+        }
+    }
+
+    /// The name given to `net` at creation.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.0 as usize].name
+    }
+
+    /// Number of nets created so far.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The recorded waveform for `net`, if [`Simulator::trace`] was enabled.
+    pub fn waveform(&self, net: NetId) -> Option<&Waveform> {
+        self.waveforms[net.0 as usize].as_ref()
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Violations of one kind.
+    pub fn violations_of(&self, kind: ViolationKind) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(move |v| v.kind == kind)
+    }
+
+    /// Discards recorded violations (e.g. those produced while a testbench
+    /// initialises).
+    pub fn clear_violations(&mut self) {
+        self.violations.clear();
+    }
+
+    /// True once a component has called [`Ctx::request_stop`].
+    pub fn stopped(&self) -> bool {
+        self.stop_requested
+    }
+
+    /// Total number of events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ---- scheduling (also used by `Ctx`) ----------------------------------
+
+    /// Schedules `driver` to contribute `value` after `delay`, cancelling
+    /// any still-pending earlier schedule on the same driver (inertial
+    /// behaviour).
+    pub(crate) fn drive_in(&mut self, driver: DriverId, value: Logic, delay: Time) {
+        let t = self.time + delay;
+        let stamp = self.queue.next_seq();
+        let seq = self.queue.push(t, EventKind::Drive { driver, value, stamp });
+        debug_assert_eq!(stamp, seq);
+        self.drivers[driver.0 as usize].pending_seq = seq;
+    }
+
+    /// External (testbench-level) drive scheduling: contributes `value` on
+    /// `driver` at absolute time `at` (clamped to now). Unlike component
+    /// drives these are *transport*-delay events — they are never cancelled
+    /// by later schedules, so a testbench can pre-program a whole stimulus
+    /// sequence up front.
+    pub fn drive_at(&mut self, driver: DriverId, _net: NetId, value: Logic, at: Time) {
+        let t = at.max(self.time);
+        self.queue.push(t, EventKind::Drive {
+            driver,
+            value,
+            stamp: u64::MAX,
+        });
+    }
+
+    pub(crate) fn schedule_wake(&mut self, comp: ComponentId, at: Time) {
+        self.queue.push(at.max(self.time), EventKind::Wake { comp });
+    }
+
+    // ---- event loop --------------------------------------------------------
+
+    /// Runs until the queue is exhausted, `horizon` is reached, or a
+    /// component requests a stop. On success the simulator's clock is
+    /// `horizon` (or the stop instant).
+    pub fn run_until(&mut self, horizon: Time) -> Result<(), SimError> {
+        let mut events_this_instant: u64 = 0;
+        let mut instant = self.time;
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            if self.stop_requested {
+                return Ok(());
+            }
+            let ev = self.queue.pop().expect("peeked");
+            if ev.time > instant {
+                instant = ev.time;
+                events_this_instant = 0;
+            }
+            events_this_instant += 1;
+            self.events_processed += 1;
+            if events_this_instant > self.max_events_per_instant {
+                return Err(SimError::DeltaOverflow {
+                    time: ev.time,
+                    events: events_this_instant,
+                });
+            }
+            self.time = ev.time;
+            match ev.kind {
+                EventKind::Drive { driver, value, stamp } => {
+                    self.apply_drive(driver, value, stamp, ev.seq);
+                }
+                EventKind::Wake { comp } => {
+                    self.eval_component(comp);
+                }
+            }
+        }
+        if !self.stop_requested {
+            self.time = horizon;
+        }
+        Ok(())
+    }
+
+    /// Runs for `span` past the current time.
+    pub fn run_for(&mut self, span: Time) -> Result<(), SimError> {
+        let horizon = self.time + span;
+        self.run_until(horizon)
+    }
+
+    /// Re-arms a previously requested stop so the simulation can continue.
+    pub fn clear_stop(&mut self) {
+        self.stop_requested = false;
+    }
+
+    fn apply_drive(&mut self, driver: DriverId, value: Logic, stamp: u64, _seq: u64) {
+        let d = &mut self.drivers[driver.0 as usize];
+        // Cancellation: `stamp == u64::MAX` marks externally scheduled
+        // drives (never cancelled); otherwise only the latest scheduled
+        // drive for this driver may apply.
+        if stamp != u64::MAX && d.pending_seq != stamp {
+            return;
+        }
+        if d.value == value {
+            return;
+        }
+        d.value = value;
+        let net = d.net;
+        self.recompute_net(net);
+    }
+
+    fn recompute_net(&mut self, net: NetId) {
+        let idx = net.0 as usize;
+        let resolved = self.nets[idx]
+            .drivers
+            .iter()
+            .map(|&d| self.drivers[d.0 as usize].value)
+            .fold(Logic::Z, Logic::resolve);
+        if resolved == self.nets[idx].resolved {
+            return;
+        }
+        self.nets[idx].resolved = resolved;
+        self.nets[idx].last_change = self.time;
+        self.nets[idx].toggles += 1;
+        if self.nets[idx].traced {
+            if let Some(wf) = self.waveforms[idx].as_mut() {
+                wf.record(self.time, resolved);
+            }
+        }
+        // Notify watchers via wake events at the current instant.
+        let watchers: Vec<ComponentId> = self.nets[idx].watchers.clone();
+        for w in watchers {
+            self.schedule_wake(w, self.time);
+        }
+    }
+
+    fn eval_component(&mut self, comp: ComponentId) {
+        let idx = comp.0 as usize;
+        let Some(mut c) = self.components[idx].take() else {
+            // Re-entrant wake while the component is mid-eval cannot happen
+            // (eval never re-enters the loop), but a stale duplicate wake for
+            // a removed component is harmless.
+            return;
+        };
+        {
+            let mut ctx = Ctx { sim: self, me: comp };
+            c.eval(&mut ctx);
+        }
+        self.components[idx] = Some(c);
+    }
+
+    // ---- services for `Ctx` ------------------------------------------------
+
+    pub(crate) fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    pub(crate) fn record_violation(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    pub(crate) fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+}

@@ -1,0 +1,206 @@
+//! Simulation time in picoseconds.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant (or span) of simulation time, in integer picoseconds.
+///
+/// Picosecond resolution is fine enough that every gate delay in the
+/// 0.6 µm-calibrated delay model (`mtf-timing`) is exactly representable,
+/// and a `u64` still spans ~213 days of simulated time.
+///
+/// `Time` doubles as a duration type: the arithmetic operators below are the
+/// ones that make sense for both readings.
+///
+/// ```
+/// use mtf_sim::Time;
+/// let t = Time::from_ns(3) + Time::from_ps(250);
+/// assert_eq!(t.as_ps(), 3_250);
+/// assert_eq!(format!("{t}"), "3.250ns");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinite" horizon.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a time from a (non-negative, finite) nanosecond float,
+    /// rounding to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative, NaN or too large for the range.
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid time: {ns} ns");
+        let ps = (ns * 1_000.0).round();
+        assert!(ps <= u64::MAX as f64, "time out of range: {ns} ns");
+        Time(ps as u64)
+    }
+
+    /// This instant in picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This instant in (fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction; clamps at [`Time::ZERO`].
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Absolute difference between two instants.
+    #[inline]
+    pub fn abs_diff(self, rhs: Time) -> Time {
+        Time(self.0.abs_diff(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0 / 1_000;
+        let ps = self.0 % 1_000;
+        write!(f, "{ns}.{ps:03}ns")
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_ns_f64(2.5), Time::from_ps(2_500));
+    }
+
+    #[test]
+    fn from_ns_f64_rounds_to_nearest_ps() {
+        assert_eq!(Time::from_ns_f64(0.0004), Time::from_ps(0));
+        assert_eq!(Time::from_ns_f64(0.0006), Time::from_ps(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_ns_f64_rejects_negative() {
+        let _ = Time::from_ns_f64(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(3);
+        let b = Time::from_ns(1);
+        assert_eq!(a + b, Time::from_ns(4));
+        assert_eq!(a - b, Time::from_ns(2));
+        assert_eq!(a * 2, Time::from_ns(6));
+        assert_eq!(a / 3, Time::from_ns(1));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.abs_diff(b), Time::from_ns(2));
+        assert_eq!(b.abs_diff(a), Time::from_ns(2));
+    }
+
+    #[test]
+    fn display_pads_picoseconds() {
+        assert_eq!(format!("{}", Time::from_ps(1_005)), "1.005ns");
+        assert_eq!(format!("{}", Time::ZERO), "0.000ns");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [Time::from_ns(1), Time::from_ns(2)].into_iter().sum();
+        assert_eq!(total, Time::from_ns(3));
+    }
+}

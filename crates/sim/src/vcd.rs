@@ -1,0 +1,245 @@
+//! Value-change-dump (VCD) export and ASCII waveform rendering.
+//!
+//! Experiment E6 regenerates the paper's Fig. 3 protocol waveforms from
+//! simulation; this module renders traced nets either as a standard VCD
+//! file (loadable in GTKWave & co.) or as a compact ASCII timing diagram
+//! for terminal output.
+
+use crate::logic::Logic;
+use crate::probe::Probe;
+use crate::sim::Simulator;
+use crate::time::Time;
+
+/// Renders the recorded waveforms of `probes` as a VCD document.
+///
+/// Every net referenced by a probe must have been traced
+/// ([`Simulator::trace`]) *before* the activity of interest, otherwise its
+/// history is missing and this function panics.
+///
+/// Scalars dump as single-bit variables; buses as `wire` vectors.
+pub fn render_vcd(sim: &Simulator, probes: &[Probe]) -> String {
+    let mut out = String::new();
+    out.push_str("$date\n  mtf-sim\n$end\n");
+    out.push_str("$version\n  mtf-sim vcd writer\n$end\n");
+    out.push_str("$timescale\n  1ps\n$end\n");
+    out.push_str("$scope module top $end\n");
+    let ids: Vec<String> = (0..probes.len()).map(short_id).collect();
+    for (p, id) in probes.iter().zip(&ids) {
+        let w = p.width();
+        if w == 1 {
+            out.push_str(&format!("$var wire 1 {id} {} $end\n", sanitize(&p.label)));
+        } else {
+            out.push_str(&format!(
+                "$var wire {w} {id} {} [{}:0] $end\n",
+                sanitize(&p.label),
+                w - 1
+            ));
+        }
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Collect all change instants across all probed nets.
+    let mut times: Vec<Time> = Vec::new();
+    for p in probes {
+        for &n in &p.nets {
+            let wf = sim
+                .waveform(n)
+                .unwrap_or_else(|| panic!("net {} was not traced", sim.net_name(n)));
+            times.extend(wf.points().iter().map(|&(t, _)| t));
+        }
+    }
+    times.sort_unstable();
+    times.dedup();
+
+    let mut last: Vec<Option<String>> = vec![None; probes.len()];
+    for &t in &times {
+        let mut stanza = String::new();
+        for ((p, id), prev) in probes.iter().zip(&ids).zip(last.iter_mut()) {
+            let cur = probe_value_str(sim, p, t);
+            if prev.as_deref() != Some(cur.as_str()) {
+                if p.width() == 1 {
+                    stanza.push_str(&format!("{cur}{id}\n"));
+                } else {
+                    stanza.push_str(&format!("b{cur} {id}\n"));
+                }
+                *prev = Some(cur);
+            }
+        }
+        if !stanza.is_empty() {
+            out.push_str(&format!("#{}\n{stanza}", t.as_ps()));
+        }
+    }
+    out
+}
+
+/// Renders an ASCII timing diagram of `probes` between `from` and `to`,
+/// sampled every `step`. Scalar signals render as `_`, `#` (high), `x`,
+/// `z`; buses render their hexadecimal value at each change.
+pub fn render_ascii(
+    sim: &Simulator,
+    probes: &[Probe],
+    from: Time,
+    to: Time,
+    step: Time,
+) -> String {
+    assert!(step > Time::ZERO, "step must be positive");
+    assert!(to > from, "empty window");
+    let cols = ((to - from).as_ps() / step.as_ps()) as usize + 1;
+    let label_w = probes.iter().map(|p| p.label.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for p in probes {
+        let mut line = format!("{:>label_w$} ", p.label);
+        if p.width() == 1 {
+            let wf = sim
+                .waveform(p.nets[0])
+                .unwrap_or_else(|| panic!("net {} was not traced", sim.net_name(p.nets[0])));
+            for c in 0..cols {
+                let t = from + step * c as u64;
+                line.push(match wf.value_at(t) {
+                    Logic::L => '_',
+                    Logic::H => '#',
+                    Logic::X => 'x',
+                    Logic::Z => 'z',
+                });
+            }
+        } else {
+            let mut prev = String::new();
+            for c in 0..cols {
+                let t = from + step * c as u64;
+                let vals: Vec<Logic> = p
+                    .nets
+                    .iter()
+                    .map(|&n| {
+                        sim.waveform(n)
+                            .unwrap_or_else(|| {
+                                panic!("net {} was not traced", sim.net_name(n))
+                            })
+                            .value_at(t)
+                    })
+                    .collect();
+                let s = bus_hex(&vals);
+                if s != prev {
+                    // Print the new value, continuing with '=' filler.
+                    let printed: String = s.chars().take(1).collect();
+                    line.push_str(&printed);
+                    prev = s;
+                } else {
+                    line.push('=');
+                }
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn probe_value_str(sim: &Simulator, p: &Probe, t: Time) -> String {
+    if p.width() == 1 {
+        let wf = sim.waveform(p.nets[0]).expect("traced");
+        wf.value_at(t).as_char().to_string()
+    } else {
+        // MSB first, per VCD convention.
+        p.nets
+            .iter()
+            .rev()
+            .map(|&n| sim.waveform(n).expect("traced").value_at(t).as_char())
+            .collect()
+    }
+}
+
+fn bus_hex(vals: &[Logic]) -> String {
+    let mut num = 0u64;
+    for (i, v) in vals.iter().enumerate() {
+        match v.to_bool() {
+            Some(true) => num |= 1 << i,
+            Some(false) => {}
+            None => return "?".into(),
+        }
+    }
+    format!("{num:x}")
+}
+
+/// VCD identifier characters for variable `i` (printable ASCII 33..127).
+fn short_id(i: usize) -> String {
+    let mut i = i;
+    let mut s = String::new();
+    loop {
+        s.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockGen, Simulator};
+
+    fn clock_sim() -> (Simulator, crate::NetId) {
+        let mut sim = Simulator::new(0);
+        let clk = sim.net("clk");
+        sim.trace(clk);
+        ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
+        sim.run_until(Time::from_ns(30)).unwrap();
+        (sim, clk)
+    }
+
+    #[test]
+    fn vcd_contains_header_and_changes() {
+        let (sim, clk) = clock_sim();
+        let vcd = render_vcd(&sim, &[Probe::scalar("clk", clk)]);
+        assert!(vcd.contains("$timescale"));
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("#10000\n1"));
+        assert!(vcd.contains("#15000\n0"));
+    }
+
+    #[test]
+    fn vcd_bus_renders_vector() {
+        let mut sim = Simulator::new(0);
+        let bus = sim.bus("d", 2);
+        sim.trace_bus(&bus);
+        let d0 = sim.driver(bus[0]);
+        let d1 = sim.driver(bus[1]);
+        sim.drive_at(d0, bus[0], Logic::H, Time::from_ns(1));
+        sim.drive_at(d1, bus[1], Logic::L, Time::from_ns(1));
+        sim.run_until(Time::from_ns(2)).unwrap();
+        let vcd = render_vcd(&sim, &[Probe::bus("d", &bus)]);
+        assert!(vcd.contains("$var wire 2"));
+        assert!(vcd.contains("b01 "), "vcd was:\n{vcd}");
+    }
+
+    #[test]
+    fn ascii_shows_levels() {
+        let (sim, clk) = clock_sim();
+        let art = render_ascii(
+            &sim,
+            &[Probe::scalar("clk", clk)],
+            Time::ZERO,
+            Time::from_ns(30),
+            Time::from_ns(1),
+        );
+        assert!(art.contains("clk"));
+        assert!(art.contains('#'));
+        assert!(art.contains('_'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn untraced_net_panics() {
+        let mut sim = Simulator::new(0);
+        let n = sim.net("n");
+        let _ = render_vcd(&sim, &[Probe::scalar("n", n)]);
+    }
+}

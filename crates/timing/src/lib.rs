@@ -1,0 +1,43 @@
+//! # mtf-timing — delay annotation and static timing analysis
+//!
+//! The paper reports throughput as "the maximum clock frequency with which
+//! that interface can be clocked", measured with HSpice. This crate
+//! computes the same quantity from the *structure* of the generated
+//! netlists:
+//!
+//! 1. [`Tech`] is a lumped RC delay model calibrated to the paper's 0.6 µm
+//!    HP CMOS process: every instance's propagation delay becomes
+//!    `intrinsic + R_drive · C_load`, where the load sums the input
+//!    capacitance of every fanout pin plus an estimated wire capacitance.
+//!    [`Tech::annotate`] writes the loaded delays back into the netlist's
+//!    shared [`DelayTable`](mtf_gates::DelayTable), so the event-driven
+//!    simulation sees exactly the delays the analysis used. This is how
+//!    capacity and word width degrade throughput: wider FIFOs load the
+//!    shared enables and buses more heavily.
+//! 2. [`Sta`] extracts a timing graph (launch points at edge-triggered
+//!    outputs and declared external inputs; combinational arcs through
+//!    gates, latches, C-elements and recorded controller macros; capture
+//!    points at edge-triggered data/enable pins) and computes, per clock
+//!    domain, the minimum viable period and the critical path
+//!    ([`TimingReport`]).
+//!
+//! The [`mod@area`] module adds transistor-count estimation for the paper's
+//! area comparisons against related work.
+//!
+//! Cross-domain paths are excluded — that is what the FIFOs' synchronizers
+//! are for — and combinational cycles (handshake loops of the asynchronous
+//! parts) are broken at back-edges and reported in
+//! [`Sta::broken_loops`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod power;
+mod sta;
+mod tech;
+
+pub use area::{area, AreaReport};
+pub use power::{dynamic_energy, storage_write_toggles, EnergyReport};
+pub use sta::{PathStep, Sta, TimingReport};
+pub use tech::Tech;

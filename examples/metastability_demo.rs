@@ -1,0 +1,99 @@
+//! Watch a synchronizer fail — and then make it arbitrarily robust
+//! (the paper's Sections 1 / 3.2 claim, experiment E8).
+//!
+//! ```text
+//! cargo run -p mtf-integration --example metastability_demo
+//! ```
+//!
+//! A single flip-flop samples a signal from another clock domain. With the
+//! exaggerated metastability model the failures are visible within
+//! microseconds of simulated time; each added synchronizer stage then
+//! suppresses them exponentially, matching the analytical MTBF curve.
+
+use mtf_gates::{Builder, CellDelays};
+use mtf_sim::{
+    mtbf_seconds, ClockGen, Logic, MetaModel, Simulator, Time, ViolationKind,
+};
+
+/// Counts sampling failures of an n-stage synchronizer fed by an
+/// asynchronous toggler, under the given model.
+fn failures(stages: usize, meta: MetaModel, seed: u64) -> (usize, u64) {
+    let mut sim = Simulator::new(seed);
+    let clk = sim.net("clk");
+    // Receiver at ~500 MHz; the source toggles with an incommensurate
+    // period so the data edge sweeps across the clock edge.
+    ClockGen::spawn_simple(&mut sim, clk, Time::from_ps(2_003));
+    let data = sim.net("data");
+    let d = sim.driver(data);
+    let mut t = Time::from_ps(137);
+    let mut level = Logic::L;
+    for _ in 0..4_000 {
+        level = if level == Logic::H { Logic::L } else { Logic::H };
+        sim.drive_at(d, data, level, t);
+        t += Time::from_ps(3_001);
+    }
+
+    let mut b = Builder::with_delays(&mut sim, CellDelays::hp06(), meta);
+    let synced = b.sync_chain(clk, data, stages, Logic::L);
+    drop(b.finish());
+    sim.trace(synced);
+    sim.run_until(t).expect("runs");
+
+    // A failure is an X that survives to the synchronized output: count
+    // the instants the output was undefined at a clock edge.
+    let wf = sim.waveform(synced).expect("traced");
+    let mut bad = 0;
+    let mut k = 1;
+    loop {
+        let edge = Time::from_ps(k * 2_003);
+        if edge >= t {
+            break;
+        }
+        if wf.value_at(edge) == Logic::X {
+            bad += 1;
+        }
+        k += 1;
+    }
+    let meta_events = sim.violations_of(ViolationKind::Metastability).count() as u64;
+    (bad, meta_events)
+}
+
+fn main() {
+    println!("Metastability demo: an async edge sweeps across a 500 MHz sampling clock.\n");
+
+    let harsh = MetaModel {
+        window: Time::from_ps(300),
+        tau: Time::from_ps(1_500),
+        max_settle: Time::from_ps(15_000),
+    };
+    println!("Exaggerated flop model (window 300 ps, tau 1.5 ns) so failures are visible:");
+    for stages in 1..=4 {
+        let (bad, events) = failures(stages, harsh, 99);
+        println!(
+            "  {stages} stage(s): {events:4} metastable samplings, {bad:4} reached the output as X"
+        );
+    }
+
+    println!();
+    println!("Analytical MTBF with the realistic 0.6 um flop model (T_w 100 ps, tau 150 ps),");
+    println!("500 MHz clock and data:");
+    let m = MetaModel::hp06();
+    for stages in 1..=4u64 {
+        let settle = Time::from_ps(1_000) + Time::from_ps(2_000) * (stages - 1);
+        let mtbf = mtbf_seconds(settle, m.tau, m.window, 500e6, 500e6);
+        let human = if mtbf > 3.15e7 {
+            format!("{:.1e} years", mtbf / 3.15e7)
+        } else if mtbf >= 1e4 {
+            format!("{mtbf:.1e} s")
+        } else if mtbf >= 1.0 {
+            format!("{mtbf:.2} s")
+        } else {
+            format!("{:.1} us", mtbf * 1e6)
+        };
+        println!("  {stages} stage(s): MTBF ~ {human}");
+    }
+    println!();
+    println!("Every stage multiplies MTBF by e^(T/tau): the paper's \"arbitrarily robust\"");
+    println!("knob. Its price — deeper anticipation windows and lower fmax — is measured");
+    println!("by `cargo run -p mtf-bench --bin robustness`.");
+}

@@ -1,0 +1,103 @@
+//! Experiment E7 — the bi-modal empty detector's deadlock-avoidance claim
+//! (paper Section 3.2).
+//!
+//! A plain anticipating-empty detector declares a one-item FIFO "empty"
+//! and would stall the receiver forever with the item stranded inside. The
+//! bi-modal `ne`/`oe` combination must serve it. These tests attack the
+//! one-item state from every schedule proptest can dream up.
+
+use mtf_core::env::{SyncConsumer, SyncProducer};
+use mtf_core::{FifoParams, MixedClockFifo};
+use mtf_gates::Builder;
+use mtf_sim::{ClockGen, Simulator, Time};
+use proptest::prelude::*;
+
+/// Runs one scenario; returns (items out, producer accepted count).
+fn run(
+    seed: u64,
+    capacity: usize,
+    t_put_ps: u64,
+    t_get_ps: u64,
+    items: &[u64],
+    put_every: u64,
+    get_every: u64,
+) -> (Vec<u64>, usize) {
+    let mut sim = Simulator::new(seed);
+    let clk_put = sim.net("clk_put");
+    let clk_get = sim.net("clk_get");
+    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ps(t_put_ps));
+    ClockGen::builder(Time::from_ps(t_get_ps))
+        .phase(Time::from_ps(seed % t_get_ps))
+        .spawn(&mut sim, clk_get);
+    let mut b = Builder::new(&mut sim);
+    let f = MixedClockFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
+    drop(b.finish());
+    let pj = SyncProducer::spawn_every(
+        &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.to_vec(), put_every,
+    );
+    let cj = SyncConsumer::spawn_every(
+        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get,
+        items.len() as u64, get_every,
+    );
+    // Generous horizon: every schedule below finishes well within this.
+    let horizon = Time::from_ps(
+        (items.len() as u64 + 60) * t_put_ps.max(t_get_ps) * put_every.max(get_every) * 4,
+    );
+    sim.run_until(horizon).expect("no simulator error");
+    (cj.values(), pj.len())
+}
+
+/// The distilled deadlock case: exactly one item, receiver already
+/// requesting. `oe` must dominate and deliver it.
+#[test]
+fn one_item_is_always_served() {
+    for seed in 0..8 {
+        let (got, _) = run(seed, 4, 10_000, 13_000, &[0xEE], 1, 1);
+        assert_eq!(got, vec![0xEE], "seed {seed}: the last item deadlocked");
+    }
+}
+
+/// The paper's subtle sub-case: a get drains the FIFO to one item and the
+/// receiver *keeps* requesting — `ne` must first block the underflow, then
+/// `oe` must un-stall for the survivor.
+#[test]
+fn drain_to_one_then_fetch() {
+    for seed in 0..6 {
+        let items = [1u64, 2, 3];
+        let (got, _) = run(seed, 4, 9_000, 9_500, &items, 1, 1);
+        assert_eq!(got, items.to_vec(), "seed {seed}");
+    }
+}
+
+/// Trickle gets: after each dequeue the receiver goes idle, so every item
+/// exercises the oe-dominates-after-idle path.
+#[test]
+fn idle_gaps_between_gets() {
+    let items: Vec<u64> = (10..30).collect();
+    let (got, _) = run(3, 4, 10_000, 11_000, &items, 1, 9);
+    assert_eq!(got, items);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any item count, any capacity, any clock pair within the 2x
+    /// envelope, any duty pattern: everything in must come out, in order,
+    /// with nothing left behind.
+    #[test]
+    fn no_schedule_deadlocks_or_reorders(
+        seed in 0u64..1_000,
+        capacity in 3usize..10,
+        t_put in 8_000u64..16_000,
+        ratio_pct in 60u64..190, // t_get = t_put * ratio / 100, inside 2x either way
+        n_items in 1usize..24,
+        put_every in 1u64..5,
+        get_every in 1u64..5,
+    ) {
+        let t_get = (t_put * ratio_pct / 100).max(t_put / 2 + 500).min(t_put * 2 - 500);
+        let items: Vec<u64> = (0..n_items as u64).map(|i| (i * 29 + seed) % 256).collect();
+        let (got, accepted) = run(seed, capacity, t_put, t_get, &items, put_every, get_every);
+        prop_assert_eq!(accepted, items.len(), "producer stalled forever");
+        prop_assert_eq!(got, items, "loss, duplication, reorder, or deadlock");
+    }
+}
