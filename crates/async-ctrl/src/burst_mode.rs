@@ -62,7 +62,10 @@ impl BmSpec {
             ));
         }
         if self.initial_outputs.len() != self.output_names.len() {
-            return Err(format!("{}: initial output vector width mismatch", self.name));
+            return Err(format!(
+                "{}: initial output vector width mismatch",
+                self.name
+            ));
         }
         for (s, ts) in self.states.iter().enumerate() {
             for t in ts {
@@ -79,16 +82,17 @@ impl BmSpec {
                 }
                 for &(o, _) in &t.outputs {
                     if o >= self.output_names.len() {
-                        return Err(format!("{}: state {s} burst uses bad output {o}", self.name));
+                        return Err(format!(
+                            "{}: state {s} burst uses bad output {o}",
+                            self.name
+                        ));
                     }
                 }
             }
             // Distinguishability: no input burst may be a subset of another.
             for (a, ta) in ts.iter().enumerate() {
                 for (bi, tb) in ts.iter().enumerate() {
-                    if a != bi
-                        && ta.inputs.iter().all(|e| tb.inputs.contains(e))
-                    {
+                    if a != bi && ta.inputs.iter().all(|e| tb.inputs.contains(e)) {
                         return Err(format!(
                             "{}: state {s}: transition {a}'s burst is a subset of {bi}'s",
                             self.name
@@ -137,15 +141,14 @@ impl BmMachine {
     ///
     /// Panics if `spec.validate()` fails or the net lists do not match the
     /// specification's signal counts.
-    pub fn new(
-        spec: BmSpec,
-        inputs: Vec<NetId>,
-        outputs: Vec<DriverId>,
-        delay: Time,
-    ) -> Self {
+    pub fn new(spec: BmSpec, inputs: Vec<NetId>, outputs: Vec<DriverId>, delay: Time) -> Self {
         spec.validate().expect("invalid burst-mode specification");
         assert_eq!(inputs.len(), spec.input_names.len(), "input count mismatch");
-        assert_eq!(outputs.len(), spec.output_names.len(), "output count mismatch");
+        assert_eq!(
+            outputs.len(),
+            spec.output_names.len(),
+            "output count mismatch"
+        );
         let name = spec.name.clone();
         let state = spec.initial_state;
         BmMachine {
@@ -238,9 +241,11 @@ impl Component for BmMachine {
                 continue;
             }
             if c != e && c.is_definite() {
-                let expected = self.spec.states[self.state]
-                    .iter()
-                    .any(|t| t.inputs.iter().any(|&(ti, lvl)| ti == i && Logic::from_bool(lvl) == c));
+                let expected = self.spec.states[self.state].iter().any(|t| {
+                    t.inputs
+                        .iter()
+                        .any(|&(ti, lvl)| ti == i && Logic::from_bool(lvl) == c)
+                });
                 if !expected {
                     ctx.report(Violation {
                         kind: ViolationKind::Protocol,
@@ -343,7 +348,11 @@ mod tests {
             input_names: vec!["a".into(), "b".into()],
             output_names: vec![],
             states: vec![vec![
-                BmTransition { inputs: vec![(0, true)], outputs: vec![], next: 0 },
+                BmTransition {
+                    inputs: vec![(0, true)],
+                    outputs: vec![],
+                    next: 0,
+                },
                 BmTransition {
                     inputs: vec![(0, true), (1, true)],
                     outputs: vec![],
@@ -379,12 +388,7 @@ mod tests {
         let mut sim = Simulator::new(0);
         let we1 = sim.net("we1");
         let we = sim.net("we");
-        let outs = BmMachine::spawn(
-            &mut sim,
-            opt_spec(0, false),
-            &[we1, we],
-            Time::from_ps(200),
-        );
+        let outs = BmMachine::spawn(&mut sim, opt_spec(0, false), &[we1, we], Time::from_ps(200));
         let ptok = outs[0];
         let d1 = sim.driver(we1);
         let d2 = sim.driver(we);
@@ -423,7 +427,11 @@ mod tests {
         sim.drive_at(d1, we1, Logic::L, Time::ZERO);
         sim.drive_at(d2, we, Logic::L, Time::ZERO);
         sim.run_until(Time::from_ns(1)).unwrap();
-        assert_eq!(sim.value(outs[0]), Logic::H, "cell 0 powers on holding the token");
+        assert_eq!(
+            sim.value(outs[0]),
+            Logic::H,
+            "cell 0 powers on holding the token"
+        );
     }
 
     #[test]

@@ -289,7 +289,8 @@ impl Component for FourPhaseGetter {
             ProducerState::WaitAckHigh => {
                 if ctx.get(self.ack) == Logic::H {
                     let word = ctx.get_vec(&self.data);
-                    self.journal.push(ctx.now(), word.to_u64().unwrap_or(u64::MAX));
+                    self.journal
+                        .push(ctx.now(), word.to_u64().unwrap_or(u64::MAX));
                     ctx.drive(self.req, Logic::L, Time::ZERO);
                     self.state = ProducerState::WaitAckLow;
                 }

@@ -37,7 +37,10 @@ mod petri;
 pub mod verify;
 
 pub use burst_mode::{ogt_spec, opt_spec, BmBurst, BmMachine, BmSpec, BmTransition};
-pub use handshake::{ConsumerHandle, FourPhaseConsumer, FourPhaseGetter, FourPhaseProducer, OpJournal, ProducerHandle};
+pub use handshake::{
+    ConsumerHandle, FourPhaseConsumer, FourPhaseGetter, FourPhaseProducer, OpJournal,
+    ProducerHandle,
+};
 pub use micropipeline::{micropipeline, Micropipeline};
 pub use petri::{dv_as_spec, dv_sa_spec, StgMachine, StgSignal, StgSpec, StgTransition};
 pub use verify::{analyze, StgAnalysis};

@@ -310,38 +310,104 @@ pub fn dv_as_spec(cell: usize) -> StgSpec {
     StgSpec {
         name: format!("DVas{cell}"),
         signals: vec![
-            StgSignal { name: "we".into(), is_input: true, init: false },
-            StgSignal { name: "re".into(), is_input: true, init: false },
-            StgSignal { name: "ei".into(), is_input: false, init: true },
-            StgSignal { name: "fi".into(), is_input: false, init: false },
+            StgSignal {
+                name: "we".into(),
+                is_input: true,
+                init: false,
+            },
+            StgSignal {
+                name: "re".into(),
+                is_input: true,
+                init: false,
+            },
+            StgSignal {
+                name: "ei".into(),
+                is_input: false,
+                init: true,
+            },
+            StgSignal {
+                name: "fi".into(),
+                is_input: false,
+                init: false,
+            },
         ],
         places: 11,
         initial_marking: vec![0, 1],
         transitions: vec![
             // we+ : consume (ready, empty) -> schedule ei-, fi+, and await we-
-            StgTransition { signal: 0, rising: true, consume: vec![0, 1], produce: vec![2, 3, 4] },
+            StgTransition {
+                signal: 0,
+                rising: true,
+                consume: vec![0, 1],
+                produce: vec![2, 3, 4],
+            },
             // ei- : output
-            StgTransition { signal: 2, rising: false, consume: vec![2], produce: vec![9] },
+            StgTransition {
+                signal: 2,
+                rising: false,
+                consume: vec![2],
+                produce: vec![9],
+            },
             // fi+ : output -> cell observable as full
-            StgTransition { signal: 3, rising: true, consume: vec![3], produce: vec![5] },
+            StgTransition {
+                signal: 3,
+                rising: true,
+                consume: vec![3],
+                produce: vec![5],
+            },
             // we- : put pulse finished -> ready for the next put pulse
-            StgTransition { signal: 0, rising: false, consume: vec![4], produce: vec![0] },
+            StgTransition {
+                signal: 0,
+                rising: false,
+                consume: vec![4],
+                produce: vec![0],
+            },
             // re+ : get began -> fi falls asynchronously
-            StgTransition { signal: 1, rising: true, consume: vec![5], produce: vec![6] },
+            StgTransition {
+                signal: 1,
+                rising: true,
+                consume: vec![5],
+                produce: vec![6],
+            },
             // fi- : output
-            StgTransition { signal: 3, rising: false, consume: vec![6], produce: vec![7] },
+            StgTransition {
+                signal: 3,
+                rising: false,
+                consume: vec![6],
+                produce: vec![7],
+            },
             // re- : get completed on the CLK_get edge
-            StgTransition { signal: 1, rising: false, consume: vec![7], produce: vec![8] },
+            StgTransition {
+                signal: 1,
+                rising: false,
+                consume: vec![7],
+                produce: vec![8],
+            },
             // ei+ : output; needs the pending token AND ei actually low
-            StgTransition { signal: 2, rising: true, consume: vec![8, 9], produce: vec![1] },
+            StgTransition {
+                signal: 2,
+                rising: true,
+                consume: vec![8, 9],
+                produce: vec![1],
+            },
             // Spurious get pulse on an *empty* cell: the synchronous get
             // side can briefly enable a get just after the FIFO drains
             // (the global empty flag needs a gate delay to propagate).
             // Reading an empty cell is harmless — the item was already
             // delivered — so the controller absorbs the pulse instead of
             // flagging it.
-            StgTransition { signal: 1, rising: true, consume: vec![1], produce: vec![10] },
-            StgTransition { signal: 1, rising: false, consume: vec![10], produce: vec![1] },
+            StgTransition {
+                signal: 1,
+                rising: true,
+                consume: vec![1],
+                produce: vec![10],
+            },
+            StgTransition {
+                signal: 1,
+                rising: false,
+                consume: vec![10],
+                produce: vec![1],
+            },
         ],
     }
 }
@@ -376,28 +442,94 @@ pub fn dv_sa_spec(cell: usize) -> StgSpec {
     StgSpec {
         name: format!("DVsa{cell}"),
         signals: vec![
-            StgSignal { name: "pe".into(), is_input: true, init: false },
-            StgSignal { name: "re".into(), is_input: true, init: false },
-            StgSignal { name: "ei".into(), is_input: false, init: true },
-            StgSignal { name: "fi".into(), is_input: false, init: false },
+            StgSignal {
+                name: "pe".into(),
+                is_input: true,
+                init: false,
+            },
+            StgSignal {
+                name: "re".into(),
+                is_input: true,
+                init: false,
+            },
+            StgSignal {
+                name: "ei".into(),
+                is_input: false,
+                init: true,
+            },
+            StgSignal {
+                name: "fi".into(),
+                is_input: false,
+                init: false,
+            },
         ],
         places: 11,
         initial_marking: vec![0, 1],
         transitions: vec![
             // pe+ : early warning — cell leaves the empty pool now.
-            StgTransition { signal: 0, rising: true, consume: vec![0, 1], produce: vec![2, 3] },
-            StgTransition { signal: 2, rising: false, consume: vec![2], produce: vec![9] },
+            StgTransition {
+                signal: 0,
+                rising: true,
+                consume: vec![0, 1],
+                produce: vec![2, 3],
+            },
+            StgTransition {
+                signal: 2,
+                rising: false,
+                consume: vec![2],
+                produce: vec![9],
+            },
             // pe− : the clock edge latched the data — only now full.
-            StgTransition { signal: 0, rising: false, consume: vec![3], produce: vec![0, 4] },
-            StgTransition { signal: 3, rising: true, consume: vec![4], produce: vec![5] },
+            StgTransition {
+                signal: 0,
+                rising: false,
+                consume: vec![3],
+                produce: vec![0, 4],
+            },
+            StgTransition {
+                signal: 3,
+                rising: true,
+                consume: vec![4],
+                produce: vec![5],
+            },
             // re+/re− : the asynchronous read pulse.
-            StgTransition { signal: 1, rising: true, consume: vec![5], produce: vec![6] },
-            StgTransition { signal: 3, rising: false, consume: vec![6], produce: vec![7] },
-            StgTransition { signal: 1, rising: false, consume: vec![7], produce: vec![8] },
-            StgTransition { signal: 2, rising: true, consume: vec![8, 9], produce: vec![1] },
+            StgTransition {
+                signal: 1,
+                rising: true,
+                consume: vec![5],
+                produce: vec![6],
+            },
+            StgTransition {
+                signal: 3,
+                rising: false,
+                consume: vec![6],
+                produce: vec![7],
+            },
+            StgTransition {
+                signal: 1,
+                rising: false,
+                consume: vec![7],
+                produce: vec![8],
+            },
+            StgTransition {
+                signal: 2,
+                rising: true,
+                consume: vec![8, 9],
+                produce: vec![1],
+            },
             // Spurious read pulse on an empty cell (see dv_as_spec).
-            StgTransition { signal: 1, rising: true, consume: vec![1], produce: vec![10] },
-            StgTransition { signal: 1, rising: false, consume: vec![10], produce: vec![1] },
+            StgTransition {
+                signal: 1,
+                rising: true,
+                consume: vec![1],
+                produce: vec![10],
+            },
+            StgTransition {
+                signal: 1,
+                rising: false,
+                consume: vec![10],
+                produce: vec![1],
+            },
         ],
     }
 }
@@ -440,7 +572,15 @@ mod tests {
         sim.drive_at(dwe, we, Logic::L, Time::ZERO);
         sim.drive_at(dre, re, Logic::L, Time::ZERO);
         sim.run_until(Time::from_ns(1)).unwrap();
-        Rig { sim, we, re, ei, fi, dwe, dre }
+        Rig {
+            sim,
+            we,
+            re,
+            ei,
+            fi,
+            dwe,
+            dre,
+        }
     }
 
     #[test]
@@ -452,7 +592,15 @@ mod tests {
 
     #[test]
     fn full_put_get_cycle() {
-        let Rig { mut sim, we, re, ei, fi, dwe, dre } = setup();
+        let Rig {
+            mut sim,
+            we,
+            re,
+            ei,
+            fi,
+            dwe,
+            dre,
+        } = setup();
         let ns = Time::from_ns;
         // Put pulse.
         sim.drive_at(dwe, we, Logic::H, ns(2));
@@ -473,7 +621,13 @@ mod tests {
 
     #[test]
     fn put_cannot_restart_until_cell_drains() {
-        let Rig { mut sim, we, ei, dwe, .. } = setup();
+        let Rig {
+            mut sim,
+            we,
+            ei,
+            dwe,
+            ..
+        } = setup();
         let ns = Time::from_ns;
         sim.drive_at(dwe, we, Logic::H, ns(2));
         sim.drive_at(dwe, we, Logic::L, ns(3));
@@ -495,7 +649,14 @@ mod tests {
         // cell while the global empty flag propagates; the controller
         // swallows the pulse without declaring the cell full or flagging a
         // violation.
-        let Rig { mut sim, re, ei, fi, dre, .. } = setup();
+        let Rig {
+            mut sim,
+            re,
+            ei,
+            fi,
+            dre,
+            ..
+        } = setup();
         sim.drive_at(dre, re, Logic::H, Time::from_ns(2));
         sim.drive_at(dre, re, Logic::L, Time::from_ns(3));
         sim.run_until(Time::from_ns(4)).unwrap();

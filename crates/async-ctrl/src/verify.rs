@@ -60,10 +60,7 @@ pub fn analyze(spec: &StgSpec) -> Result<StgAnalysis, String> {
     }
 
     let initial = State {
-        marking: spec
-            .initial_marking
-            .iter()
-            .fold(0u64, |m, &p| m | (1 << p)),
+        marking: spec.initial_marking.iter().fold(0u64, |m, &p| m | (1 << p)),
         levels: spec
             .signals
             .iter()
@@ -110,7 +107,10 @@ pub fn analyze(spec: &StgSpec) -> Result<StgAnalysis, String> {
             } else {
                 st.levels & !(1 << t.signal)
             };
-            let next = State { marking: next_marking, levels: next_levels };
+            let next = State {
+                marking: next_marking,
+                levels: next_levels,
+            };
             if seen.insert(next) {
                 queue.push_back(next);
             }
@@ -168,13 +168,26 @@ mod tests {
         let spec = crate::petri::StgSpec {
             name: "dead".into(),
             signals: vec![
-                StgSignal { name: "a".into(), is_input: true, init: false },
-                StgSignal { name: "y".into(), is_input: false, init: false },
+                StgSignal {
+                    name: "a".into(),
+                    is_input: true,
+                    init: false,
+                },
+                StgSignal {
+                    name: "y".into(),
+                    is_input: false,
+                    init: false,
+                },
             ],
             places: 2,
             initial_marking: vec![0],
             transitions: vec![
-                StgTransition { signal: 0, rising: true, consume: vec![0], produce: vec![1] },
+                StgTransition {
+                    signal: 0,
+                    rising: true,
+                    consume: vec![0],
+                    produce: vec![1],
+                },
                 // Nothing consumes place 1.
             ],
         };
@@ -206,12 +219,26 @@ mod tests {
         // between.
         let spec = crate::petri::StgSpec {
             name: "incons".into(),
-            signals: vec![StgSignal { name: "a".into(), is_input: true, init: false }],
+            signals: vec![StgSignal {
+                name: "a".into(),
+                is_input: true,
+                init: false,
+            }],
             places: 2,
             initial_marking: vec![0],
             transitions: vec![
-                StgTransition { signal: 0, rising: true, consume: vec![0], produce: vec![1] },
-                StgTransition { signal: 0, rising: true, consume: vec![1], produce: vec![0] },
+                StgTransition {
+                    signal: 0,
+                    rising: true,
+                    consume: vec![0],
+                    produce: vec![1],
+                },
+                StgTransition {
+                    signal: 0,
+                    rising: true,
+                    consume: vec![1],
+                    produce: vec![0],
+                },
             ],
         };
         let a = analyze(&spec).expect("analyzable");
@@ -222,7 +249,11 @@ mod tests {
     fn rejects_oversized_nets() {
         let spec = crate::petri::StgSpec {
             name: "big".into(),
-            signals: vec![StgSignal { name: "a".into(), is_input: true, init: false }],
+            signals: vec![StgSignal {
+                name: "a".into(),
+                is_input: true,
+                init: false,
+            }],
             places: 65,
             initial_marking: vec![0],
             transitions: vec![StgTransition {

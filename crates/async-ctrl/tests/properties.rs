@@ -156,7 +156,14 @@ fn journals_are_consistent_views() {
     let data = sim.bus("d", 8);
     let items: Vec<u64> = (0..25).collect();
     let ph = FourPhaseProducer::spawn(
-        &mut sim, "p", req, ack, &data, items.clone(), Time::from_ps(400), Time::from_ps(900),
+        &mut sim,
+        "p",
+        req,
+        ack,
+        &data,
+        items.clone(),
+        Time::from_ps(400),
+        Time::from_ps(900),
     );
     let ch = FourPhaseConsumer::spawn(&mut sim, "c", req, ack, &data, Time::from_ps(700));
     sim.run_until(Time::from_us(5)).unwrap();

@@ -68,10 +68,22 @@ fn bimodal_last_item(c: &mut Criterion) {
             let f = MixedClockFifo::build(&mut b, FifoParams::new(4, 8), clk_put, clk_get);
             drop(b.finish());
             let _pj = SyncProducer::spawn(
-                &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, vec![42],
+                &mut sim,
+                "prod",
+                clk_put,
+                f.req_put,
+                &f.data_put,
+                f.full,
+                vec![42],
             );
             let cj = SyncConsumer::spawn(
-                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+                &mut sim,
+                "cons",
+                clk_get,
+                f.req_get,
+                &f.data_get,
+                f.valid_get,
+                1,
             );
             sim.run_until(Time::from_us(1)).unwrap();
             assert_eq!(cj.values(), vec![42], "bi-modal detector must not deadlock");
@@ -80,5 +92,10 @@ fn bimodal_last_item(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, sync_depth_ablation, capacity_ablation, bimodal_last_item);
+criterion_group!(
+    benches,
+    sync_depth_ablation,
+    capacity_ablation,
+    bimodal_last_item
+);
 criterion_main!(benches);

@@ -32,6 +32,31 @@ fn kernel_events(c: &mut Criterion) {
     g.finish();
 }
 
+/// One clock net fanning out to many inverters: every edge wakes all of
+/// them at the same instant. Exercises the same-instant delta ring and
+/// the per-component wake coalescing (each inverter's wake marker absorbs
+/// the duplicate notifications its own output toggle would re-queue).
+fn kernel_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(20);
+    g.bench_function("clock_fanout_256_inverters_20us", |bch| {
+        bch.iter(|| {
+            let mut sim = Simulator::new(0);
+            let clk = sim.net("clk");
+            ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
+            let mut b = Builder::new(&mut sim);
+            for _ in 0..256 {
+                b.inv(clk);
+            }
+            drop(b.finish());
+            sim.run_until(Time::from_us(20)).unwrap();
+            let s = sim.stats();
+            (s.events_processed, s.coalesced_wakes, s.peak_delta_depth)
+        })
+    });
+    g.finish();
+}
+
 fn netlist_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("build");
     g.sample_size(20);
@@ -68,10 +93,22 @@ fn end_to_end_transfer(c: &mut Criterion) {
             drop(b.finish());
             let items: Vec<u64> = (0..64).collect();
             let _pj = SyncProducer::spawn(
-                &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+                &mut sim,
+                "prod",
+                clk_put,
+                f.req_put,
+                &f.data_put,
+                f.full,
+                items.clone(),
             );
             let cj = SyncConsumer::spawn(
-                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 64,
+                &mut sim,
+                "cons",
+                clk_get,
+                f.req_get,
+                &f.data_get,
+                f.valid_get,
+                64,
             );
             sim.run_until(Time::from_us(3)).unwrap();
             assert_eq!(cj.len(), 64);
@@ -80,5 +117,11 @@ fn end_to_end_transfer(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, kernel_events, netlist_build, end_to_end_transfer);
+criterion_group!(
+    benches,
+    kernel_events,
+    kernel_fanout,
+    netlist_build,
+    end_to_end_transfer
+);
 criterion_main!(benches);

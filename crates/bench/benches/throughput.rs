@@ -19,7 +19,11 @@ fn bench_throughput(c: &mut Criterion) {
                 "{:<15} {capacity:2}x{width:2}: put {:6.1} {}  get {:6.1} MHz",
                 design.label(),
                 t.put,
-                if design.async_put() { "MOps/s" } else { "MHz   " },
+                if design.async_put() {
+                    "MOps/s"
+                } else {
+                    "MHz   "
+                },
                 t.get,
             );
             g.bench_function(format!("{}/{capacity}x{width}", design.label()), |b| {

@@ -44,7 +44,10 @@ fn main() {
             Port::output("valid_get", f.valid_get),
             Port::output("empty", f.empty),
         ];
-        write("mixed_clock_fifo", to_verilog("mixed_clock_fifo", &nl, &sim, &ports));
+        write(
+            "mixed_clock_fifo",
+            to_verilog("mixed_clock_fifo", &nl, &sim, &ports),
+        );
     }
 
     // Async-sync FIFO.
@@ -64,7 +67,10 @@ fn main() {
             Port::output("valid_get", f.valid_get),
             Port::output("empty", f.empty),
         ];
-        write("async_sync_fifo", to_verilog("async_sync_fifo", &nl, &sim, &ports));
+        write(
+            "async_sync_fifo",
+            to_verilog("async_sync_fifo", &nl, &sim, &ports),
+        );
     }
 
     // Mixed-clock relay station.
@@ -85,7 +91,10 @@ fn main() {
             Port::output_bus("data_get", &f.data_get),
             Port::output("valid_get", f.valid_get),
         ];
-        write("mixed_clock_rs", to_verilog("mixed_clock_rs", &nl, &sim, &ports));
+        write(
+            "mixed_clock_rs",
+            to_verilog("mixed_clock_rs", &nl, &sim, &ports),
+        );
     }
 
     // Async-sync relay station.
@@ -104,7 +113,10 @@ fn main() {
             Port::output_bus("data_get", &f.data_get),
             Port::output("valid_get", f.valid_get),
         ];
-        write("async_sync_rs", to_verilog("async_sync_rs", &nl, &sim, &ports));
+        write(
+            "async_sync_rs",
+            to_verilog("async_sync_rs", &nl, &sim, &ports),
+        );
     }
 
     // Extensions.
@@ -121,7 +133,10 @@ fn main() {
             Port::output_bus("get_data", &f.get_data),
             Port::output("get_ack", f.get_ack),
         ];
-        write("async_async_fifo", to_verilog("async_async_fifo", &nl, &sim, &ports));
+        write(
+            "async_async_fifo",
+            to_verilog("async_async_fifo", &nl, &sim, &ports),
+        );
     }
     {
         let mut sim = Simulator::new(0);
@@ -138,7 +153,10 @@ fn main() {
             Port::output_bus("get_data", &f.get_data),
             Port::output("get_ack", f.get_ack),
         ];
-        write("sync_async_fifo", to_verilog("sync_async_fifo", &nl, &sim, &ports));
+        write(
+            "sync_async_fifo",
+            to_verilog("sync_async_fifo", &nl, &sim, &ports),
+        );
     }
     println!("note: behavioural controller macros (OPT/OGT/DV) are emitted as");
     println!("black boxes; their specifications live in mtf-async.");

@@ -44,11 +44,22 @@ fn sync_protocols() {
     }
 
     let _pj = SyncProducer::spawn(
-        &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full,
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
         vec![0x3C, 0x55],
     );
     let _cj = SyncConsumer::spawn(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 2,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        2,
     );
     sim.run_until(Time::from_ns(140)).expect("runs");
 
@@ -56,7 +67,13 @@ fn sync_protocols() {
     println!("  two items (0x3C, 0x55) enqueued and dequeued; '#'=high '_'=low 'z'=undriven\n");
     print!(
         "{}",
-        vcd::render_ascii(&sim, &probes, Time::ZERO, Time::from_ns(140), Time::from_ns(1))
+        vcd::render_ascii(
+            &sim,
+            &probes,
+            Time::ZERO,
+            Time::from_ns(140),
+            Time::from_ns(1)
+        )
     );
     std::fs::write("fig3_sync.vcd", vcd::render_vcd(&sim, &probes)).expect("write vcd");
     println!("\n  full waveform written to fig3_sync.vcd\n");
@@ -85,11 +102,23 @@ fn async_protocol() {
     }
 
     let _ph = FourPhaseProducer::spawn(
-        &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, vec![0x3C, 0x55],
-        Time::from_ps(500), Time::from_ns(15),
+        &mut sim,
+        "prod",
+        f.put_req,
+        f.put_ack,
+        &f.put_data,
+        vec![0x3C, 0x55],
+        Time::from_ps(500),
+        Time::from_ns(15),
     );
     let _cj = SyncConsumer::spawn(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 2,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        2,
     );
     sim.run_until(Time::from_ns(120)).expect("runs");
 
@@ -97,7 +126,13 @@ fn async_protocol() {
     println!("  req+ -> ack+ -> req- -> ack-; data bundled with req\n");
     print!(
         "{}",
-        vcd::render_ascii(&sim, &probes, Time::ZERO, Time::from_ns(120), Time::from_ns(1))
+        vcd::render_ascii(
+            &sim,
+            &probes,
+            Time::ZERO,
+            Time::from_ns(120),
+            Time::from_ns(1)
+        )
     );
     std::fs::write("fig3_async.vcd", vcd::render_vcd(&sim, &probes)).expect("write vcd");
     println!("\n  full waveform written to fig3_async.vcd");

@@ -59,7 +59,15 @@ fn measure(shift: bool, params: FifoParams, n_items: u64) -> Run {
         valid_get = f.valid_get;
     }
     let get_clk = if shift { clk_put } else { clk_get };
-    let _pj = SyncProducer::spawn(&mut sim, "p", clk_put, req_put, &data_put, full, items.clone());
+    let _pj = SyncProducer::spawn(
+        &mut sim,
+        "p",
+        clk_put,
+        req_put,
+        &data_put,
+        full,
+        items.clone(),
+    );
     let cj = SyncConsumer::spawn(
         &mut sim, "c", get_clk, req_get, &data_get, valid_get, n_items,
     );

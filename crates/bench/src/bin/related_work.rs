@@ -33,19 +33,26 @@ fn gray_latency(params: FifoParams, t_put: Time, t_get: Time, steps: usize) -> (
         let mut sim = Simulator::new(5);
         let clk_put = sim.net("clk_put");
         let clk_get = sim.net("clk_get");
-        ClockGen::builder(t_put).phase(offset).spawn(&mut sim, clk_put);
+        ClockGen::builder(t_put)
+            .phase(offset)
+            .spawn(&mut sim, clk_put);
         ClockGen::spawn_simple(&mut sim, clk_get, t_get);
         let mut b = Builder::with_delays(&mut sim, CellDelays::hp06_custom(), MetaModel::ideal());
         let f = GrayPointerFifo::build(&mut b, params, clk_put, clk_get);
         let nl = b.finish();
         Tech::hp06_custom().annotate(&nl);
         let _cj = SyncConsumer::spawn(
-            &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+            &mut sim,
+            "c",
+            clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            1,
         );
         // One item, injected on a put edge after warm-up.
         let warm = t_get * 40;
-        let k = (warm.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps())
-            / t_put.as_ps();
+        let k = (warm.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps()) / t_put.as_ps();
         let edge = offset + t_put * k;
         let t0 = edge + EXT;
         for (i, &dn) in f.data_put.iter().enumerate() {
@@ -93,7 +100,13 @@ fn seizovic_latency(depth: usize, t: Time) -> f64 {
     sim.drive_at(rd, port.put_req, Logic::H, t0 + Time::from_ps(150));
     sim.drive_at(rd, port.put_req, Logic::L, t0 + t * 4);
     let cj = SyncConsumer::spawn(
-        &mut sim, "c", clk, port.req_get, &port.data_get, port.valid_get, 1,
+        &mut sim,
+        "c",
+        clk,
+        port.req_get,
+        &port.data_get,
+        port.valid_get,
+        1,
     );
     sim.run_until(t0 + t * (4 * depth as u64 + 20)).unwrap();
     (cj.time_of(0).expect("delivered") - t0).as_ps() as f64 / 1000.0
@@ -111,7 +124,10 @@ fn main() {
     let ours = latency(Design::MixedClock, params, 8);
     let (g_lo, g_hi) = gray_latency(params, t_put, t_get, 8);
     println!("Empty-FIFO latency (both clocks at this design's own fmax):");
-    println!("  this paper's mixed-clock FIFO: {:.2} .. {:.2} ns", ours.min_ns, ours.max_ns);
+    println!(
+        "  this paper's mixed-clock FIFO: {:.2} .. {:.2} ns",
+        ours.min_ns, ours.max_ns
+    );
     println!("  Gray-pointer FIFO            : {g_lo:.2} .. {g_hi:.2} ns");
     println!(
         "  -> the pointer design pays pointer-sync + registered flags: {:.1}x",
@@ -136,13 +152,11 @@ fn main() {
             let clk_get = sim.net("clk_get");
             let mut b = Builder::new(&mut sim);
             if per_cell {
-                let _ = PerCellSyncFifo::build(
-                    &mut b, FifoParams::new(capacity, 8), clk_put, clk_get,
-                );
+                let _ =
+                    PerCellSyncFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
             } else {
-                let _ = MixedClockFifo::build(
-                    &mut b, FifoParams::new(capacity, 8), clk_put, clk_get,
-                );
+                let _ =
+                    MixedClockFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
             }
             area(&b.finish())
         };
@@ -201,5 +215,8 @@ fn main() {
         "Async->sync bridging: async-sync FIFO {:.1} ns vs Seizovic(8) {szv8:.1} ns",
         asy.min_ns
     );
-    assert!(szv8 > asy.min_ns * 3.0, "the linear-depth baseline must lose clearly");
+    assert!(
+        szv8 > asy.min_ns * 3.0,
+        "the linear-depth baseline must lose clearly"
+    );
 }

@@ -16,10 +16,16 @@
 //!    is traded against throughput and effective capacity.
 //!
 //! ```text
-//! cargo run -p mtf-bench --bin robustness [--runs N]
+//! cargo run -p mtf-bench --bin robustness [--runs N] [--jobs N]
 //! ```
+//!
+//! The observed-failure grid (depths × seeded runs) and the fmax-cost
+//! sweep fan out over `--jobs` worker threads; every run builds its own
+//! seeded simulator, so the reported rates are independent of the thread
+//! count.
 
 use mtf_bench::measure::{throughput, Design};
+use mtf_bench::sweep::{self, SweepRunner};
 use mtf_core::env::{SyncConsumer, SyncProducer};
 use mtf_core::{FifoParams, MixedClockFifo};
 use mtf_gates::{Builder, CellDelays};
@@ -46,10 +52,22 @@ fn one_run(seed: u64, stages: usize, meta: MetaModel) -> bool {
     drop(b.finish());
     let items: Vec<u64> = (0..30).collect();
     let pj = SyncProducer::spawn(
-        &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     if sim.run_until(Time::from_us(3)).is_err() {
         return false;
@@ -65,6 +83,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(30);
+    let runner = SweepRunner::new(sweep::parse_jobs(&args));
 
     println!("E8 — synchronizer robustness (paper Secs. 1, 3.2: \"arbitrarily robust\")");
     println!();
@@ -97,9 +116,19 @@ fn main() {
         tau: Time::from_ps(2_500),
         max_settle: Time::from_ps(2_500 * 10),
     };
+    // Flatten the (depth × run) grid into independent cells; seeds are a
+    // function of the cell, so the outcome grid is schedule-independent.
+    let cells: Vec<(usize, u64)> = (1..=4usize)
+        .flat_map(|stages| (0..runs).map(move |r| (stages, r)))
+        .collect();
+    let intact = runner.run(&cells, |_, &(stages, r)| {
+        one_run(1_000 + r * 77, stages, harsh)
+    });
     for stages in 1..=4usize {
-        let fails = (0..runs)
-            .filter(|&r| !one_run(1_000 + r * 77, stages, harsh))
+        let fails = cells
+            .iter()
+            .zip(&intact)
+            .filter(|((s, _), &ok)| *s == stages && !ok)
             .count();
         println!(
             "  {stages} stage(s): {fails}/{runs} corrupted ({:.0}%)",
@@ -110,11 +139,14 @@ fn main() {
     // ---- the cost: fmax vs depth ---------------------------------------------
     println!();
     println!("The price of robustness (mixed-clock 8-place/8-bit, STA fmax):");
-    for stages in 2..=4usize {
-        let t = throughput(
+    let depths: Vec<usize> = (2..=4).collect();
+    let costs = runner.run(&depths, |_, &stages| {
+        throughput(
             Design::MixedClock,
             FifoParams::with_sync_stages(8, 8, stages),
-        );
+        )
+    });
+    for (&stages, t) in depths.iter().zip(&costs) {
         println!(
             "  {stages} stage(s): put {:4.0} MHz   get {:4.0} MHz   (detector window = {stages})",
             t.put, t.get

@@ -3,37 +3,71 @@
 //! side by side with the published numbers.
 //!
 //! ```text
-//! cargo run -p mtf-bench --bin table1 [--quick] [--latency-steps N]
+//! cargo run -p mtf-bench --bin table1 [--quick] [--latency-steps N] [--jobs N] [--stats]
 //! ```
+//!
+//! `--jobs N` fans the independent table cells (and each latency
+//! alignment sweep) across N worker threads; the default is the
+//! machine's available parallelism. The printed table is byte-identical
+//! at any thread count — cells are computed in parallel but reassembled
+//! in input order, and every cell seeds its own simulator. `--stats`
+//! appends the simulation kernel's internal counters for one
+//! representative transfer run.
 
-use mtf_bench::measure::{latency, throughput, Design};
+use mtf_bench::measure::{latency_with, throughput, Design, LatencyRange, Throughput};
 use mtf_bench::paper;
+use mtf_bench::sweep::{self, SweepRunner};
 use mtf_core::FifoParams;
+
+const WIDTHS: [usize; 2] = [8, 16];
+const CAPACITIES: [usize; 3] = [4, 8, 16];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let stats = args.iter().any(|a| a == "--stats");
     let steps = args
         .iter()
         .position(|a| a == "--latency-steps")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(if quick { 4 } else { 10 });
+    let runner = SweepRunner::new(sweep::parse_jobs(&args));
 
     println!("Table 1 reproduction — Chelcea & Nowick, DAC 2001");
     println!("(sync interfaces: MHz by static timing analysis; async: MegaOps/s by simulation)");
     println!();
 
     // ---- throughput ------------------------------------------------------
+    // Every (design, width, capacity) cell is independent; compute the
+    // whole grid through the runner, then print in the paper's row order.
+    let tcells: Vec<(Design, usize, usize)> = Design::ALL
+        .iter()
+        .flat_map(|&d| {
+            WIDTHS
+                .iter()
+                .flat_map(move |&w| CAPACITIES.iter().map(move |&c| (d, w, c)))
+        })
+        .collect();
+    let tvals: Vec<Throughput> = runner.run(&tcells, |_, &(d, w, c)| {
+        throughput(d, FifoParams::new(c, w))
+    });
+    let tput = |d: Design, w: usize, c: usize| -> Throughput {
+        let i = tcells
+            .iter()
+            .position(|&cell| cell == (d, w, c))
+            .expect("cell in grid");
+        tvals[i]
+    };
+
     println!("THROUGHPUT                paper        measured       ratio");
     for design in Design::ALL {
         println!("{}", design.label());
-        for &width in &[8usize, 16] {
-            for &capacity in &[4usize, 8, 16] {
-                let params = FifoParams::new(capacity, width);
-                let m = throughput(design, params);
-                let p = paper::throughput_of(design.label(), capacity, width)
-                    .expect("published cell");
+        for &width in &WIDTHS {
+            for &capacity in &CAPACITIES {
+                let m = tput(design, width, capacity);
+                let p =
+                    paper::throughput_of(design.label(), capacity, width).expect("published cell");
                 println!(
                     "  {capacity:2}-place {width:2}-bit   put {pp:5.0} / {mp:5.0}  ({rp:4.2})   get {pg:5.0} / {mg:5.0}  ({rg:4.2})",
                     pp = p.put,
@@ -48,13 +82,29 @@ fn main() {
     }
 
     // ---- latency ----------------------------------------------------------
+    // The cell grid and each cell's alignment sweep share the same worker
+    // pool; with the pool busy on cells the inner sweeps run inline.
+    let lcells: Vec<(Design, usize)> = Design::ALL
+        .iter()
+        .flat_map(|&d| CAPACITIES.iter().map(move |&c| (d, c)))
+        .collect();
+    let lvals: Vec<LatencyRange> = runner.run(&lcells, |_, &(d, c)| {
+        latency_with(d, FifoParams::new(c, 8), steps, &SweepRunner::serial())
+    });
+    let lat = |d: Design, c: usize| -> LatencyRange {
+        let i = lcells
+            .iter()
+            .position(|&cell| cell == (d, c))
+            .expect("cell in grid");
+        lvals[i]
+    };
+
     println!();
     println!("LATENCY (8-bit, empty FIFO)   paper min/max      measured min/max");
     for design in Design::ALL {
         println!("{}", design.label());
-        for &capacity in &[4usize, 8, 16] {
-            let params = FifoParams::new(capacity, 8);
-            let m = latency(design, params, steps);
+        for &capacity in &CAPACITIES {
+            let m = lat(design, capacity);
             let p = paper::latency_of(design.label(), capacity).expect("published cell");
             println!(
                 "  {capacity:2}-place    {:4.2} / {:4.2} ns      {:4.2} / {:4.2} ns",
@@ -64,23 +114,36 @@ fn main() {
     }
 
     // ---- shape checks -------------------------------------------------------
+    // Reuse the grid values computed above: the measurements are pure
+    // functions of their cell, so a recompute would give the same numbers
+    // and only burn time.
     println!();
     println!("Shape checks (the claims the reproduction must preserve):");
     let mut pass = 0;
     let mut fail = 0;
     let mut check = |name: &str, ok: bool| {
         println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, name);
-        if ok { pass += 1 } else { fail += 1 }
+        if ok {
+            pass += 1
+        } else {
+            fail += 1
+        }
     };
 
-    let mc4 = throughput(Design::MixedClock, FifoParams::new(4, 8));
-    let mc8 = throughput(Design::MixedClock, FifoParams::new(8, 8));
-    let mc16 = throughput(Design::MixedClock, FifoParams::new(16, 8));
-    let mc4w = throughput(Design::MixedClock, FifoParams::new(4, 16));
-    let as4 = throughput(Design::AsyncSync, FifoParams::new(4, 8));
-    let rs4 = throughput(Design::MixedClockRs, FifoParams::new(4, 8));
-    check("sync put faster than sync get (empty detector heavier)", mc4.put > mc4.get);
-    check("throughput decreases with capacity", mc4.put > mc8.put && mc8.put > mc16.put);
+    let mc4 = tput(Design::MixedClock, 8, 4);
+    let mc8 = tput(Design::MixedClock, 8, 8);
+    let mc16 = tput(Design::MixedClock, 8, 16);
+    let mc4w = tput(Design::MixedClock, 16, 4);
+    let as4 = tput(Design::AsyncSync, 8, 4);
+    let rs4 = tput(Design::MixedClockRs, 8, 4);
+    check(
+        "sync put faster than sync get (empty detector heavier)",
+        mc4.put > mc4.get,
+    );
+    check(
+        "throughput decreases with capacity",
+        mc4.put > mc8.put && mc8.put > mc16.put,
+    );
     check("throughput decreases with width", mc4.put > mc4w.put);
     check("async put slower than sync put", as4.put < mc4.put);
     check(
@@ -95,13 +158,69 @@ fn main() {
         "MCRS get ≤ mixed-clock get (stopIn in the controller)",
         rs4.get <= mc4.get * 1.02,
     );
-    let l4 = latency(Design::MixedClock, FifoParams::new(4, 8), steps);
-    let l16 = latency(Design::MixedClock, FifoParams::new(16, 8), steps);
+    let l4 = lat(Design::MixedClock, 4);
+    let l16 = lat(Design::MixedClock, 16);
     check("latency grows with capacity", l16.min_ns > l4.min_ns);
     check("max latency exceeds min", l4.max_ns > l4.min_ns);
     println!();
     println!("{pass} shape checks passed, {fail} failed");
+
+    if stats {
+        print_kernel_stats();
+    }
     if fail > 0 {
         std::process::exit(1);
     }
+}
+
+/// Runs one representative mixed-clock transfer and dumps the kernel's
+/// internal counters ([`mtf_sim::Simulator::stats`]) — a quick check of
+/// how hard the event queue worked and how much the wake coalescing and
+/// delta ring are earning.
+fn print_kernel_stats() {
+    use mtf_core::env::{SyncConsumer, SyncProducer};
+    use mtf_core::MixedClockFifo;
+    use mtf_gates::{Builder, CellDelays};
+    use mtf_sim::{ClockGen, MetaModel, Simulator, Time};
+
+    let mut sim = Simulator::new(7);
+    let clk_put = sim.net("clk_put");
+    let clk_get = sim.net("clk_get");
+    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ps(4_000));
+    ClockGen::builder(Time::from_ps(5_300))
+        .phase(Time::from_ps(700))
+        .spawn(&mut sim, clk_get);
+    let mut b = Builder::with_delays(&mut sim, CellDelays::hp06_custom(), MetaModel::ideal());
+    let f = MixedClockFifo::build(&mut b, FifoParams::new(8, 8), clk_put, clk_get);
+    drop(b.finish());
+    let items: Vec<u64> = (0..64).collect();
+    let _pj = SyncProducer::spawn(
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
+    );
+    let _cj = SyncConsumer::spawn(
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
+    );
+    sim.run_until(Time::from_us(2)).expect("simulation runs");
+    let s = sim.stats();
+    println!();
+    println!("Kernel stats (mixed-clock 8-place/8-bit, 64-item transfer, 2 µs):");
+    println!("  events processed      {}", s.events_processed);
+    println!("  peak queue depth      {}", s.peak_queue_depth);
+    println!("  coalesced wakes       {}", s.coalesced_wakes);
+    println!("  delta-ring pushes     {}", s.delta_pushes);
+    println!("  peak delta occupancy  {}", s.peak_delta_depth);
+    println!("  wheel cascades        {}", s.wheel_cascades);
+    println!("  overflow events       {}", s.overflow_events);
 }

@@ -17,9 +17,13 @@
 //!   MTBF model.
 //!
 //! The [`paper`] module holds the published Table 1 numbers so the
-//! binaries can print paper-vs-measured side by side.
+//! binaries can print paper-vs-measured side by side. All the sweeps fan
+//! out across cores through [`sweep::SweepRunner`] (`--jobs N` on the
+//! binaries), with results reassembled in input order so the printed
+//! tables are byte-identical at any thread count.
 
 #![warn(missing_docs)]
 
 pub mod measure;
 pub mod paper;
+pub mod sweep;

@@ -24,6 +24,8 @@ use mtf_gates::{Builder, CellDelays};
 use mtf_sim::{ClockGen, Logic, MetaModel, NetId, Simulator, Time};
 use mtf_timing::{Sta, Tech};
 
+use crate::sweep::SweepRunner;
+
 /// Environment reaction delay after a clock edge (request/data driving).
 const EXT: Time = Time::from_ps(100);
 /// Bundling margin used by the asynchronous producer environments.
@@ -210,11 +212,23 @@ fn async_put_mops(design: Design, params: FifoParams, get_period: Time) -> f64 {
             let nl = b.finish();
             Tech::hp06_custom().annotate(&nl);
             let ph = FourPhaseProducer::spawn(
-                &mut sim, "prod", f.put_req, f.put_ack, &f.put_data,
-                (0..ops).collect(), BUNDLING, Time::ZERO,
+                &mut sim,
+                "prod",
+                f.put_req,
+                f.put_ack,
+                &f.put_data,
+                (0..ops).collect(),
+                BUNDLING,
+                Time::ZERO,
             );
             let _cj = SyncConsumer::spawn(
-                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, ops,
+                &mut sim,
+                "cons",
+                clk_get,
+                f.req_get,
+                &f.data_get,
+                f.valid_get,
+                ops,
             );
             ph.journal().clone()
         }
@@ -223,11 +237,23 @@ fn async_put_mops(design: Design, params: FifoParams, get_period: Time) -> f64 {
             let nl = b.finish();
             Tech::hp06_custom().annotate(&nl);
             let ph = FourPhaseProducer::spawn(
-                &mut sim, "prod", f.put_req, f.put_ack, &f.put_data,
-                (0..ops).collect(), BUNDLING, Time::ZERO,
+                &mut sim,
+                "prod",
+                f.put_req,
+                f.put_ack,
+                &f.put_data,
+                (0..ops).collect(),
+                BUNDLING,
+                Time::ZERO,
             );
             let _kj = PacketSink::spawn(
-                &mut sim, "sink", clk_get, &f.data_get, f.valid_get, f.stop_in, vec![],
+                &mut sim,
+                "sink",
+                clk_get,
+                &f.data_get,
+                f.valid_get,
+                f.stop_in,
+                vec![],
             );
             ph.journal().clone()
         }
@@ -255,25 +281,37 @@ pub fn sim_fmax_factor_mixed_clock(params: FifoParams) -> f64 {
         let clk_put = sim.net("clk_put");
         let clk_get = sim.net("clk_get");
         ClockGen::spawn_simple(&mut sim, clk_put, tp);
-        ClockGen::builder(tg).phase(Time::from_ps(tg.as_ps() / 3)).spawn(&mut sim, clk_get);
+        ClockGen::builder(tg)
+            .phase(Time::from_ps(tg.as_ps() / 3))
+            .spawn(&mut sim, clk_get);
         let mut b = builder(&mut sim);
         let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
         let nl = b.finish();
         Tech::hp06_custom().annotate(&nl);
         let items: Vec<u64> = (0..60).collect();
         let pj = mtf_core::env::SyncProducer::spawn(
-            &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "p",
+            clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "c",
+            clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         let horizon = Time::from_ps(tp.max(tg).as_ps() * 200);
         if sim.run_until(horizon).is_err() {
             return false;
         }
-        let viol = sim
-            .violations_of(mtf_sim::ViolationKind::Setup)
-            .count()
+        let viol = sim.violations_of(mtf_sim::ViolationKind::Setup).count()
             + sim.violations_of(mtf_sim::ViolationKind::Hold).count();
         viol == 0 && pj.len() == items.len() && cj.values() == items
     };
@@ -298,18 +336,37 @@ pub fn sim_fmax_factor_mixed_clock(params: FifoParams) -> f64 {
 /// period in `steps` steps. Returns the Min/Max of
 /// `capture edge − data-valid instant` in nanoseconds.
 pub fn latency(design: Design, params: FifoParams, steps: usize) -> LatencyRange {
+    latency_with(design, params, steps, &SweepRunner::serial())
+}
+
+/// [`latency`] with the alignment sweep fanned out over `runner`. Each
+/// step builds its own freshly seeded simulator, so the Min/Max is
+/// independent of the thread schedule.
+pub fn latency_with(
+    design: Design,
+    params: FifoParams,
+    steps: usize,
+    runner: &SweepRunner,
+) -> LatencyRange {
     assert!(steps >= 2, "a sweep needs at least two points");
     let p = periods(design, params);
     let t_get = p.get;
+    let offsets: Vec<Time> = (0..steps)
+        .map(|s| Time::from_ps(t_get.as_ps() * s as u64 / steps as u64))
+        .collect();
+    let samples = runner.run(&offsets, |_, &offset| {
+        latency_once(design, params, p, offset)
+    });
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
-    for s in 0..steps {
-        let offset = Time::from_ps(t_get.as_ps() * s as u64 / steps as u64);
-        let ns = latency_once(design, params, p, offset);
+    for ns in samples {
         lo = lo.min(ns);
         hi = hi.max(ns);
     }
-    LatencyRange { min_ns: lo, max_ns: hi }
+    LatencyRange {
+        min_ns: lo,
+        max_ns: hi,
+    }
 }
 
 fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) -> f64 {
@@ -337,18 +394,28 @@ fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) ->
     let put_edge = {
         // First put edge after warmup, for phase `offset`: edges at
         // offset + k·t_put.
-        let k = (warmup.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps())
-            / t_put.as_ps();
+        let k =
+            (warmup.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps()) / t_put.as_ps();
         offset + t_put * k
     };
     if !design.async_put() {
-        ClockGen::builder(t_put).phase(offset).spawn(&mut sim, clk_put);
+        ClockGen::builder(t_put)
+            .phase(offset)
+            .spawn(&mut sim, clk_put);
     }
 
     let mut b = builder(&mut sim);
     enum Rig {
-        Sync { req: NetId, data: Vec<NetId>, valid_get: NetId },
-        Async { req: NetId, data: Vec<NetId>, valid_get: NetId },
+        Sync {
+            req: NetId,
+            data: Vec<NetId>,
+            valid_get: NetId,
+        },
+        Async {
+            req: NetId,
+            data: Vec<NetId>,
+            valid_get: NetId,
+        },
     }
     let rig = match design {
         Design::MixedClock => {
@@ -356,18 +423,38 @@ fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) ->
             let nl = b.finish();
             Tech::hp06_custom().annotate(&nl);
             let _cj = SyncConsumer::spawn(
-                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+                &mut sim,
+                "cons",
+                clk_get,
+                f.req_get,
+                &f.data_get,
+                f.valid_get,
+                1,
             );
-            Rig::Sync { req: f.req_put, data: f.data_put, valid_get: f.valid_get }
+            Rig::Sync {
+                req: f.req_put,
+                data: f.data_put,
+                valid_get: f.valid_get,
+            }
         }
         Design::AsyncSync => {
             let f = AsyncSyncFifo::build(&mut b, params, clk_get);
             let nl = b.finish();
             Tech::hp06_custom().annotate(&nl);
             let _cj = SyncConsumer::spawn(
-                &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+                &mut sim,
+                "cons",
+                clk_get,
+                f.req_get,
+                &f.data_get,
+                f.valid_get,
+                1,
             );
-            Rig::Async { req: f.put_req, data: f.put_data, valid_get: f.valid_get }
+            Rig::Async {
+                req: f.put_req,
+                data: f.put_data,
+                valid_get: f.valid_get,
+            }
         }
         Design::MixedClockRs => {
             // The relay station streams continuously (bubbles included) and
@@ -379,17 +466,30 @@ fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) ->
             let nl = b.finish();
             Tech::hp06_custom().annotate(&nl);
             let _kj = PacketSink::spawn(
-                &mut sim, "sink", clk_get, &f.data_get, f.valid_get, f.stop_in, vec![],
+                &mut sim,
+                "sink",
+                clk_get,
+                &f.data_get,
+                f.valid_get,
+                f.stop_in,
+                vec![],
             );
             let mut packets: Vec<Option<u64>> = vec![None; 45];
             packets.push(Some(0xA5));
             packets.extend(std::iter::repeat_n(None, 40));
             let _sj = mtf_core::env::PacketSource::spawn(
-                &mut sim, "src", clk_put, f.valid_in, &f.data_put, f.stop_out, packets,
+                &mut sim,
+                "src",
+                clk_put,
+                f.valid_in,
+                &f.data_put,
+                f.stop_out,
+                packets,
             );
             sim.trace(f.valid_in);
             sim.trace(f.valid_get);
-            sim.run_until(warmup + t_get * 120).expect("simulation runs");
+            sim.run_until(warmup + t_get * 120)
+                .expect("simulation runs");
             let t0 = sim
                 .waveform(f.valid_in)
                 .expect("traced")
@@ -416,9 +516,19 @@ fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) ->
             let nl = b.finish();
             Tech::hp06_custom().annotate(&nl);
             let _kj = PacketSink::spawn(
-                &mut sim, "sink", clk_get, &f.data_get, f.valid_get, f.stop_in, vec![],
+                &mut sim,
+                "sink",
+                clk_get,
+                &f.data_get,
+                f.valid_get,
+                f.stop_in,
+                vec![],
             );
-            Rig::Async { req: f.put_req, data: f.put_data, valid_get: f.valid_get }
+            Rig::Async {
+                req: f.put_req,
+                data: f.put_data,
+                valid_get: f.valid_get,
+            }
         }
     };
 
@@ -426,7 +536,11 @@ fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) ->
     // valid data (the paper's latency origin).
     let item: u64 = 0xA5;
     let (t0, valid_get) = match rig {
-        Rig::Sync { req, data, valid_get } => {
+        Rig::Sync {
+            req,
+            data,
+            valid_get,
+        } => {
             let t0 = put_edge + EXT;
             for (i, &dnet) in data.iter().enumerate() {
                 let drv = sim.driver(dnet);
@@ -439,7 +553,11 @@ fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) ->
             sim.drive_at(rd, req, Logic::L, put_edge + t_put + EXT);
             (t0, valid_get)
         }
-        Rig::Async { req, data, valid_get } => {
+        Rig::Async {
+            req,
+            data,
+            valid_get,
+        } => {
             let t0 = warmup + offset;
             for (i, &dnet) in data.iter().enumerate() {
                 let drv = sim.driver(dnet);

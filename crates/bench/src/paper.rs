@@ -44,29 +44,63 @@ pub const DESIGNS: [&str; 4] = [
 pub fn throughput() -> Vec<PaperThroughput> {
     let rows: [(&str, [[f64; 2]; 6]); 4] = [
         // capacity 4, 8, 16 at width 8; then 4, 8, 16 at width 16.
-        ("Mixed-Clock", [
-            [565., 549.], [544., 523.], [505., 484.],
-            [505., 492.], [488., 471.], [460., 439.],
-        ]),
-        ("Async-Sync", [
-            [421., 549.], [379., 523.], [357., 484.],
-            [386., 492.], [351., 471.], [332., 439.],
-        ]),
-        ("Mixed-Clock RS", [
-            [580., 539.], [550., 517.], [509., 475.],
-            [521., 478.], [498., 459.], [467., 430.],
-        ]),
-        ("Async-Sync RS", [
-            [421., 539.], [379., 517.], [357., 475.],
-            [386., 478.], [351., 459.], [332., 430.],
-        ]),
+        (
+            "Mixed-Clock",
+            [
+                [565., 549.],
+                [544., 523.],
+                [505., 484.],
+                [505., 492.],
+                [488., 471.],
+                [460., 439.],
+            ],
+        ),
+        (
+            "Async-Sync",
+            [
+                [421., 549.],
+                [379., 523.],
+                [357., 484.],
+                [386., 492.],
+                [351., 471.],
+                [332., 439.],
+            ],
+        ),
+        (
+            "Mixed-Clock RS",
+            [
+                [580., 539.],
+                [550., 517.],
+                [509., 475.],
+                [521., 478.],
+                [498., 459.],
+                [467., 430.],
+            ],
+        ),
+        (
+            "Async-Sync RS",
+            [
+                [421., 539.],
+                [379., 517.],
+                [357., 475.],
+                [386., 478.],
+                [351., 459.],
+                [332., 430.],
+            ],
+        ),
     ];
     let mut out = Vec::new();
     for (design, cells) in rows {
         for (i, [put, get]) in cells.into_iter().enumerate() {
             let width = if i < 3 { 8 } else { 16 };
             let capacity = [4, 8, 16][i % 3];
-            out.push(PaperThroughput { design, capacity, width, put, get });
+            out.push(PaperThroughput {
+                design,
+                capacity,
+                width,
+                put,
+                get,
+            });
         }
     }
     out

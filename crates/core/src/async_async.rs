@@ -132,11 +132,23 @@ mod tests {
         let f = build(&mut sim, FifoParams::new(4, 8));
         let items: Vec<u64> = (0..50).map(|i| (i * 13) % 256).collect();
         let ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, items.clone(),
-            Time::from_ps(500), Time::ZERO,
+            &mut sim,
+            "prod",
+            f.put_req,
+            f.put_ack,
+            &f.put_data,
+            items.clone(),
+            Time::from_ps(500),
+            Time::ZERO,
         );
         let gh = FourPhaseGetter::spawn(
-            &mut sim, "get", f.get_req, f.get_ack, &f.get_data, items.len(), Time::ZERO,
+            &mut sim,
+            "get",
+            f.get_req,
+            f.get_ack,
+            &f.get_data,
+            items.len(),
+            Time::ZERO,
         );
         sim.run_until(Time::from_us(3)).unwrap();
         assert_eq!(ph.journal().len(), items.len());
@@ -151,7 +163,13 @@ mod tests {
         let d = sim.driver(f.put_req);
         sim.drive_at(d, f.put_req, Logic::L, Time::ZERO);
         let gh = FourPhaseGetter::spawn(
-            &mut sim, "get", f.get_req, f.get_ack, &f.get_data, 1, Time::ZERO,
+            &mut sim,
+            "get",
+            f.get_req,
+            f.get_ack,
+            &f.get_data,
+            1,
+            Time::ZERO,
         );
         sim.run_until(Time::from_us(1)).unwrap();
         assert_eq!(gh.journal().len(), 0, "nothing to get from an empty FIFO");
@@ -165,8 +183,14 @@ mod tests {
         let d = sim.driver(f.get_req);
         sim.drive_at(d, f.get_req, Logic::L, Time::ZERO);
         let ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, (0..9).collect(),
-            Time::from_ps(500), Time::ZERO,
+            &mut sim,
+            "prod",
+            f.put_req,
+            f.put_ack,
+            &f.put_data,
+            (0..9).collect(),
+            Time::from_ps(500),
+            Time::ZERO,
         );
         sim.run_until(Time::from_us(1)).unwrap();
         assert_eq!(ph.journal().len(), 4, "capacity is the full ring");
@@ -178,12 +202,23 @@ mod tests {
         let f = build(&mut sim, FifoParams::new(8, 16));
         let items: Vec<u64> = (0..20).map(|i| i * 321).collect();
         let _ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, items.clone(),
-            Time::from_ps(500), Time::ZERO,
+            &mut sim,
+            "prod",
+            f.put_req,
+            f.put_ack,
+            &f.put_data,
+            items.clone(),
+            Time::from_ps(500),
+            Time::ZERO,
         );
         // Getter starts late: everything buffered first.
         let gh = FourPhaseGetter::spawn(
-            &mut sim, "get", f.get_req, f.get_ack, &f.get_data, items.len(),
+            &mut sim,
+            "get",
+            f.get_req,
+            f.get_ack,
+            &f.get_data,
+            items.len(),
             Time::from_ns(300),
         );
         sim.run_until(Time::from_us(20)).unwrap();

@@ -100,7 +100,14 @@ pub(crate) fn build_async_cell_array(
 
         // Get-token ring (identical to the mixed-clock design).
         let init = Logic::from_bool(i == 0);
-        let gq = b.dff_opts(clk_get, gtok[prev], Some(en_get), init, MetaModel::ideal(), true);
+        let gq = b.dff_opts(
+            clk_get,
+            gtok[prev],
+            Some(en_get),
+            init,
+            MetaModel::ideal(),
+            true,
+        );
         b.buf_onto(gq, gtok[i]);
 
         b.pop_scope();
@@ -109,7 +116,16 @@ pub(crate) fn build_async_cell_array(
     // put_ack: OR tree over the per-cell pulses (paper Section 6).
     let put_ack = b.or(&we);
 
-    AsyncCellArray { put_ack, valid_bus, nclk_get, we, ptok, gtok, cell_full, cell_empty }
+    AsyncCellArray {
+        put_ack,
+        valid_bus,
+        nclk_get,
+        we,
+        ptok,
+        gtok,
+        cell_full,
+        cell_empty,
+    }
 }
 
 /// The async–sync FIFO (paper Section 4): a 4-phase single-rail
@@ -188,11 +204,18 @@ impl AsyncSyncFifo {
         let en_get = b.input("en_get");
 
         // ---- cell array (paper Fig. 9, shared with the relay station) -------
-        let array = build_async_cell_array(
-            b, params, clk_get, en_get, put_req, &put_data, &data_get,
-        );
-        let AsyncCellArray { put_ack, valid_bus, nclk_get, we, ptok, gtok, cell_full, cell_empty } =
-            array;
+        let array =
+            build_async_cell_array(b, params, clk_get, en_get, put_req, &put_data, &data_get);
+        let AsyncCellArray {
+            put_ack,
+            valid_bus,
+            nclk_get,
+            we,
+            ptok,
+            gtok,
+            cell_full,
+            cell_empty,
+        } = array;
 
         // Empty detection + get controller: reused from the mixed-clock
         // design, operating on the DV-produced f_i lines.
@@ -253,7 +276,9 @@ mod tests {
 
     fn build(sim: &mut Simulator, params: FifoParams, tget: Time) -> AsyncSyncFifo {
         let clk_get = sim.net("clk_get");
-        ClockGen::builder(tget).phase(Time::from_ps(700)).spawn(sim, clk_get);
+        ClockGen::builder(tget)
+            .phase(Time::from_ps(700))
+            .spawn(sim, clk_get);
         let mut b = Builder::new(sim);
         let f = AsyncSyncFifo::build(&mut b, params, clk_get);
         drop(b.finish());
@@ -266,11 +291,23 @@ mod tests {
         let f = build(&mut sim, FifoParams::new(4, 8), Time::from_ns(10));
         let items: Vec<u64> = (0..40).map(|i| (255 - i) % 256).collect();
         let ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, items.clone(),
-            Time::from_ps(500), Time::ZERO,
+            &mut sim,
+            "prod",
+            f.put_req,
+            f.put_ack,
+            &f.put_data,
+            items.clone(),
+            Time::from_ps(500),
+            Time::ZERO,
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(4)).unwrap();
         assert_eq!(ph.journal().len(), items.len(), "all items acknowledged");
@@ -290,8 +327,14 @@ mod tests {
         let d = sim.driver(f.req_get);
         sim.drive_at(d, f.req_get, Logic::L, Time::ZERO);
         let ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, (0..10).collect(),
-            Time::from_ps(500), Time::ZERO,
+            &mut sim,
+            "prod",
+            f.put_req,
+            f.put_ack,
+            &f.put_data,
+            (0..10).collect(),
+            Time::from_ps(500),
+            Time::ZERO,
         );
         sim.run_until(Time::from_us(2)).unwrap();
         // All four cells fill; the fifth handshake blocks with ack low.
@@ -306,11 +349,23 @@ mod tests {
         let f = build(&mut sim, FifoParams::new(8, 16), Time::from_ns(6));
         let items: Vec<u64> = (0..30).map(|i| i * 1_000).collect();
         let ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, items.clone(),
-            Time::from_ps(500), Time::from_ns(40),
+            &mut sim,
+            "prod",
+            f.put_req,
+            f.put_ack,
+            &f.put_data,
+            items.clone(),
+            Time::from_ps(500),
+            Time::from_ns(40),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(8)).unwrap();
         assert_eq!(ph.journal().len(), items.len());
@@ -326,11 +381,23 @@ mod tests {
         let f = build(&mut sim, FifoParams::new(8, 8), Time::from_ns(10));
         let items: Vec<u64> = (0..100).collect();
         let _ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, items.clone(),
-            Time::from_ps(300), Time::ZERO,
+            &mut sim,
+            "prod",
+            f.put_req,
+            f.put_ack,
+            &f.put_data,
+            items.clone(),
+            Time::from_ps(300),
+            Time::ZERO,
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(6)).unwrap();
         assert_eq!(cj.values(), items);

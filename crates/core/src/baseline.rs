@@ -360,7 +360,11 @@ impl Component for SeizovicFifo {
             if ctx.get(self.req_get) == Logic::H {
                 if let Some(item) = self.stages[depth - 1].take() {
                     for (i, &d) in self.data_get.iter().enumerate() {
-                        ctx.drive(d, Logic::from_bool((item >> i) & 1 == 1), Time::from_ps(400));
+                        ctx.drive(
+                            d,
+                            Logic::from_bool((item >> i) & 1 == 1),
+                            Time::from_ps(400),
+                        );
                     }
                     ctx.drive(self.valid_get, Logic::H, Time::from_ps(400));
                 } else {
@@ -447,9 +451,23 @@ impl PerCellSyncFifo {
             b.push_scope(format!("cell{i}"));
             let prev = (i + n - 1) % n;
             let init = Logic::from_bool(i == 0);
-            let pq = b.dff_opts(clk_put, ptok[prev], Some(en_put), init, MetaModel::ideal(), true);
+            let pq = b.dff_opts(
+                clk_put,
+                ptok[prev],
+                Some(en_put),
+                init,
+                MetaModel::ideal(),
+                true,
+            );
             b.buf_onto(pq, ptok[i]);
-            let gq = b.dff_opts(clk_get, gtok[prev], Some(en_get), init, MetaModel::ideal(), true);
+            let gq = b.dff_opts(
+                clk_get,
+                gtok[prev],
+                Some(en_get),
+                init,
+                MetaModel::ideal(),
+                true,
+            );
             b.buf_onto(gq, gtok[i]);
 
             let do_put = b.and2(ptok[i], en_put);
@@ -634,10 +652,22 @@ mod tests {
         drop(b.finish());
         let items: Vec<u64> = (0..50).map(|i| (i * 11) % 256).collect();
         let pj = SyncProducer::spawn(
-            &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "p",
+            clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "c",
+            clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(5)).unwrap();
         assert_eq!(pj.len(), items.len());
@@ -657,7 +687,13 @@ mod tests {
         let d = sim.driver(f.req_get);
         sim.drive_at(d, f.req_get, Logic::L, Time::ZERO);
         let pj = SyncProducer::spawn(
-            &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, (0..10).collect(),
+            &mut sim,
+            "p",
+            clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            (0..10).collect(),
         );
         sim.run_until(Time::from_us(2)).unwrap();
         assert_eq!(pj.len(), 4, "pointer FIFO uses all 2^k slots, no more");
@@ -682,11 +718,22 @@ mod tests {
         let port = SeizovicFifo::spawn(&mut sim, "szv", clk, 8, 4);
         let items: Vec<u64> = (0..20).collect();
         let ph = FourPhaseProducer::spawn(
-            &mut sim, "p", port.put_req, port.put_ack, &port.put_data, items.clone(),
-            Time::from_ps(500), Time::ZERO,
+            &mut sim,
+            "p",
+            port.put_req,
+            port.put_ack,
+            &port.put_data,
+            items.clone(),
+            Time::from_ps(500),
+            Time::ZERO,
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "c", clk, port.req_get, &port.data_get, port.valid_get,
+            &mut sim,
+            "c",
+            clk,
+            port.req_get,
+            &port.data_get,
+            port.valid_get,
             items.len() as u64,
         );
         sim.run_until(Time::from_us(10)).unwrap();
@@ -708,11 +755,23 @@ mod tests {
             ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
             let port = SeizovicFifo::spawn(&mut sim, "szv", clk, 8, depth);
             let _ph = FourPhaseProducer::spawn(
-                &mut sim, "p", port.put_req, port.put_ack, &port.put_data, vec![7],
-                Time::from_ps(500), Time::ZERO,
+                &mut sim,
+                "p",
+                port.put_req,
+                port.put_ack,
+                &port.put_data,
+                vec![7],
+                Time::from_ps(500),
+                Time::ZERO,
             );
             let cj = SyncConsumer::spawn(
-                &mut sim, "c", clk, port.req_get, &port.data_get, port.valid_get, 1,
+                &mut sim,
+                "c",
+                clk,
+                port.req_get,
+                &port.data_get,
+                port.valid_get,
+                1,
             );
             sim.run_until(Time::from_us(5)).unwrap();
             cj.time_of(0).expect("delivered")
@@ -739,10 +798,22 @@ mod tests {
         drop(b.finish());
         let items: Vec<u64> = (0..40).map(|i| (i * 3) % 256).collect();
         let pj = SyncProducer::spawn(
-            &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "p",
+            clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "c",
+            clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(8)).unwrap();
         assert_eq!(pj.len(), items.len());
@@ -766,10 +837,22 @@ mod tests {
         drop(b.finish());
         let items: Vec<u64> = (0..30).collect();
         let _pj = SyncProducer::spawn(
-            &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "p",
+            clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "c",
+            clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(10)).unwrap();
         assert_eq!(cj.values(), items);
@@ -785,10 +868,22 @@ mod tests {
         drop(b.finish());
         let items: Vec<u64> = (0..40).map(|i| (i * 7) % 256).collect();
         let pj = SyncProducer::spawn(
-            &mut sim, "p", clk, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "p",
+            clk,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "c", clk, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "c",
+            clk,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(5)).unwrap();
         assert_eq!(pj.len(), items.len());
@@ -806,7 +901,13 @@ mod tests {
         let d = sim.driver(f.req_get);
         sim.drive_at(d, f.req_get, Logic::L, Time::ZERO);
         let pj = SyncProducer::spawn(
-            &mut sim, "p", clk, f.req_put, &f.data_put, f.full, (0..10).collect(),
+            &mut sim,
+            "p",
+            clk,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            (0..10).collect(),
         );
         sim.run_until(Time::from_us(2)).unwrap();
         assert_eq!(pj.len(), 4, "all four stages fill, then full blocks");
@@ -855,10 +956,22 @@ mod tests {
             }
             let get_clk = if shift { clk_put } else { clk_get };
             let _pj = SyncProducer::spawn(
-                &mut sim, "p", clk_put, req_put, &data_put, full, items.clone(),
+                &mut sim,
+                "p",
+                clk_put,
+                req_put,
+                &data_put,
+                full,
+                items.clone(),
             );
             let cj = SyncConsumer::spawn(
-                &mut sim, "c", get_clk, req_get, &data_get, valid_get, items.len() as u64,
+                &mut sim,
+                "c",
+                get_clk,
+                req_get,
+                &data_get,
+                valid_get,
+                items.len() as u64,
             );
             sim.run_until(Time::from_us(4)).unwrap();
             assert_eq!(cj.values(), items, "both must be correct first");
@@ -888,7 +1001,10 @@ mod tests {
                     PerCellSyncFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
             } else {
                 let _ = crate::MixedClockFifo::build(
-                    &mut b, FifoParams::new(capacity, 8), clk_put, clk_get,
+                    &mut b,
+                    FifoParams::new(capacity, 8),
+                    clk_put,
+                    clk_get,
                 );
             }
             mtf_timing::area(&b.finish())

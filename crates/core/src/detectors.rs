@@ -158,8 +158,12 @@ mod tests {
     impl Rig {
         fn set(&mut self, pattern: &[bool]) {
             for (i, &v) in pattern.iter().enumerate() {
-                self.sim
-                    .drive_at(self.drvs[i], self.lines[i], Logic::from_bool(v), self.sim.now());
+                self.sim.drive_at(
+                    self.drvs[i],
+                    self.lines[i],
+                    Logic::from_bool(v),
+                    self.sim.now(),
+                );
             }
             self.sim.run_for(Time::from_ns(10)).unwrap();
         }
@@ -176,7 +180,12 @@ mod tests {
         let out = build_full_detector(&mut b, &lines, 2);
         drop(b.finish());
         let drvs = lines.iter().map(|&l| sim.driver(l)).collect();
-        Rig { sim, lines, drvs, out }
+        Rig {
+            sim,
+            lines,
+            drvs,
+            out,
+        }
     }
 
     fn ne_rig(n: usize) -> Rig {
@@ -186,7 +195,12 @@ mod tests {
         let out = build_ne_detector(&mut b, &lines, 2);
         drop(b.finish());
         let drvs = lines.iter().map(|&l| sim.driver(l)).collect();
-        Rig { sim, lines, drvs, out }
+        Rig {
+            sim,
+            lines,
+            drvs,
+            out,
+        }
     }
 
     #[test]
@@ -227,7 +241,12 @@ mod tests {
         let out = build_oe_detector(&mut b, &lines);
         drop(b.finish());
         let drvs: Vec<DriverId> = lines.iter().map(|&l| sim.driver(l)).collect();
-        let mut r = Rig { sim, lines, drvs, out };
+        let mut r = Rig {
+            sim,
+            lines,
+            drvs,
+            out,
+        };
         r.set(&[false, false, false, false]);
         assert_eq!(r.out(), Logic::H);
         r.set(&[false, false, true, false]);
@@ -242,7 +261,12 @@ mod tests {
         let out = build_full_detector(&mut b, &lines, 3);
         drop(b.finish());
         let drvs: Vec<DriverId> = lines.iter().map(|&l| sim.driver(l)).collect();
-        let mut r = Rig { sim, lines, drvs, out };
+        let mut r = Rig {
+            sim,
+            lines,
+            drvs,
+            out,
+        };
         // Two adjacent empties are no longer enough to deassert full.
         r.set(&[true, true, false, false, false, false]);
         assert_eq!(r.out(), Logic::H);

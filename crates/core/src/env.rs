@@ -248,7 +248,8 @@ impl Component for SyncConsumer {
         // Harvest the outcome of the cycle that just ended.
         if self.requesting && ctx.get(self.valid) == Logic::H {
             let word = ctx.get_vec(&self.data);
-            self.journal.push(ctx.now(), word.to_u64().unwrap_or(u64::MAX));
+            self.journal
+                .push(ctx.now(), word.to_u64().unwrap_or(u64::MAX));
         }
         self.cycle += 1;
         let done = (self.journal.len() as u64) >= self.wanted;
@@ -442,7 +443,8 @@ impl Component for PacketSink {
         // running, harvest this edge's packet.
         if !self.stopped && ctx.get(self.valid) == Logic::H {
             let word = ctx.get_vec(&self.data);
-            self.journal.push(ctx.now(), word.to_u64().unwrap_or(u64::MAX));
+            self.journal
+                .push(ctx.now(), word.to_u64().unwrap_or(u64::MAX));
         }
         self.cycle += 1;
         let in_stop = self
@@ -504,7 +506,10 @@ mod env_tests {
         let times = j.times();
         assert_eq!(times.len(), 3);
         for w in times.windows(2) {
-            assert!(w[1] - w[0] >= Time::from_ns(40), "min 4 cycles apart: {w:?}");
+            assert!(
+                w[1] - w[0] >= Time::from_ns(40),
+                "min 4 cycles apart: {w:?}"
+            );
         }
     }
 
@@ -568,7 +573,12 @@ mod env_tests {
         sim.drive_at(ds, stop, Logic::H, Time::from_ns(25));
         sim.drive_at(ds, stop, Logic::L, Time::from_ns(65));
         let j = PacketSource::spawn(
-            &mut sim, "s", clk, valid, &data, stop,
+            &mut sim,
+            "s",
+            clk,
+            valid,
+            &data,
+            stop,
             vec![Some(1), Some(2), Some(3)],
         );
         sim.run_until(Time::from_ns(150)).unwrap();
@@ -599,7 +609,10 @@ mod env_tests {
         // though valid stayed high.
         for t in j.times() {
             let edge = t.as_ps() / 10_000;
-            assert!(!(4..=6).contains(&edge), "journaled during stop at edge {edge}");
+            assert!(
+                !(4..=6).contains(&edge),
+                "journaled during stop at edge {edge}"
+            );
         }
         assert_eq!(sim.value(stop), Logic::L, "stop released after the window");
     }

@@ -62,9 +62,23 @@ pub(crate) fn build_sync_cell_array(
         // Token ETDFFs: the one-hot tokens rotate by one position on
         // every enabled operation. Cell 0 powers on holding both.
         let init = Logic::from_bool(i == 0);
-        let pq = b.dff_opts(clk_put, ptok[prev], Some(en_put), init, MetaModel::ideal(), true);
+        let pq = b.dff_opts(
+            clk_put,
+            ptok[prev],
+            Some(en_put),
+            init,
+            MetaModel::ideal(),
+            true,
+        );
         b.buf_onto(pq, ptok[i]);
-        let gq = b.dff_opts(clk_get, gtok[prev], Some(en_get), init, MetaModel::ideal(), true);
+        let gq = b.dff_opts(
+            clk_get,
+            gtok[prev],
+            Some(en_get),
+            init,
+            MetaModel::ideal(),
+            true,
+        );
         b.buf_onto(gq, gtok[i]);
 
         // This cell performs a put (get) in cycles where it holds the
@@ -117,7 +131,13 @@ pub(crate) fn build_sync_cell_array(
 
         b.pop_scope();
     }
-    SyncCellArray { cell_full, cell_empty, ptok, gtok, nclk_get }
+    SyncCellArray {
+        cell_full,
+        cell_empty,
+        ptok,
+        gtok,
+        nclk_get,
+    }
 }
 
 /// The mixed-clock FIFO (paper Section 3): a circular array of
@@ -222,10 +242,15 @@ impl MixedClockFifo {
 
         // ---- cell array (paper Fig. 5, shared with the relay station) -------
         let array = build_sync_cell_array(
-            b, params, clk_put, clk_get, en_put, en_get, req_put, &data_put, &data_get,
-            valid_bus,
+            b, params, clk_put, clk_get, en_put, en_get, req_put, &data_put, &data_get, valid_bus,
         );
-        let SyncCellArray { cell_full, cell_empty, ptok, gtok, nclk_get } = array;
+        let SyncCellArray {
+            cell_full,
+            cell_empty,
+            ptok,
+            gtok,
+            nclk_get,
+        } = array;
 
         // ---- detectors and synchronizers ------------------------------------
         let full_raw = build_full_detector(b, &cell_empty, params.sync_stages.max(2));
@@ -291,16 +316,13 @@ mod tests {
     use crate::env::{SyncConsumer, SyncProducer};
     use mtf_sim::{ClockGen, Simulator, Time};
 
-    fn build(
-        sim: &mut Simulator,
-        params: FifoParams,
-        tput: Time,
-        tget: Time,
-    ) -> MixedClockFifo {
+    fn build(sim: &mut Simulator, params: FifoParams, tput: Time, tget: Time) -> MixedClockFifo {
         let clk_put = sim.net("clk_put");
         let clk_get = sim.net("clk_get");
         ClockGen::spawn_simple(sim, clk_put, tput);
-        ClockGen::builder(tget).phase(Time::from_ps(1_300)).spawn(sim, clk_get);
+        ClockGen::builder(tget)
+            .phase(Time::from_ps(1_300))
+            .spawn(sim, clk_get);
         let mut b = Builder::new(sim);
         let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
         drop(b.finish());
@@ -318,10 +340,22 @@ mod tests {
         );
         let items: Vec<u64> = (0..40).map(|i| (i * 7) % 256).collect();
         let pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(3)).unwrap();
         assert_eq!(pj.len(), items.len(), "all items enqueued");
@@ -340,10 +374,22 @@ mod tests {
         );
         let items: Vec<u64> = (0..60).collect();
         let pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(5)).unwrap();
         assert_eq!(pj.len(), items.len());
@@ -363,7 +409,13 @@ mod tests {
             Time::from_ns(10),
         );
         let pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, (0..20).collect(),
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            (0..20).collect(),
         );
         sim.run_until(Time::from_us(2)).unwrap();
         assert_eq!(pj.len(), 4, "fills to capacity, no overflow");
@@ -385,7 +437,14 @@ mod tests {
             Time::from_ns(10),
         );
         let pj = SyncProducer::spawn_every(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, (0..20).collect(), 5,
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            (0..20).collect(),
+            5,
         );
         sim.run_until(Time::from_us(3)).unwrap();
         assert_eq!(pj.len(), 3, "blocked with one cell still free");
@@ -405,10 +464,22 @@ mod tests {
             Time::from_ns(11),
         );
         let pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, vec![0xAB],
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            vec![0xAB],
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            1,
         );
         sim.run_until(Time::from_us(2)).unwrap();
         assert_eq!(pj.len(), 1);
@@ -430,7 +501,13 @@ mod tests {
         let d = sim.driver(f.req_put);
         sim.drive_at(d, f.req_put, mtf_sim::Logic::L, Time::ZERO);
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, 5,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            5,
         );
         sim.run_until(Time::from_us(1)).unwrap();
         assert_eq!(cj.len(), 0, "no items can be dequeued from an empty FIFO");
@@ -450,11 +527,24 @@ mod tests {
         );
         let items: Vec<u64> = (100..110).collect();
         let _pj = SyncProducer::spawn_every(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(), 7,
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
+            7,
         );
         let cj = SyncConsumer::spawn_every(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get,
-            items.len() as u64, 3,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
+            3,
         );
         sim.run_until(Time::from_us(3)).unwrap();
         assert_eq!(cj.values(), items);
@@ -475,13 +565,29 @@ mod tests {
         );
         let items: Vec<u64> = (0..60).collect();
         let _pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(5)).unwrap();
-        assert_ne!(cj.values(), items, "outside the envelope the stream corrupts");
+        assert_ne!(
+            cj.values(),
+            items,
+            "outside the envelope the stream corrupts"
+        );
     }
 
     #[test]
@@ -498,10 +604,22 @@ mod tests {
         );
         let items: Vec<u64> = (0..60).collect();
         let _pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(6)).unwrap();
         assert_eq!(cj.values(), items);
@@ -518,10 +636,22 @@ mod tests {
         );
         let items: Vec<u64> = (0..100).map(|i| (i * 257) % 65_536).collect();
         let _pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let cj = SyncConsumer::spawn(
-            &mut sim, "cons", f.clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+            &mut sim,
+            "cons",
+            f.clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            items.len() as u64,
         );
         sim.run_until(Time::from_us(5)).unwrap();
         assert_eq!(cj.values(), items);

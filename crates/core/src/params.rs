@@ -38,7 +38,10 @@ impl FifoParams {
     ///
     /// As [`FifoParams::new`], plus `sync_stages == 0`.
     pub fn with_sync_stages(capacity: usize, width: usize, sync_stages: usize) -> Self {
-        assert!(capacity >= 3, "capacity must be at least 3 (got {capacity})");
+        assert!(
+            capacity >= 3,
+            "capacity must be at least 3 (got {capacity})"
+        );
         assert!(
             width > 0 && width <= 63,
             "width must be in 1..=63 (got {width})"

@@ -74,10 +74,14 @@ impl MixedClockRelayStation {
         let en_get = b.input("en_get");
 
         let array = build_sync_cell_array(
-            b, params, clk_put, clk_get, en_put, en_get, valid_in, &data_put, &data_get,
-            valid_bus,
+            b, params, clk_put, clk_get, en_put, en_get, valid_in, &data_put, &data_get, valid_bus,
         );
-        let SyncCellArray { cell_full, cell_empty, nclk_get, .. } = array;
+        let SyncCellArray {
+            cell_full,
+            cell_empty,
+            nclk_get,
+            ..
+        } = array;
 
         let full_raw = build_full_detector(b, &cell_empty, params.sync_stages.max(2));
         let stop_out = b.sync_chain(clk_put, full_raw, params.sync_stages, mtf_sim::Logic::L);
@@ -166,10 +170,15 @@ impl AsyncSyncRelayStation {
         let data_get = b.input_bus("data_get", w);
         let en_get = b.input("en_get");
 
-        let array = build_async_cell_array(
-            b, params, clk_get, en_get, put_req, &put_data, &data_get,
-        );
-        let AsyncCellArray { put_ack, valid_bus, nclk_get, cell_full, .. } = array;
+        let array =
+            build_async_cell_array(b, params, clk_get, en_get, put_req, &put_data, &data_get);
+        let AsyncCellArray {
+            put_ack,
+            valid_bus,
+            nclk_get,
+            cell_full,
+            ..
+        } = array;
 
         let ne_raw = build_ne_detector(b, &cell_full, params.sync_stages.max(2));
         let oe_raw = build_oe_detector(b, &cell_full);
@@ -217,7 +226,9 @@ mod tests {
         let clk_put = sim.net("clk_put");
         let clk_get = sim.net("clk_get");
         ClockGen::spawn_simple(sim, clk_put, tput);
-        ClockGen::builder(tget).phase(Time::from_ps(1_700)).spawn(sim, clk_get);
+        ClockGen::builder(tget)
+            .phase(Time::from_ps(1_700))
+            .spawn(sim, clk_get);
         let mut b = Builder::new(sim);
         let rs = MixedClockRelayStation::build(&mut b, params, clk_put, clk_get);
         drop(b.finish());
@@ -235,10 +246,22 @@ mod tests {
         );
         let packets: Vec<Option<u64>> = (0..50).map(Some).collect();
         let sj = PacketSource::spawn(
-            &mut sim, "src", rs.clk_put, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+            &mut sim,
+            "src",
+            rs.clk_put,
+            rs.valid_in,
+            &rs.data_put,
+            rs.stop_out,
+            packets,
         );
         let kj = PacketSink::spawn(
-            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+            &mut sim,
+            "sink",
+            rs.clk_get,
+            &rs.data_get,
+            rs.valid_get,
+            rs.stop_in,
+            vec![],
         );
         sim.run_until(Time::from_us(3)).unwrap();
         assert_eq!(sj.len(), 50);
@@ -261,10 +284,22 @@ mod tests {
             packets.push(None);
         }
         let _sj = PacketSource::spawn(
-            &mut sim, "src", rs.clk_put, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+            &mut sim,
+            "src",
+            rs.clk_put,
+            rs.valid_in,
+            &rs.data_put,
+            rs.stop_out,
+            packets,
         );
         let kj = PacketSink::spawn(
-            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+            &mut sim,
+            "sink",
+            rs.clk_get,
+            &rs.data_get,
+            rs.valid_get,
+            rs.stop_in,
+            vec![],
         );
         sim.run_until(Time::from_us(3)).unwrap();
         assert_eq!(kj.values(), (0..20).collect::<Vec<u64>>());
@@ -281,11 +316,22 @@ mod tests {
         );
         let packets: Vec<Option<u64>> = (0..60).map(Some).collect();
         let _sj = PacketSource::spawn(
-            &mut sim, "src", rs.clk_put, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+            &mut sim,
+            "src",
+            rs.clk_put,
+            rs.valid_in,
+            &rs.data_put,
+            rs.stop_out,
+            packets,
         );
         // Sink stalls for a long window mid-stream.
         let kj = PacketSink::spawn(
-            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in,
+            &mut sim,
+            "sink",
+            rs.clk_get,
+            &rs.data_get,
+            rs.valid_get,
+            rs.stop_in,
             vec![(10, 40)],
         );
         sim.trace(rs.stop_out);
@@ -301,7 +347,9 @@ mod tests {
 
     fn build_asrs(sim: &mut Simulator, params: FifoParams, tget: Time) -> AsyncSyncRelayStation {
         let clk_get = sim.net("clk_get");
-        ClockGen::builder(tget).phase(Time::from_ps(900)).spawn(sim, clk_get);
+        ClockGen::builder(tget)
+            .phase(Time::from_ps(900))
+            .spawn(sim, clk_get);
         let mut b = Builder::new(sim);
         let rs = AsyncSyncRelayStation::build(&mut b, params, clk_get);
         drop(b.finish());
@@ -314,11 +362,23 @@ mod tests {
         let rs = build_asrs(&mut sim, FifoParams::new(8, 8), Time::from_ns(10));
         let items: Vec<u64> = (0..40).collect();
         let ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", rs.put_req, rs.put_ack, &rs.put_data, items.clone(),
-            Time::from_ps(500), Time::ZERO,
+            &mut sim,
+            "prod",
+            rs.put_req,
+            rs.put_ack,
+            &rs.put_data,
+            items.clone(),
+            Time::from_ps(500),
+            Time::ZERO,
         );
         let kj = PacketSink::spawn(
-            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+            &mut sim,
+            "sink",
+            rs.clk_get,
+            &rs.data_get,
+            rs.valid_get,
+            rs.stop_in,
+            vec![],
         );
         sim.run_until(Time::from_us(3)).unwrap();
         assert_eq!(ph.journal().len(), items.len());
@@ -330,12 +390,23 @@ mod tests {
         let mut sim = Simulator::new(25);
         let rs = build_asrs(&mut sim, FifoParams::new(4, 8), Time::from_ns(10));
         let ph = FourPhaseProducer::spawn(
-            &mut sim, "prod", rs.put_req, rs.put_ack, &rs.put_data, (0..20).collect(),
-            Time::from_ps(500), Time::ZERO,
+            &mut sim,
+            "prod",
+            rs.put_req,
+            rs.put_ack,
+            &rs.put_data,
+            (0..20).collect(),
+            Time::from_ps(500),
+            Time::ZERO,
         );
         // Sink permanently stopped from the start.
         let kj = PacketSink::spawn(
-            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in,
+            &mut sim,
+            "sink",
+            rs.clk_get,
+            &rs.data_get,
+            rs.valid_get,
+            rs.stop_in,
             vec![(0, u64::MAX)],
         );
         sim.run_until(Time::from_us(2)).unwrap();
@@ -353,7 +424,13 @@ mod tests {
         let d = sim.driver(rs.put_req);
         sim.drive_at(d, rs.put_req, Logic::L, Time::ZERO);
         let kj = PacketSink::spawn(
-            &mut sim, "sink", rs.clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+            &mut sim,
+            "sink",
+            rs.clk_get,
+            &rs.data_get,
+            rs.valid_get,
+            rs.stop_in,
+            vec![],
         );
         sim.run_until(Time::from_us(1)).unwrap();
         assert_eq!(kj.len(), 0, "an empty station streams only bubbles");

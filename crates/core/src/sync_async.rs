@@ -78,7 +78,14 @@ impl SyncAsyncFifo {
 
             // Synchronous put part (as in the mixed-clock cell).
             let init = Logic::from_bool(i == 0);
-            let pq = b.dff_opts(clk_put, ptok[prev], Some(en_put), init, MetaModel::ideal(), true);
+            let pq = b.dff_opts(
+                clk_put,
+                ptok[prev],
+                Some(en_put),
+                init,
+                MetaModel::ideal(),
+                true,
+            );
             b.buf_onto(pq, ptok[i]);
             let pe_i = b.and2(ptok[i], en_put);
             let reg_q = b.register(clk_put, Some(pe_i), &data_put);
@@ -150,10 +157,22 @@ mod tests {
         let f = build(&mut sim, FifoParams::new(4, 8), Time::from_ns(10));
         let items: Vec<u64> = (0..40).map(|i| (i * 3) % 256).collect();
         let pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
         );
         let gh = FourPhaseGetter::spawn(
-            &mut sim, "get", f.get_req, f.get_ack, &f.get_data, items.len(), Time::ZERO,
+            &mut sim,
+            "get",
+            f.get_req,
+            f.get_ack,
+            &f.get_data,
+            items.len(),
+            Time::ZERO,
         );
         sim.run_until(Time::from_us(4)).unwrap();
         assert_eq!(pj.len(), items.len());
@@ -171,10 +190,23 @@ mod tests {
         let f = build(&mut sim, FifoParams::new(4, 8), Time::from_ns(14));
         let items: Vec<u64> = (0..25).collect();
         let _pj = SyncProducer::spawn_every(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, items.clone(), 3,
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            items.clone(),
+            3,
         );
         let gh = FourPhaseGetter::spawn(
-            &mut sim, "get", f.get_req, f.get_ack, &f.get_data, items.len(), Time::ZERO,
+            &mut sim,
+            "get",
+            f.get_req,
+            f.get_ack,
+            &f.get_data,
+            items.len(),
+            Time::ZERO,
         );
         sim.run_until(Time::from_us(6)).unwrap();
         assert_eq!(gh.journal().values(), items);
@@ -187,7 +219,13 @@ mod tests {
         let d = sim.driver(f.get_req);
         sim.drive_at(d, f.get_req, Logic::L, Time::ZERO);
         let pj = SyncProducer::spawn(
-            &mut sim, "prod", f.clk_put, f.req_put, &f.data_put, f.full, (0..20).collect(),
+            &mut sim,
+            "prod",
+            f.clk_put,
+            f.req_put,
+            &f.data_put,
+            f.full,
+            (0..20).collect(),
         );
         sim.run_until(Time::from_us(2)).unwrap();
         // Saturating puts fill to capacity (anticipation margin consumed by

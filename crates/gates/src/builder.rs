@@ -432,7 +432,15 @@ impl<'a> Builder<'a> {
             clock: None,
             asym_common: 0,
         });
-        let cell = DLatch::new(name, en, d, drv, init, self.netlist.delay_table(), id.index());
+        let cell = DLatch::new(
+            name,
+            en,
+            d,
+            drv,
+            init,
+            self.netlist.delay_table(),
+            id.index(),
+        );
         self.sim.add_component(Box::new(cell), &[en, d]);
         q
     }
@@ -553,7 +561,10 @@ impl<'a> Builder<'a> {
         init: Logic,
         out: NetId,
     ) {
-        assert!(!common.is_empty(), "asymmetric C-element needs common inputs");
+        assert!(
+            !common.is_empty(),
+            "asymmetric C-element needs common inputs"
+        );
         let drv = self.sim.driver(out);
         let mut data_in = common.to_vec();
         data_in.extend_from_slice(plus);
@@ -728,10 +739,7 @@ mod tests {
         // metastability window is ±50 ps, so this is a clean setup report.
         sim.drive_at(dd, d, Logic::H, Time::from_ps(9_850));
         sim.run_until(Time::from_ns(12)).unwrap();
-        assert_eq!(
-            sim.violations_of(mtf_sim::ViolationKind::Setup).count(),
-            1
-        );
+        assert_eq!(sim.violations_of(mtf_sim::ViolationKind::Setup).count(), 1);
     }
 
     #[test]
@@ -792,10 +800,7 @@ mod tests {
         b.tribuf_onto(en0, d0, bus);
         b.tribuf_onto(en1, d1, bus);
         drop(b.finish());
-        let dr: Vec<_> = [d0, d1, en0, en1]
-            .iter()
-            .map(|&n| sim.driver(n))
-            .collect();
+        let dr: Vec<_> = [d0, d1, en0, en1].iter().map(|&n| sim.driver(n)).collect();
         sim.drive_at(dr[0], d0, Logic::H, Time::ZERO);
         sim.drive_at(dr[1], d1, Logic::L, Time::ZERO);
         sim.drive_at(dr[2], en0, Logic::H, Time::ZERO);

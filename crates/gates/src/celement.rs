@@ -63,10 +63,10 @@ impl CElement {
             Logic::L
         } else if inputs.contains(&Logic::X) {
             // Could the unknowns complete a set or a reset? (Z blocks both.)
-            let could_set = state != Logic::H
-                && inputs.iter().all(|&v| v == Logic::H || v == Logic::X);
-            let could_reset = state != Logic::L
-                && inputs.iter().all(|&v| v == Logic::L || v == Logic::X);
+            let could_set =
+                state != Logic::H && inputs.iter().all(|&v| v == Logic::H || v == Logic::X);
+            let could_reset =
+                state != Logic::L && inputs.iter().all(|&v| v == Logic::L || v == Logic::X);
             if could_set || could_reset {
                 Logic::X
             } else {
@@ -176,8 +176,8 @@ impl AsymCElement {
                     .iter()
                     .chain(plus)
                     .all(|&v| v == Logic::H || v == Logic::X);
-            let could_reset = state != Logic::L
-                && common.iter().all(|&v| v == Logic::L || v == Logic::X);
+            let could_reset =
+                state != Logic::L && common.iter().all(|&v| v == Logic::L || v == Logic::X);
             if could_set || could_reset {
                 Logic::X
             } else {

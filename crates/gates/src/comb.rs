@@ -156,8 +156,19 @@ impl Component for CombGate {
     }
 
     fn eval(&mut self, ctx: &mut Ctx<'_>) {
-        let vals: Vec<Logic> = self.inputs.iter().map(|&n| ctx.get(n)).collect();
-        let v = self.func.apply(&vals);
+        // Gate evaluation is the hottest code in the simulator; read the
+        // inputs into a stack buffer so no allocation happens per eval.
+        // (The builder's widest primitive cells stay well under the cap.)
+        let v = if self.inputs.len() <= 8 {
+            let mut vals = [Logic::Z; 8];
+            for (v, &n) in vals.iter_mut().zip(&self.inputs) {
+                *v = ctx.get(n);
+            }
+            self.func.apply(&vals[..self.inputs.len()])
+        } else {
+            let vals: Vec<Logic> = self.inputs.iter().map(|&n| ctx.get(n)).collect();
+            self.func.apply(&vals)
+        };
         let d = self.delays.borrow()[self.inst];
         ctx.drive(self.out, v, d);
     }

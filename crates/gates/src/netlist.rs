@@ -219,8 +219,7 @@ impl CellDelays {
             CellKind::Macro => self.acelement,
         };
         let levels = match kind {
-            CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor
-            | CellKind::CElement => {
+            CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor | CellKind::CElement => {
                 tree_levels(fan_in)
             }
             _ => 1,

@@ -45,22 +45,38 @@ pub struct Port {
 impl Port {
     /// A single-bit input port.
     pub fn input(name: impl Into<String>, net: NetId) -> Self {
-        Port { name: name.into(), nets: vec![net], dir: PortDir::Input }
+        Port {
+            name: name.into(),
+            nets: vec![net],
+            dir: PortDir::Input,
+        }
     }
 
     /// A multi-bit input port.
     pub fn input_bus(name: impl Into<String>, nets: &[NetId]) -> Self {
-        Port { name: name.into(), nets: nets.to_vec(), dir: PortDir::Input }
+        Port {
+            name: name.into(),
+            nets: nets.to_vec(),
+            dir: PortDir::Input,
+        }
     }
 
     /// A single-bit output port.
     pub fn output(name: impl Into<String>, net: NetId) -> Self {
-        Port { name: name.into(), nets: vec![net], dir: PortDir::Output }
+        Port {
+            name: name.into(),
+            nets: vec![net],
+            dir: PortDir::Output,
+        }
     }
 
     /// A multi-bit output port.
     pub fn output_bus(name: impl Into<String>, nets: &[NetId]) -> Self {
-        Port { name: name.into(), nets: nets.to_vec(), dir: PortDir::Output }
+        Port {
+            name: name.into(),
+            nets: nets.to_vec(),
+            dir: PortDir::Output,
+        }
     }
 }
 
@@ -80,12 +96,7 @@ fn sanitize(name: &str) -> String {
 /// Net names come from the simulator (sanitized and uniquified). Ports
 /// map external interface nets to module ports; every other net becomes a
 /// local `wire`.
-pub fn to_verilog(
-    module_name: &str,
-    netlist: &Netlist,
-    sim: &Simulator,
-    ports: &[Port],
-) -> String {
+pub fn to_verilog(module_name: &str, netlist: &Netlist, sim: &Simulator, ports: &[Port]) -> String {
     // Assign every referenced net a unique identifier.
     let mut names: HashMap<usize, String> = HashMap::new();
     let mut used: HashMap<String, usize> = HashMap::new();
@@ -272,7 +283,11 @@ pub fn to_verilog(
                     "  MTF_CELEM2 {iname} (.y({}), .a({}), .b({}));",
                     outs[0],
                     ins[0],
-                    if ins.len() > 1 { ins[1].clone() } else { ins[0].clone() }
+                    if ins.len() > 1 {
+                        ins[1].clone()
+                    } else {
+                        ins[0].clone()
+                    }
                 );
                 if ins.len() > 2 {
                     let _ = writeln!(
@@ -286,7 +301,8 @@ pub fn to_verilog(
                 lib_needed.insert("MTF_ACELEM");
                 let common: Vec<_> = ins[..inst.asym_common].to_vec();
                 let plus: Vec<_> = ins[inst.asym_common..].to_vec();
-                let _ = writeln!(
+                let _ =
+                    writeln!(
                     body,
                     "  MTF_ACELEM #(.NC({}), .NP({})) {iname} (.y({}), .c({{{}}}), .p({{{}}}));",
                     common.len(),
@@ -316,7 +332,10 @@ pub fn to_verilog(
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "// Generated by mtf-gates from the '{module_name}' netlist.");
+    let _ = writeln!(
+        out,
+        "// Generated by mtf-gates from the '{module_name}' netlist."
+    );
     let _ = writeln!(out, "// {} instances.", netlist.len());
     let _ = writeln!(out, "`timescale 1ps/1ps\n");
     let _ = writeln!(out, "module {module_name} (");
@@ -415,7 +434,10 @@ mod tests {
         assert!(v.contains("input clk;"));
         assert!(v.contains("output bus;"));
         assert!(v.contains("assign"), "the AND gate becomes an assign");
-        assert!(v.contains("MTF_DFF"), "the flop instantiates the library cell");
+        assert!(
+            v.contains("MTF_DFF"),
+            "the flop instantiates the library cell"
+        );
         assert!(v.contains("MTF_SRLATCH"));
         assert!(v.contains("1'bz"), "tri-state conditional assign");
         assert!(v.contains("module MTF_DFF"), "library emitted");
@@ -469,9 +491,9 @@ mod tests {
         ];
         let v = to_verilog("mixed_cells", &nl, &sim, &ports);
         // Every instance appears (assigns or instantiations).
-        let instance_lines = v.lines().filter(|l| {
-            l.trim_start().starts_with("assign") || l.trim_start().starts_with("MTF_")
-        });
+        let instance_lines = v
+            .lines()
+            .filter(|l| l.trim_start().starts_with("assign") || l.trim_start().starts_with("MTF_"));
         assert!(instance_lines.count() >= nl.len());
         assert!(v.contains("MTF_ACELEM"));
         assert!(v.contains("module MTF_ACELEM"));

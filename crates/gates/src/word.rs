@@ -118,10 +118,7 @@ impl Component for RegisterWord {
                                 kind: ViolationKind::Setup,
                                 time: now,
                                 source: self.name.clone(),
-                                message: format!(
-                                    "data bit changed {} before edge",
-                                    now - ch
-                                ),
+                                message: format!("data bit changed {} before edge", now - ch),
                             });
                             break;
                         }

@@ -28,11 +28,7 @@ fn reference(func: GateFunc, inputs: &[bool]) -> bool {
     }
 }
 
-fn build_gate(
-    b: &mut Builder<'_>,
-    func: GateFunc,
-    ins: &[NetId],
-) -> NetId {
+fn build_gate(b: &mut Builder<'_>, func: GateFunc, ins: &[NetId]) -> NetId {
     match func {
         GateFunc::Buf => b.buf(ins[0]),
         GateFunc::Inv => b.inv(ins[0]),

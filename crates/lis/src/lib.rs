@@ -214,12 +214,7 @@ impl std::fmt::Debug for WireSegment {
 impl WireSegment {
     /// Connects `from` nets to freshly created nets through `delay`;
     /// returns the downstream nets.
-    pub fn spawn(
-        sim: &mut Simulator,
-        name: &str,
-        from: &[NetId],
-        delay: Time,
-    ) -> Vec<NetId> {
+    pub fn spawn(sim: &mut Simulator, name: &str, from: &[NetId], delay: Time) -> Vec<NetId> {
         let outs: Vec<NetId> = (0..from.len())
             .map(|i| sim.net(format!("{name}[{i}]")))
             .collect();
@@ -352,12 +347,22 @@ mod tests {
         let chain = RelayChain::spawn(&mut sim, "chain", clk, 8, stations, Time::from_ns(3));
         let packets: Vec<Option<u64>> = (0..40).map(Some).collect();
         let sj = PacketSource::spawn(
-            &mut sim, "src", clk, chain.port.in_valid, &chain.port.in_data,
-            chain.port.stop_out, packets,
+            &mut sim,
+            "src",
+            clk,
+            chain.port.in_valid,
+            &chain.port.in_data,
+            chain.port.stop_out,
+            packets,
         );
         let kj = PacketSink::spawn(
-            &mut sim, "sink", clk, &chain.port.out_data, chain.port.out_valid,
-            chain.port.stop_in, stalls,
+            &mut sim,
+            "sink",
+            clk,
+            &chain.port.out_data,
+            chain.port.out_valid,
+            chain.port.stop_in,
+            stalls,
         );
         sim.run_until(Time::from_us(3)).unwrap();
         (sj.values(), kj.values())
@@ -388,15 +393,24 @@ mod tests {
             let mut sim = Simulator::new(7);
             let clk = sim.net("clk");
             ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
-            let chain =
-                RelayChain::spawn(&mut sim, "chain", clk, 8, stations, Time::from_ns(3));
+            let chain = RelayChain::spawn(&mut sim, "chain", clk, 8, stations, Time::from_ns(3));
             let sj = PacketSource::spawn(
-                &mut sim, "src", clk, chain.port.in_valid, &chain.port.in_data,
-                chain.port.stop_out, vec![Some(42)],
+                &mut sim,
+                "src",
+                clk,
+                chain.port.in_valid,
+                &chain.port.in_data,
+                chain.port.stop_out,
+                vec![Some(42)],
             );
             let kj = PacketSink::spawn(
-                &mut sim, "sink", clk, &chain.port.out_data, chain.port.out_valid,
-                chain.port.stop_in, vec![],
+                &mut sim,
+                "sink",
+                clk,
+                &chain.port.out_data,
+                chain.port.out_valid,
+                chain.port.stop_in,
+                vec![],
             );
             sim.run_until(Time::from_us(2)).unwrap();
             assert_eq!(sj.len(), 1);
@@ -418,12 +432,22 @@ mod tests {
         let chain = RelayChain::spawn(&mut sim, "chain", clk, 8, 4, Time::from_ns(3));
         let packets: Vec<Option<u64>> = (0..100).map(Some).collect();
         let _sj = PacketSource::spawn(
-            &mut sim, "src", clk, chain.port.in_valid, &chain.port.in_data,
-            chain.port.stop_out, packets,
+            &mut sim,
+            "src",
+            clk,
+            chain.port.in_valid,
+            &chain.port.in_data,
+            chain.port.stop_out,
+            packets,
         );
         let kj = PacketSink::spawn(
-            &mut sim, "sink", clk, &chain.port.out_data, chain.port.out_valid,
-            chain.port.stop_in, vec![],
+            &mut sim,
+            "sink",
+            clk,
+            &chain.port.out_data,
+            chain.port.out_valid,
+            chain.port.stop_in,
+            vec![],
         );
         sim.run_until(Time::from_us(3)).unwrap();
         let times = kj.times();

@@ -20,12 +20,22 @@ fn run_chain(
     ClockGen::spawn_simple(&mut sim, clk, Time::from_ps(period_ps));
     let chain = RelayChain::spawn(&mut sim, "ch", clk, 8, stations, Time::from_ps(wire_ps));
     let sj = PacketSource::spawn(
-        &mut sim, "src", clk, chain.port.in_valid, &chain.port.in_data,
-        chain.port.stop_out, packets,
+        &mut sim,
+        "src",
+        clk,
+        chain.port.in_valid,
+        &chain.port.in_data,
+        chain.port.stop_out,
+        packets,
     );
     let kj = PacketSink::spawn(
-        &mut sim, "sink", clk, &chain.port.out_data, chain.port.out_valid,
-        chain.port.stop_in, stalls,
+        &mut sim,
+        "sink",
+        clk,
+        &chain.port.out_data,
+        chain.port.out_valid,
+        chain.port.stop_in,
+        stalls,
     );
     sim.run_until(Time::from_us(60)).unwrap();
     (sj.values(), kj.values())

@@ -65,6 +65,8 @@ mod logic;
 mod metastable;
 mod net;
 mod probe;
+#[cfg(test)]
+mod queue_props;
 mod sim;
 mod time;
 pub mod vcd;
@@ -76,13 +78,13 @@ pub use logic::{Logic, LogicVec};
 pub use metastable::{mtbf_seconds, MetaModel};
 pub use net::{DriverId, NetId};
 pub use probe::{Edge, Probe, Waveform};
-pub use sim::{Simulator, Violation, ViolationKind};
+pub use sim::{SimStats, Simulator, Violation, ViolationKind};
 pub use time::Time;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        ClockGen, Component, ComponentId, Ctx, DriverId, Logic, MetaModel, NetId, Probe,
-        SimError, Simulator, Time,
+        ClockGen, Component, ComponentId, Ctx, DriverId, Logic, MetaModel, NetId, Probe, SimError,
+        Simulator, Time,
     };
 }

@@ -114,10 +114,7 @@ pub fn mtbf_seconds(
 ) -> f64 {
     assert!(tau > Time::ZERO, "tau must be positive");
     assert!(window > Time::ZERO, "window must be positive");
-    assert!(
-        f_clk_hz > 0.0 && f_data_hz > 0.0,
-        "rates must be positive"
-    );
+    assert!(f_clk_hz > 0.0 && f_data_hz > 0.0, "rates must be positive");
     let tr = settle_available.as_ps() as f64;
     let tau_ps = tau.as_ps() as f64;
     let tw_s = window.as_ps() as f64 * 1e-12;

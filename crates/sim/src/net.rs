@@ -1,5 +1,8 @@
 //! Nets (wires) and drivers.
 
+use std::cell::OnceCell;
+use std::rc::Rc;
+
 use crate::logic::Logic;
 use crate::time::Time;
 
@@ -31,9 +34,20 @@ impl NetId {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct DriverId(pub(crate) u32);
 
+/// How a net is labelled. Bus bits share one `Rc<str>` base name and
+/// render `base[i]` lazily, so building a wide datapath does not allocate a
+/// formatted `String` per bit.
+#[derive(Debug, Clone)]
+pub(crate) enum NetLabel {
+    Plain(String),
+    Bit { base: Rc<str>, bit: u32 },
+}
+
 #[derive(Debug)]
 pub(crate) struct Net {
-    pub name: String,
+    label: NetLabel,
+    /// Rendered form of a `Bit` label, materialised on first request.
+    name_cache: OnceCell<String>,
     pub drivers: Vec<DriverId>,
     pub watchers: Vec<crate::component::ComponentId>,
     pub resolved: Logic,
@@ -45,15 +59,23 @@ pub(crate) struct Net {
 }
 
 impl Net {
-    pub(crate) fn new(name: String) -> Self {
+    pub(crate) fn new(label: NetLabel) -> Self {
         Net {
-            name,
+            label,
+            name_cache: OnceCell::new(),
             drivers: Vec::new(),
             watchers: Vec::new(),
             resolved: Logic::Z,
             last_change: Time::ZERO,
             traced: false,
             toggles: 0,
+        }
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        match &self.label {
+            NetLabel::Plain(s) => s,
+            NetLabel::Bit { base, bit } => self.name_cache.get_or_init(|| format!("{base}[{bit}]")),
         }
     }
 }

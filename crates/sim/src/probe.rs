@@ -40,9 +40,7 @@ impl Waveform {
                 let last = self.points.last_mut().expect("non-empty");
                 last.1 = v;
                 // Collapse if this undoes the previous change.
-                if self.points.len() >= 2
-                    && self.points[self.points.len() - 2].1 == v
-                {
+                if self.points.len() >= 2 && self.points[self.points.len() - 2].1 == v {
                     self.points.pop();
                 }
                 return;
@@ -193,9 +191,15 @@ mod tests {
     #[test]
     fn next_edge_is_inclusive() {
         let w = wf(&[(0, L), (10, H), (20, L)]);
-        assert_eq!(w.next_edge(Time::from_ns(10), Edge::Rising), Some(Time::from_ns(10)));
+        assert_eq!(
+            w.next_edge(Time::from_ns(10), Edge::Rising),
+            Some(Time::from_ns(10))
+        );
         assert_eq!(w.next_edge(Time::from_ns(11), Edge::Rising), None);
-        assert_eq!(w.next_edge(Time::ZERO, Edge::Falling), Some(Time::from_ns(20)));
+        assert_eq!(
+            w.next_edge(Time::ZERO, Edge::Falling),
+            Some(Time::from_ns(20))
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property tests pitting [`EventQueue`] against a reference `BinaryHeap`.
+//!
+//! The timing wheel must be *observationally identical* to the binary
+//! heap it replaced: any interleaving of pushes and pops yields the same
+//! `(time, seq)` pop sequence. The seeded LCG test in `event.rs` checks
+//! fixed interleavings everywhere (no external crates); this module is
+//! the shrinking-capable `proptest` version, so a violation minimises to
+//! the smallest offending op sequence.
+
+use proptest::prelude::*;
+use std::collections::BinaryHeap;
+
+use crate::component::ComponentId;
+use crate::event::{Event, EventKind, EventQueue};
+use crate::time::Time;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push at `last_popped_time + delta` (the simulator never schedules
+    /// into the past).
+    Push {
+        delta: u64,
+    },
+    Pop,
+}
+
+/// Deltas biased across every tier of the queue: the same-instant delta
+/// ring, the exact-ps near wheel, both coarse levels, and the overflow
+/// map beyond the 2²⁴ ps wheel span.
+fn delta() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => Just(0u64),
+        3 => 1u64..64,
+        3 => 1u64..4_096,
+        2 => 1u64..262_144,
+        2 => 1u64..(1u64 << 24),
+        1 => 1u64..(1u64 << 30),
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => delta().prop_map(|delta| Op::Push { delta }),
+        1 => Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    /// Random push/pop interleavings (including same-instant bursts and
+    /// far-future overflow residents) pop in exactly the reference
+    /// heap's `(time, seq)` order.
+    #[test]
+    fn queue_matches_reference_heap(ops in prop::collection::vec(op(), 1..250)) {
+        let mut q = EventQueue::default();
+        let mut reference: BinaryHeap<Event> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut id = 0u32;
+        for op in ops {
+            match op {
+                Op::Push { delta } => {
+                    let t = Time::from_ps(now + delta);
+                    let kind = EventKind::Wake { comp: ComponentId(id) };
+                    id += 1;
+                    let seq = q.push(t, kind);
+                    reference.push(Event { time: t, seq, kind });
+                }
+                Op::Pop => {
+                    let got = q.pop();
+                    let want = reference.pop();
+                    prop_assert_eq!(
+                        got.map(|e| (e.time, e.seq)),
+                        want.map(|e| (e.time, e.seq))
+                    );
+                    if let Some(e) = got {
+                        now = e.time.as_ps();
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), reference.len());
+        }
+        // Drain both completely: the tail order must agree too.
+        loop {
+            match (q.pop(), reference.pop()) {
+                (None, None) => break,
+                (g, w) => prop_assert_eq!(
+                    g.map(|e| (e.time, e.seq)),
+                    w.map(|e| (e.time, e.seq))
+                ),
+            }
+        }
+    }
+
+    /// A pure burst at one instant behind an arbitrary pre-population
+    /// drains strictly FIFO.
+    #[test]
+    fn same_instant_bursts_stay_fifo(
+        pre in prop::collection::vec(delta(), 0..20),
+        at in 0u64..(1u64 << 25),
+        burst in 2usize..64,
+    ) {
+        let mut q = EventQueue::default();
+        for d in pre {
+            // Strictly after `at`: the burst below must drain first.
+            q.push(Time::from_ps(at + 1 + d), EventKind::Wake { comp: ComponentId(u32::MAX) });
+        }
+        let mut seqs = Vec::with_capacity(burst);
+        for i in 0..burst {
+            seqs.push(q.push(Time::from_ps(at), EventKind::Wake { comp: ComponentId(i as u32) }));
+        }
+        // All burst events share the earliest time `at`, so they must come
+        // out first, in push (= seq) order.
+        for &want_seq in &seqs {
+            let e = q.pop().expect("burst event present");
+            prop_assert_eq!(e.time, Time::from_ps(at));
+            prop_assert_eq!(e.seq, want_seq);
+        }
+    }
+}

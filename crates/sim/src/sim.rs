@@ -3,12 +3,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::rc::Rc;
 
 use crate::component::{Component, ComponentId, Ctx};
 use crate::error::SimError;
 use crate::event::{EventKind, EventQueue};
 use crate::logic::{Logic, LogicVec};
-use crate::net::{Driver, DriverId, Net, NetId};
+use crate::net::{Driver, DriverId, Net, NetId, NetLabel};
 use crate::probe::Waveform;
 use crate::time::Time;
 
@@ -71,6 +72,30 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Kernel counters, taken with [`Simulator::stats`]. Cheap to copy; all
+/// values are cumulative since construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Events popped and dispatched by [`Simulator::run_until`].
+    pub events_processed: u64,
+    /// Highest number of events pending in the queue at once.
+    pub peak_queue_depth: usize,
+    /// Wake requests absorbed into an already-queued wake for the same
+    /// component at the same instant (each one is a queue entry saved).
+    pub coalesced_wakes: u64,
+    /// Events that entered the same-instant delta ring (as opposed to a
+    /// future wheel slot).
+    pub delta_pushes: u64,
+    /// Highest delta-ring occupancy observed — the widest zero-delay
+    /// cascade of the run.
+    pub peak_delta_depth: usize,
+    /// Coarse-level timing-wheel slot refills (each re-places one slot's
+    /// events into finer levels).
+    pub wheel_cascades: u64,
+    /// Events that landed beyond the wheel span in the sorted overflow map.
+    pub overflow_events: u64,
+}
+
 /// The discrete-event simulator. See the [crate docs](crate) for the model.
 pub struct Simulator {
     nets: Vec<Net>,
@@ -87,6 +112,12 @@ pub struct Simulator {
     /// [`SimError::DeltaOverflow`].
     pub max_events_per_instant: u64,
     events_processed: u64,
+    /// Per-component wake-coalescing marker: the instant of a queued,
+    /// not-yet-delivered wake for that component (`Time::MAX` when none).
+    /// A wake request matching the marker is dropped — the queued wake
+    /// already covers it.
+    wake_pending: Vec<Time>,
+    coalesced_wakes: u64,
 }
 
 impl fmt::Debug for Simulator {
@@ -120,6 +151,8 @@ impl Simulator {
             stop_requested: false,
             max_events_per_instant: 2_000_000,
             events_processed: 0,
+            wake_pending: Vec::new(),
+            coalesced_wakes: 0,
         }
     }
 
@@ -128,15 +161,31 @@ impl Simulator {
     /// Creates a new net named `name` (names need not be unique; they label
     /// traces and violation reports).
     pub fn net(&mut self, name: impl Into<String>) -> NetId {
-        let id = NetId(self.nets.len() as u32);
-        self.nets.push(Net::new(name.into()));
-        self.waveforms.push(None);
-        id
+        self.add_net(NetLabel::Plain(name.into()))
     }
 
     /// Creates `width` nets named `name[0]`…`name[width-1]` (LSB first).
+    ///
+    /// The bits share one interned base name; the `name[i]` strings are
+    /// rendered lazily on first [`Simulator::net_name`] lookup, so building
+    /// wide datapaths does not allocate a formatted label per bit.
     pub fn bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.net(format!("{name}[{i}]"))).collect()
+        let base: Rc<str> = Rc::from(name);
+        (0..width)
+            .map(|i| {
+                self.add_net(NetLabel::Bit {
+                    base: Rc::clone(&base),
+                    bit: i as u32,
+                })
+            })
+            .collect()
+    }
+
+    fn add_net(&mut self, label: NetLabel) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net::new(label));
+        self.waveforms.push(None);
+        id
     }
 
     /// Attaches a new driver (initially contributing `Z`) to `net`.
@@ -154,13 +203,10 @@ impl Simulator {
     /// Registers a component and subscribes it to `watch`ed nets. The
     /// component receives an initial wake at the current time so it can
     /// establish its outputs.
-    pub fn add_component(
-        &mut self,
-        component: Box<dyn Component>,
-        watch: &[NetId],
-    ) -> ComponentId {
+    pub fn add_component(&mut self, component: Box<dyn Component>, watch: &[NetId]) -> ComponentId {
         let id = ComponentId(self.components.len() as u32);
         self.components.push(Some(component));
+        self.wake_pending.push(Time::MAX);
         for &n in watch {
             let w = &mut self.nets[n.0 as usize].watchers;
             if !w.contains(&id) {
@@ -234,9 +280,10 @@ impl Simulator {
         }
     }
 
-    /// The name given to `net` at creation.
+    /// The name given to `net` at creation (bus-bit names are rendered on
+    /// first lookup and cached).
     pub fn net_name(&self, net: NetId) -> &str {
-        &self.nets[net.0 as usize].name
+        self.nets[net.0 as usize].name()
     }
 
     /// Number of nets created so far.
@@ -275,6 +322,22 @@ impl Simulator {
         self.events_processed
     }
 
+    /// Snapshot of the kernel counters (queue depths, delta-ring activity,
+    /// wake coalescing). Used by the bench binaries to report how hard the
+    /// scheduler worked for a given experiment.
+    pub fn stats(&self) -> SimStats {
+        let q = self.queue.stats();
+        SimStats {
+            events_processed: self.events_processed,
+            peak_queue_depth: q.peak_depth,
+            coalesced_wakes: self.coalesced_wakes,
+            delta_pushes: q.delta_pushes,
+            peak_delta_depth: q.peak_delta_depth,
+            wheel_cascades: q.cascades,
+            overflow_events: q.overflow_pushes,
+        }
+    }
+
     // ---- scheduling (also used by `Ctx`) ----------------------------------
 
     /// Schedules `driver` to contribute `value` after `delay`, cancelling
@@ -283,7 +346,14 @@ impl Simulator {
     pub(crate) fn drive_in(&mut self, driver: DriverId, value: Logic, delay: Time) {
         let t = self.time + delay;
         let stamp = self.queue.next_seq();
-        let seq = self.queue.push(t, EventKind::Drive { driver, value, stamp });
+        let seq = self.queue.push(
+            t,
+            EventKind::Drive {
+                driver,
+                value,
+                stamp,
+            },
+        );
         debug_assert_eq!(stamp, seq);
         self.drivers[driver.0 as usize].pending_seq = seq;
     }
@@ -293,17 +363,34 @@ impl Simulator {
     /// drives these are *transport*-delay events — they are never cancelled
     /// by later schedules, so a testbench can pre-program a whole stimulus
     /// sequence up front.
-    pub fn drive_at(&mut self, driver: DriverId, _net: NetId, value: Logic, at: Time) {
+    pub fn drive_at(&mut self, driver: DriverId, net: NetId, value: Logic, at: Time) {
+        debug_assert_eq!(
+            self.drivers[driver.0 as usize].net, net,
+            "drive_at: driver {driver:?} is attached to a different net than {net:?}"
+        );
         let t = at.max(self.time);
-        self.queue.push(t, EventKind::Drive {
-            driver,
-            value,
-            stamp: u64::MAX,
-        });
+        self.queue.push(
+            t,
+            EventKind::Drive {
+                driver,
+                value,
+                stamp: u64::MAX,
+            },
+        );
     }
 
     pub(crate) fn schedule_wake(&mut self, comp: ComponentId, at: Time) {
-        self.queue.push(at.max(self.time), EventKind::Wake { comp });
+        let at = at.max(self.time);
+        let idx = comp.0 as usize;
+        if self.wake_pending[idx] == at {
+            // A wake for this component at this instant is already queued
+            // and will run after every net update of the instant — this
+            // request is covered by it.
+            self.coalesced_wakes += 1;
+            return;
+        }
+        self.wake_pending[idx] = at;
+        self.queue.push(at, EventKind::Wake { comp });
     }
 
     // ---- event loop --------------------------------------------------------
@@ -314,14 +401,15 @@ impl Simulator {
     pub fn run_until(&mut self, horizon: Time) -> Result<(), SimError> {
         let mut events_this_instant: u64 = 0;
         let mut instant = self.time;
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
+        loop {
             if self.stop_requested {
                 return Ok(());
             }
-            let ev = self.queue.pop().expect("peeked");
+            // Combined peek-and-pop: a single occupancy scan per instant,
+            // and the cursor never advances past `horizon`.
+            let Some(ev) = self.queue.pop_not_after(horizon) else {
+                break;
+            };
             if ev.time > instant {
                 instant = ev.time;
                 events_this_instant = 0;
@@ -336,10 +424,21 @@ impl Simulator {
             }
             self.time = ev.time;
             match ev.kind {
-                EventKind::Drive { driver, value, stamp } => {
+                EventKind::Drive {
+                    driver,
+                    value,
+                    stamp,
+                } => {
                     self.apply_drive(driver, value, stamp, ev.seq);
                 }
                 EventKind::Wake { comp } => {
+                    // Retire the coalescing marker *before* evaluating, so a
+                    // wake the component schedules for this same instant
+                    // during eval (self-rewake) is queued, not absorbed.
+                    let widx = comp.0 as usize;
+                    if self.wake_pending[widx] == ev.time {
+                        self.wake_pending[widx] = Time::MAX;
+                    }
                     self.eval_component(comp);
                 }
             }
@@ -379,26 +478,47 @@ impl Simulator {
 
     fn recompute_net(&mut self, net: NetId) {
         let idx = net.0 as usize;
-        let resolved = self.nets[idx]
-            .drivers
-            .iter()
-            .map(|&d| self.drivers[d.0 as usize].value)
-            .fold(Logic::Z, Logic::resolve);
-        if resolved == self.nets[idx].resolved {
+        // Single-driver fast path: most nets have exactly one driver, and
+        // `resolve(Z, v) == v`, so the fold collapses to a load.
+        let resolved = match self.nets[idx].drivers.as_slice() {
+            [d] => self.drivers[d.0 as usize].value,
+            ds => ds
+                .iter()
+                .map(|&d| self.drivers[d.0 as usize].value)
+                .fold(Logic::Z, Logic::resolve),
+        };
+        let now = self.time;
+        let n = &mut self.nets[idx];
+        if resolved == n.resolved {
             return;
         }
-        self.nets[idx].resolved = resolved;
-        self.nets[idx].last_change = self.time;
-        self.nets[idx].toggles += 1;
-        if self.nets[idx].traced {
+        n.resolved = resolved;
+        n.last_change = now;
+        n.toggles += 1;
+        if n.traced {
             if let Some(wf) = self.waveforms[idx].as_mut() {
-                wf.record(self.time, resolved);
+                wf.record(now, resolved);
             }
         }
-        // Notify watchers via wake events at the current instant.
-        let watchers: Vec<ComponentId> = self.nets[idx].watchers.clone();
-        for w in watchers {
-            self.schedule_wake(w, self.time);
+        // Notify watchers via wake events at the current instant. Borrowing
+        // the watcher list, the queue and the coalescing markers as disjoint
+        // fields lets this iterate in place — no clone of the watcher Vec
+        // per net change.
+        let now = self.time;
+        let (nets, queue, wake_pending, coalesced) = (
+            &self.nets,
+            &mut self.queue,
+            &mut self.wake_pending,
+            &mut self.coalesced_wakes,
+        );
+        for &w in &nets[idx].watchers {
+            let widx = w.0 as usize;
+            if wake_pending[widx] == now {
+                *coalesced += 1;
+                continue;
+            }
+            wake_pending[widx] = now;
+            queue.push(now, EventKind::Wake { comp: w });
         }
     }
 
@@ -411,7 +531,10 @@ impl Simulator {
             return;
         };
         {
-            let mut ctx = Ctx { sim: self, me: comp };
+            let mut ctx = Ctx {
+                sim: self,
+                me: comp,
+            };
             c.eval(&mut ctx);
         }
         self.components[idx] = Some(c);

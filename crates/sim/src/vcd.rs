@@ -75,13 +75,7 @@ pub fn render_vcd(sim: &Simulator, probes: &[Probe]) -> String {
 /// Renders an ASCII timing diagram of `probes` between `from` and `to`,
 /// sampled every `step`. Scalar signals render as `_`, `#` (high), `x`,
 /// `z`; buses render their hexadecimal value at each change.
-pub fn render_ascii(
-    sim: &Simulator,
-    probes: &[Probe],
-    from: Time,
-    to: Time,
-    step: Time,
-) -> String {
+pub fn render_ascii(sim: &Simulator, probes: &[Probe], from: Time, to: Time, step: Time) -> String {
     assert!(step > Time::ZERO, "step must be positive");
     assert!(to > from, "empty window");
     let cols = ((to - from).as_ps() / step.as_ps()) as usize + 1;
@@ -111,9 +105,7 @@ pub fn render_ascii(
                     .iter()
                     .map(|&n| {
                         sim.waveform(n)
-                            .unwrap_or_else(|| {
-                                panic!("net {} was not traced", sim.net_name(n))
-                            })
+                            .unwrap_or_else(|| panic!("net {} was not traced", sim.net_name(n)))
                             .value_at(t)
                     })
                     .collect();

@@ -162,7 +162,13 @@ fn later_component_schedule_supersedes_earlier() {
     let n = sim.net("n");
     let d = sim.driver(n);
     sim.trace(n);
-    sim.add_component(Box::new(Pulser { out: d, fired: false }), &[]);
+    sim.add_component(
+        Box::new(Pulser {
+            out: d,
+            fired: false,
+        }),
+        &[],
+    );
     sim.run_until(Time::from_ps(3_000)).unwrap();
     let wf = sim.waveform(n).unwrap();
     assert_eq!(sim.value(n), Logic::L);

@@ -106,7 +106,10 @@ mod tests {
         let _r = b.register(clk, Some(q), &d);
         let nl = b.finish();
         let rep = area(&nl);
-        assert_eq!(rep.total, rep.storage + rep.flops + rep.logic + rep.controllers);
+        assert_eq!(
+            rep.total,
+            rep.storage + rep.flops + rep.logic + rep.controllers
+        );
         assert_eq!(rep.logic, 6, "one AND2");
         assert_eq!(rep.flops, 20, "one DFF");
         assert_eq!(rep.storage, 4 * 24, "4-bit register");

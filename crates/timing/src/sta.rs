@@ -78,7 +78,12 @@ impl<'a> Sta<'a> {
         let n_nets = netlist
             .instances()
             .iter()
-            .flat_map(|i| i.data_in.iter().chain(i.outputs.iter()).chain(i.clock.iter()))
+            .flat_map(|i| {
+                i.data_in
+                    .iter()
+                    .chain(i.outputs.iter())
+                    .chain(i.clock.iter())
+            })
             .map(|n| n.index())
             .max()
             .map_or(0, |m| m + 1);
@@ -98,7 +103,10 @@ impl<'a> Sta<'a> {
             } else {
                 for &i in &inst.data_in {
                     for &o in &inst.outputs {
-                        arcs[i.index()].push(Arc { to: o.index(), inst: idx });
+                        arcs[i.index()].push(Arc {
+                            to: o.index(),
+                            inst: idx,
+                        });
                     }
                 }
             }
@@ -460,7 +468,10 @@ mod tests {
         let nl = b.finish();
         Tech::hp06().annotate(&nl);
         let sta = Sta::new(&nl);
-        assert!(!sta.broken_loops().is_empty(), "the inverter loop is reported");
+        assert!(
+            !sta.broken_loops().is_empty(),
+            "the inverter loop is reported"
+        );
         let rep = sta.min_period(clk).expect("clean pipeline still timed");
         assert_eq!(rep.path.len(), 2);
     }

@@ -99,7 +99,12 @@ impl Tech {
         let n_nets = netlist
             .instances()
             .iter()
-            .flat_map(|i| i.data_in.iter().chain(i.outputs.iter()).chain(i.clock.iter()))
+            .flat_map(|i| {
+                i.data_in
+                    .iter()
+                    .chain(i.outputs.iter())
+                    .chain(i.clock.iter())
+            })
             .map(|n| n.index())
             .max()
             .map_or(0, |m| m + 1);
@@ -141,9 +146,8 @@ impl Tech {
     /// governs.
     pub fn annotate(&self, netlist: &Netlist) -> Vec<Time> {
         let loads = self.net_loads(netlist);
-        let load_of = |net: mtf_sim::NetId| -> f64 {
-            loads.get(net.index()).copied().unwrap_or(0.0)
-        };
+        let load_of =
+            |net: mtf_sim::NetId| -> f64 { loads.get(net.index()).copied().unwrap_or(0.0) };
 
         let cd = *netlist.cell_delays();
         let table = netlist.delay_table();

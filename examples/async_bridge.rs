@@ -56,17 +56,28 @@ fn main() {
     // The bursty sensor: clumps of samples with idle gaps.
     let samples: Vec<u64> = (0..120).map(|i| (i * 13) % 256).collect();
     let sensor = FourPhaseProducer::spawn(
-        &mut sim, "sensor", ars.req_in, ars.ack_in, &ars.data_in, samples.clone(),
+        &mut sim,
+        "sensor",
+        ars.req_in,
+        ars.ack_in,
+        &ars.data_in,
+        samples.clone(),
         Time::from_ps(400),
         Time::from_ns(2), // idle gap between handshakes
     );
     // The DSP consumes continuously, with one stall window.
     let dsp = PacketSink::spawn(
-        &mut sim, "dsp", clk, &srs.port.out_data, srs.port.out_valid, srs.port.stop_in,
+        &mut sim,
+        "dsp",
+        clk,
+        &srs.port.out_data,
+        srs.port.out_valid,
+        srs.port.stop_in,
         vec![(50, 80)],
     );
 
-    sim.run_until(Time::from_us(20)).expect("simulation completes");
+    sim.run_until(Time::from_us(20))
+        .expect("simulation completes");
 
     assert_eq!(dsp.values(), samples, "every sample arrives, in order");
     println!("async sensor -> 3-stage micropipeline -> ASRS(8x{W}) -> 2 SRS -> 266 MHz DSP");

@@ -59,24 +59,43 @@ fn main() {
     let n_packets = 400u64;
     let packets: Vec<Option<u64>> = (0..n_packets).map(|v| Some(v % 251)).collect();
     let src = PacketSource::spawn(
-        &mut sim, "producer", clk_a, chain_a.port.in_valid, &chain_a.port.in_data,
-        chain_a.port.stop_out, packets.clone(),
+        &mut sim,
+        "producer",
+        clk_a,
+        chain_a.port.in_valid,
+        &chain_a.port.in_data,
+        chain_a.port.stop_out,
+        packets.clone(),
     );
     let sink = PacketSink::spawn(
-        &mut sim, "consumer", clk_b, &chain_b.port.out_data, chain_b.port.out_valid,
-        chain_b.port.stop_in, vec![(100, 160)],
+        &mut sim,
+        "consumer",
+        clk_b,
+        &chain_b.port.out_data,
+        chain_b.port.out_valid,
+        chain_b.port.stop_in,
+        vec![(100, 160)],
     );
 
-    sim.run_until(Time::from_us(15)).expect("simulation completes");
+    sim.run_until(Time::from_us(15))
+        .expect("simulation completes");
 
     let expect: Vec<u64> = (0..n_packets).map(|v| v % 251).collect();
-    assert_eq!(sink.values(), expect, "no packet lost, duplicated or reordered");
+    assert_eq!(
+        sink.values(),
+        expect,
+        "no packet lost, duplicated or reordered"
+    );
 
     let first = sink.time_of(0).expect("delivered");
     let rate = sink.ops_per_second(200).expect("steady state") / 1e6;
     println!("latency-insensitive SoC: 3 SRS -> MCRS(8x{W}) -> 2 SRS");
     println!("  {n_packets} packets delivered intact across the 320->250 MHz boundary");
-    println!("  pipeline fill latency: {:.1} ns ({} stations + boundary FIFO)", first.as_ns_f64(), 5);
+    println!(
+        "  pipeline fill latency: {:.1} ns ({} stations + boundary FIFO)",
+        first.as_ns_f64(),
+        5
+    );
     println!("  steady-state throughput: {rate:.0} M packets/s");
     println!("  theoretical bound (slower clock): 250 M packets/s");
     println!(

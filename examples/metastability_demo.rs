@@ -11,9 +11,7 @@
 //! suppresses them exponentially, matching the analytical MTBF curve.
 
 use mtf_gates::{Builder, CellDelays};
-use mtf_sim::{
-    mtbf_seconds, ClockGen, Logic, MetaModel, Simulator, Time, ViolationKind,
-};
+use mtf_sim::{mtbf_seconds, ClockGen, Logic, MetaModel, Simulator, Time, ViolationKind};
 
 /// Counts sampling failures of an n-stage synchronizer fed by an
 /// asynchronous toggler, under the given model.
@@ -28,7 +26,11 @@ fn failures(stages: usize, meta: MetaModel, seed: u64) -> (usize, u64) {
     let mut t = Time::from_ps(137);
     let mut level = Logic::L;
     for _ in 0..4_000 {
-        level = if level == Logic::H { Logic::L } else { Logic::H };
+        level = if level == Logic::H {
+            Logic::L
+        } else {
+            Logic::H
+        };
         sim.drive_at(d, data, level, t);
         t += Time::from_ps(3_001);
     }

@@ -42,19 +42,34 @@ fn main() {
     sim.trace(fifo.full);
     sim.trace(fifo.empty);
     let put_journal = SyncProducer::spawn(
-        &mut sim, "producer", clk_put, fifo.req_put, &fifo.data_put, fifo.full,
+        &mut sim,
+        "producer",
+        clk_put,
+        fifo.req_put,
+        &fifo.data_put,
+        fifo.full,
         items.clone(),
     );
     let get_journal = SyncConsumer::spawn(
-        &mut sim, "consumer", clk_get, fifo.req_get, &fifo.data_get, fifo.valid_get,
+        &mut sim,
+        "consumer",
+        clk_get,
+        fifo.req_get,
+        &fifo.data_get,
+        fifo.valid_get,
         items.len() as u64,
     );
 
     // 4. Run.
-    sim.run_until(Time::from_us(10)).expect("simulation completes");
+    sim.run_until(Time::from_us(10))
+        .expect("simulation completes");
 
     // 5. Report.
-    assert_eq!(get_journal.values(), items, "every item, in order, exactly once");
+    assert_eq!(
+        get_journal.values(),
+        items,
+        "every item, in order, exactly once"
+    );
     let put_rate = put_journal.ops_per_second(20).unwrap_or(0.0) / 1e6;
     let get_rate = get_journal.ops_per_second(20).unwrap_or(0.0) / 1e6;
     println!("transferred {} items intact", items.len());
@@ -62,11 +77,17 @@ fn main() {
     println!("  sustained get rate: {get_rate:.1} M items/s (get clock:  77 MHz)");
     println!(
         "  producer stalled on `full` {} times (slower consumer exerting back-pressure)",
-        sim.waveform(fifo.full).expect("traced").edges(Edge::Rising).count()
+        sim.waveform(fifo.full)
+            .expect("traced")
+            .edges(Edge::Rising)
+            .count()
     );
     println!(
         "  consumer saw `empty` deassert {} times",
-        sim.waveform(fifo.empty).expect("traced").edges(Edge::Falling).count()
+        sim.waveform(fifo.empty)
+            .expect("traced")
+            .edges(Edge::Falling)
+            .count()
     );
     println!();
     println!("The slower (77 MHz) side governs: both rates converge to it, the");

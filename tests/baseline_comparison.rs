@@ -20,18 +20,25 @@ fn gray_min_latency(params: FifoParams) -> f64 {
         let mut sim = Simulator::new(9);
         let clk_put = sim.net("clk_put");
         let clk_get = sim.net("clk_get");
-        ClockGen::builder(t_put).phase(offset).spawn(&mut sim, clk_put);
+        ClockGen::builder(t_put)
+            .phase(offset)
+            .spawn(&mut sim, clk_put);
         ClockGen::spawn_simple(&mut sim, clk_get, t_get);
         let mut b = Builder::with_delays(&mut sim, CellDelays::hp06_custom(), MetaModel::ideal());
         let f = GrayPointerFifo::build(&mut b, params, clk_put, clk_get);
         let nl = b.finish();
         mtf_timing::Tech::hp06_custom().annotate(&nl);
         let cj = SyncConsumer::spawn(
-            &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, 1,
+            &mut sim,
+            "c",
+            clk_get,
+            f.req_get,
+            &f.data_get,
+            f.valid_get,
+            1,
         );
         let warm = t_get * 40;
-        let k = (warm.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps())
-            / t_put.as_ps();
+        let k = (warm.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps()) / t_put.as_ps();
         let t0 = offset + t_put * k + Time::from_ps(100);
         for (i, &dn) in f.data_put.iter().enumerate() {
             let d = sim.driver(dn);
@@ -79,7 +86,13 @@ fn paper_beats_seizovic_by_depth_independence() {
     sim.drive_at(rd, port.put_req, Logic::H, t0 + Time::from_ps(200));
     sim.drive_at(rd, port.put_req, Logic::L, t0 + Time::from_ns(40));
     let cj = SyncConsumer::spawn(
-        &mut sim, "c", clk, port.req_get, &port.data_get, port.valid_get, 1,
+        &mut sim,
+        "c",
+        clk,
+        port.req_get,
+        &port.data_get,
+        port.valid_get,
+        1,
     );
     sim.run_until(Time::from_us(3)).unwrap();
     let szv_ns = (cj.time_of(0).expect("delivered") - t0).as_ps() as f64 / 1000.0;
@@ -101,13 +114,11 @@ fn paper_beats_per_cell_sync_on_area() {
             let clk_get = sim.net("clk_get");
             let mut b = Builder::new(&mut sim);
             if per_cell {
-                let _ = PerCellSyncFifo::build(
-                    &mut b, FifoParams::new(capacity, 8), clk_put, clk_get,
-                );
+                let _ =
+                    PerCellSyncFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
             } else {
-                let _ = MixedClockFifo::build(
-                    &mut b, FifoParams::new(capacity, 8), clk_put, clk_get,
-                );
+                let _ =
+                    MixedClockFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
             }
             area(&b.finish())
         };
@@ -139,10 +150,22 @@ fn all_baselines_are_still_correct_fifos() {
     let f = GrayPointerFifo::build(&mut b, FifoParams::new(8, 8), clk_put, clk_get);
     drop(b.finish());
     let _pj = SyncProducer::spawn(
-        &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        &mut sim,
+        "p",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "c",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     sim.run_until(Time::from_us(10)).unwrap();
     assert_eq!(cj.values(), items, "gray-pointer");
@@ -159,10 +182,22 @@ fn all_baselines_are_still_correct_fifos() {
     let f = PerCellSyncFifo::build(&mut b, FifoParams::new(8, 8), clk_put, clk_get);
     drop(b.finish());
     let _pj = SyncProducer::spawn(
-        &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        &mut sim,
+        "p",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "c",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     sim.run_until(Time::from_us(10)).unwrap();
     assert_eq!(cj.values(), items, "per-cell sync");

@@ -27,10 +27,22 @@ fn mixed_clock(seed: u64, p: FifoParams, t_put: u64, t_get: u64, items: &[u64]) 
     let f = MixedClockFifo::build(&mut b, p, clk_put, clk_get);
     drop(b.finish());
     let _pj = SyncProducer::spawn(
-        &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.to_vec(),
+        &mut sim,
+        "p",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.to_vec(),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "c",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     sim.run_until(HORIZON).unwrap();
     cj.values()
@@ -46,11 +58,23 @@ fn async_sync(seed: u64, p: FifoParams, t_get: u64, items: &[u64]) -> Vec<u64> {
     let f = AsyncSyncFifo::build(&mut b, p, clk_get);
     drop(b.finish());
     let _ph = FourPhaseProducer::spawn(
-        &mut sim, "p", f.put_req, f.put_ack, &f.put_data, items.to_vec(),
-        Time::from_ps(400), Time::from_ps(seed % 3_000),
+        &mut sim,
+        "p",
+        f.put_req,
+        f.put_ack,
+        &f.put_data,
+        items.to_vec(),
+        Time::from_ps(400),
+        Time::from_ps(seed % 3_000),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "c", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "c",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     sim.run_until(HORIZON).unwrap();
     cj.values()
@@ -64,10 +88,21 @@ fn sync_async(seed: u64, p: FifoParams, t_put: u64, items: &[u64]) -> Vec<u64> {
     let f = SyncAsyncFifo::build(&mut b, p, clk_put);
     drop(b.finish());
     let _pj = SyncProducer::spawn(
-        &mut sim, "p", clk_put, f.req_put, &f.data_put, f.full, items.to_vec(),
+        &mut sim,
+        "p",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.to_vec(),
     );
     let gh = FourPhaseGetter::spawn(
-        &mut sim, "g", f.get_req, f.get_ack, &f.get_data, items.len(),
+        &mut sim,
+        "g",
+        f.get_req,
+        f.get_ack,
+        &f.get_data,
+        items.len(),
         Time::from_ps(seed % 2_000),
     );
     sim.run_until(HORIZON).unwrap();
@@ -80,11 +115,22 @@ fn async_async(seed: u64, p: FifoParams, items: &[u64]) -> Vec<u64> {
     let f = AsyncAsyncFifo::build(&mut b, p);
     drop(b.finish());
     let _ph = FourPhaseProducer::spawn(
-        &mut sim, "p", f.put_req, f.put_ack, &f.put_data, items.to_vec(),
-        Time::from_ps(400), Time::from_ps(seed % 2_500),
+        &mut sim,
+        "p",
+        f.put_req,
+        f.put_ack,
+        &f.put_data,
+        items.to_vec(),
+        Time::from_ps(400),
+        Time::from_ps(seed % 2_500),
     );
     let gh = FourPhaseGetter::spawn(
-        &mut sim, "g", f.get_req, f.get_ack, &f.get_data, items.len(),
+        &mut sim,
+        "g",
+        f.get_req,
+        f.get_ack,
+        &f.get_data,
+        items.len(),
         Time::from_ps((seed * 7) % 2_500),
     );
     sim.run_until(HORIZON).unwrap();
@@ -111,10 +157,21 @@ fn mcrs(seed: u64, p: FifoParams, t_put: u64, t_get: u64, items: &[u64]) -> Vec<
         packets.push(Some(v));
     }
     let _sj = PacketSource::spawn(
-        &mut sim, "s", clk_put, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+        &mut sim,
+        "s",
+        clk_put,
+        rs.valid_in,
+        &rs.data_put,
+        rs.stop_out,
+        packets,
     );
     let kj = PacketSink::spawn(
-        &mut sim, "k", clk_get, &rs.data_get, rs.valid_get, rs.stop_in,
+        &mut sim,
+        "k",
+        clk_get,
+        &rs.data_get,
+        rs.valid_get,
+        rs.stop_in,
         vec![(seed % 40 + 10, seed % 40 + 25)],
     );
     sim.run_until(HORIZON).unwrap();
@@ -131,11 +188,22 @@ fn asrs(seed: u64, p: FifoParams, t_get: u64, items: &[u64]) -> Vec<u64> {
     let rs = AsyncSyncRelayStation::build(&mut b, p, clk_get);
     drop(b.finish());
     let _ph = FourPhaseProducer::spawn(
-        &mut sim, "p", rs.put_req, rs.put_ack, &rs.put_data, items.to_vec(),
-        Time::from_ps(400), Time::ZERO,
+        &mut sim,
+        "p",
+        rs.put_req,
+        rs.put_ack,
+        &rs.put_data,
+        items.to_vec(),
+        Time::from_ps(400),
+        Time::ZERO,
     );
     let kj = PacketSink::spawn(
-        &mut sim, "k", clk_get, &rs.data_get, rs.valid_get, rs.stop_in,
+        &mut sim,
+        "k",
+        clk_get,
+        &rs.data_get,
+        rs.valid_get,
+        rs.stop_in,
         vec![(seed % 30 + 5, seed % 30 + 20)],
     );
     sim.run_until(HORIZON).unwrap();

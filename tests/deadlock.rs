@@ -33,11 +33,24 @@ fn run(
     let f = MixedClockFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
     drop(b.finish());
     let pj = SyncProducer::spawn_every(
-        &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.to_vec(), put_every,
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.to_vec(),
+        put_every,
     );
     let cj = SyncConsumer::spawn_every(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get,
-        items.len() as u64, get_every,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
+        get_every,
     );
     // Generous horizon: every schedule below finishes well within this.
     let horizon = Time::from_ps(

@@ -1,0 +1,119 @@
+//! End-to-end determinism: two identically seeded runs of the same
+//! mixed-clock transfer must agree on *everything observable* — delivered
+//! data, per-net toggle counts, the violation log, and the kernel's event
+//! count.
+//!
+//! This pins the event-kernel contract (see `crates/sim/src/event.rs`):
+//! the timing wheel pops in exactly `(time, seq)` order, all randomness
+//! flows from the simulator's single seeded RNG, and neither wake
+//! coalescing nor the delta ring may change the order components observe.
+
+use mtf_core::env::{SyncConsumer, SyncProducer};
+use mtf_core::{FifoParams, MixedClockFifo};
+use mtf_gates::{Builder, CellDelays};
+use mtf_sim::{ClockGen, MetaModel, Simulator, Time};
+
+/// Everything observable about one run, for whole-value comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    delivered: Vec<u64>,
+    toggles: Vec<(String, u64)>,
+    violations: Vec<String>,
+    events: u64,
+}
+
+/// One plesiochronous transfer under a deliberately harsh metastability
+/// model (so the RNG actually gets consulted), summarised as a comparable
+/// fingerprint.
+fn fingerprint(seed: u64) -> Fingerprint {
+    let harsh = MetaModel {
+        window: Time::from_ps(400),
+        tau: Time::from_ps(2_500),
+        max_settle: Time::from_ps(25_000),
+    };
+    let mut sim = Simulator::new(seed);
+    let clk_put = sim.net("clk_put");
+    let clk_get = sim.net("clk_get");
+    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ps(9_973));
+    ClockGen::builder(Time::from_ps(10_007))
+        .phase(Time::from_ps(seed % 9_000))
+        .spawn(&mut sim, clk_get);
+    let mut b = Builder::with_delays(&mut sim, CellDelays::hp06(), harsh);
+    let f = MixedClockFifo::build(
+        &mut b,
+        FifoParams::with_sync_stages(8, 8, 2),
+        clk_put,
+        clk_get,
+    );
+    drop(b.finish());
+    let items: Vec<u64> = (0..40).collect();
+    let _pj = SyncProducer::spawn(
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
+    );
+    let cj = SyncConsumer::spawn(
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
+    );
+    sim.run_until(Time::from_us(5)).expect("simulation runs");
+
+    let toggles: Vec<(String, u64)> = (0..sim.net_count())
+        .map(|i| {
+            let n = mtf_sim::NetId::from_index(i);
+            (sim.net_name(n).to_string(), sim.toggles(n))
+        })
+        .collect();
+    let violations: Vec<String> = sim.violations().iter().map(|v| v.to_string()).collect();
+    Fingerprint {
+        delivered: cj.values(),
+        toggles,
+        violations,
+        events: sim.stats().events_processed,
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_bit_for_bit() {
+    let a = fingerprint(11);
+    let b = fingerprint(11);
+    assert_eq!(
+        a.delivered, b.delivered,
+        "delivered data differs between identical runs"
+    );
+    assert_eq!(
+        a.toggles, b.toggles,
+        "toggle counts differ between identical runs"
+    );
+    assert_eq!(
+        a.violations, b.violations,
+        "violation logs differ between identical runs"
+    );
+    assert_eq!(
+        a.events, b.events,
+        "event counts differ between identical runs"
+    );
+}
+
+#[test]
+fn different_seeds_actually_diverge() {
+    // Sanity check that the fingerprint is sensitive at all: under the
+    // harsh metastability model, different seeds shift the get-clock
+    // phase (by `seed % 9000` ps — pick seeds far apart) and the
+    // settling draws, so *something* observable moves.
+    let a = fingerprint(11);
+    let b = fingerprint(7_477);
+    assert_ne!(
+        a, b,
+        "fingerprint is insensitive to the seed — the test proves nothing"
+    );
+}

@@ -42,14 +42,25 @@ fn transfer(seed: u64, stages: usize, meta: MetaModel) -> (bool, usize) {
     drop(b.finish());
     let items: Vec<u64> = (0..40).collect();
     let pj = SyncProducer::spawn(
-        &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
-    let ok = sim.run_until(Time::from_us(4)).is_ok()
-        && pj.len() == items.len()
-        && cj.values() == items;
+    let ok =
+        sim.run_until(Time::from_us(4)).is_ok() && pj.len() == items.len() && cj.values() == items;
     let events = sim.violations_of(ViolationKind::Metastability).count();
     (ok, events)
 }
@@ -92,7 +103,10 @@ fn deeper_chains_also_survive() {
 fn realistic_model_is_clean_at_paper_depth() {
     for s in 0..5 {
         let (ok, _) = transfer(500 + s, 2, MetaModel::hp06());
-        assert!(ok, "seed {s}: realistic flops, two stages: no failures expected");
+        assert!(
+            ok,
+            "seed {s}: realistic flops, two stages: no failures expected"
+        );
     }
 }
 
@@ -104,7 +118,9 @@ fn mtbf_grows_exponentially_per_stage() {
         let settle = Time::from_ps(period.as_ps() / 2) + period * (stages - 1);
         mtbf_seconds(settle, m.tau, m.window, 500e6, 500e6)
     };
-    let per_stage = (2..=4).map(|k| mtbf_at(k) / mtbf_at(k - 1)).collect::<Vec<_>>();
+    let per_stage = (2..=4)
+        .map(|k| mtbf_at(k) / mtbf_at(k - 1))
+        .collect::<Vec<_>>();
     let expected = (period.as_ps() as f64 / m.tau.as_ps() as f64).exp();
     for r in per_stage {
         assert!(

@@ -40,12 +40,22 @@ fn mixed_clock_system(
 
     let packets: Vec<Option<u64>> = (0..n).map(|v| Some(v % 256)).collect();
     let sj = PacketSource::spawn(
-        &mut sim, "src", clk_a, chain_a.port.in_valid, &chain_a.port.in_data,
-        chain_a.port.stop_out, packets,
+        &mut sim,
+        "src",
+        clk_a,
+        chain_a.port.in_valid,
+        &chain_a.port.in_data,
+        chain_a.port.stop_out,
+        packets,
     );
     let kj = PacketSink::spawn(
-        &mut sim, "sink", clk_b, &chain_b.port.out_data, chain_b.port.out_valid,
-        chain_b.port.stop_in, stalls,
+        &mut sim,
+        "sink",
+        clk_b,
+        &chain_b.port.out_data,
+        chain_b.port.out_valid,
+        chain_b.port.stop_in,
+        stalls,
     );
     sim.run_until(Time::from_us(40)).unwrap();
     (sj.values(), kj.values())
@@ -61,11 +71,18 @@ fn boundary_chain_is_lossless() {
 #[test]
 fn boundary_chain_survives_nested_stalls() {
     let (sent, got) = mixed_clock_system(
-        2, 3_125, 4_000, 3, 2,
+        2,
+        3_125,
+        4_000,
+        3,
+        2,
         vec![(20, 45), (60, 61), (70, 120), (200, 230)],
         200,
     );
-    assert_eq!(got, sent, "stalls rippling across the boundary lose nothing");
+    assert_eq!(
+        got, sent,
+        "stalls rippling across the boundary lose nothing"
+    );
 }
 
 #[test]
@@ -99,16 +116,31 @@ fn fig14_async_to_sync_system() {
 
     let items: Vec<u64> = (0..100).map(|i| (i * 7) % 256).collect();
     let ph = FourPhaseProducer::spawn(
-        &mut sim, "prod", ars.req_in, ars.ack_in, &ars.data_in, items.clone(),
-        Time::from_ps(400), Time::ZERO,
+        &mut sim,
+        "prod",
+        ars.req_in,
+        ars.ack_in,
+        &ars.data_in,
+        items.clone(),
+        Time::from_ps(400),
+        Time::ZERO,
     );
     let kj = PacketSink::spawn(
-        &mut sim, "sink", clk, &srs.port.out_data, srs.port.out_valid, srs.port.stop_in,
+        &mut sim,
+        "sink",
+        clk,
+        &srs.port.out_data,
+        srs.port.out_valid,
+        srs.port.stop_in,
         vec![(40, 70)],
     );
     sim.run_until(Time::from_us(30)).unwrap();
     assert_eq!(ph.journal().len(), items.len(), "all handshakes completed");
-    assert_eq!(kj.values(), items, "async-origin packets intact through the sync chain");
+    assert_eq!(
+        kj.values(),
+        items,
+        "async-origin packets intact through the sync chain"
+    );
 }
 
 #[test]
@@ -127,17 +159,33 @@ fn throughput_tracks_the_slower_domain() {
         drop(b.finish());
         let packets: Vec<Option<u64>> = (0..300).map(|v| Some(v % 256)).collect();
         let _sj = PacketSource::spawn(
-            &mut sim, "src", clk_a, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+            &mut sim,
+            "src",
+            clk_a,
+            rs.valid_in,
+            &rs.data_put,
+            rs.stop_out,
+            packets,
         );
         let kj = PacketSink::spawn(
-            &mut sim, "sink", clk_b, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+            &mut sim,
+            "sink",
+            clk_b,
+            &rs.data_get,
+            rs.valid_get,
+            rs.stop_in,
+            vec![],
         );
         sim.run_until(Time::from_us(20)).unwrap();
         kj.ops_per_second(100).expect("steady state")
     };
     // 320 MHz -> 250 MHz: bound by the get side.
     let down = rate(3_125, 4_000);
-    assert!((down / 250e6 - 1.0).abs() < 0.06, "got {:.0} MHz", down / 1e6);
+    assert!(
+        (down / 250e6 - 1.0).abs() < 0.06,
+        "got {:.0} MHz",
+        down / 1e6
+    );
     // 250 MHz -> 320 MHz: bound by the put side.
     let up = rate(4_000, 3_125);
     assert!((up / 250e6 - 1.0).abs() < 0.06, "got {:.0} MHz", up / 1e6);

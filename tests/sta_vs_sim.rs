@@ -28,10 +28,22 @@ fn simulate_at(params: FifoParams, t_put: Time, t_get: Time, seed: u64) -> (usiz
     mtf_timing::Tech::hp06_custom().annotate(&nl);
     let items: Vec<u64> = (0..60).collect();
     let pj = SyncProducer::spawn(
-        &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     sim.run_until(Time::from_us(10)).unwrap();
     let viol = sim.violations_of(ViolationKind::Setup).count()

@@ -38,17 +38,35 @@ fn mixed_clock_fifo_one_op_per_cycle_both_sides() {
     drop(b.finish());
     let items: Vec<u64> = (0..200).collect();
     let pj = SyncProducer::spawn(
-        &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     sim.run_until(Time::from_us(6)).unwrap();
     assert_eq!(cj.values(), items);
     let put_b2b = back_to_back_fraction(&pj.times(), 10_000);
     let get_b2b = back_to_back_fraction(&cj.times(), 10_000);
-    assert!(put_b2b > 0.95, "puts complete every cycle (got {put_b2b:.2})");
-    assert!(get_b2b > 0.95, "gets complete every cycle (got {get_b2b:.2})");
+    assert!(
+        put_b2b > 0.95,
+        "puts complete every cycle (got {put_b2b:.2})"
+    );
+    assert!(
+        get_b2b > 0.95,
+        "gets complete every cycle (got {get_b2b:.2})"
+    );
 }
 
 #[test]
@@ -65,10 +83,22 @@ fn mcrs_streams_one_packet_per_cycle() {
     drop(b.finish());
     let packets: Vec<Option<u64>> = (0..200).map(Some).collect();
     let _sj = PacketSource::spawn(
-        &mut sim, "src", clk_put, rs.valid_in, &rs.data_put, rs.stop_out, packets,
+        &mut sim,
+        "src",
+        clk_put,
+        rs.valid_in,
+        &rs.data_put,
+        rs.stop_out,
+        packets,
     );
     let kj = PacketSink::spawn(
-        &mut sim, "sink", clk_get, &rs.data_get, rs.valid_get, rs.stop_in, vec![],
+        &mut sim,
+        "sink",
+        clk_get,
+        &rs.data_get,
+        rs.valid_get,
+        rs.stop_in,
+        vec![],
     );
     sim.run_until(Time::from_us(6)).unwrap();
     assert_eq!(kj.values(), (0..200).collect::<Vec<u64>>());
@@ -91,11 +121,23 @@ fn async_sync_get_side_has_no_overhead() {
     drop(b.finish());
     let items: Vec<u64> = (0..200).collect();
     let _ph = FourPhaseProducer::spawn(
-        &mut sim, "prod", f.put_req, f.put_ack, &f.put_data, items.clone(),
-        Time::from_ps(300), Time::ZERO,
+        &mut sim,
+        "prod",
+        f.put_req,
+        f.put_ack,
+        &f.put_data,
+        items.clone(),
+        Time::from_ps(300),
+        Time::ZERO,
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     sim.run_until(Time::from_us(8)).unwrap();
     assert_eq!(cj.values(), items);
@@ -122,10 +164,22 @@ fn undersized_fifo_does_cost_throughput() {
     drop(b.finish());
     let items: Vec<u64> = (0..120).collect();
     let _pj = SyncProducer::spawn(
-        &mut sim, "prod", clk_put, f.req_put, &f.data_put, f.full, items.clone(),
+        &mut sim,
+        "prod",
+        clk_put,
+        f.req_put,
+        &f.data_put,
+        f.full,
+        items.clone(),
     );
     let cj = SyncConsumer::spawn(
-        &mut sim, "cons", clk_get, f.req_get, &f.data_get, f.valid_get, items.len() as u64,
+        &mut sim,
+        "cons",
+        clk_get,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        items.len() as u64,
     );
     sim.run_until(Time::from_us(20)).unwrap();
     assert_eq!(cj.values(), items, "still correct, just slower");
