@@ -9,7 +9,8 @@
 //! * **Capacity scaling** of the detector trees.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mtf_bench::measure::{periods, throughput, Design};
+use mtf_bench::measure::{periods, throughput};
+use mtf_core::design::MIXED_CLOCK;
 use mtf_core::env::{SyncConsumer, SyncProducer};
 use mtf_core::{FifoParams, MixedClockFifo};
 use mtf_gates::Builder;
@@ -20,13 +21,13 @@ fn sync_depth_ablation(c: &mut Criterion) {
     g.sample_size(10);
     for stages in [2usize, 3, 4] {
         let params = FifoParams::with_sync_stages(8, 8, stages);
-        let t = throughput(Design::MixedClock, params);
+        let t = throughput(&MIXED_CLOCK, params);
         println!(
             "sync depth {stages}: put {:6.1} MHz  get {:6.1} MHz",
             t.put, t.get
         );
         g.bench_function(format!("stages_{stages}"), |b| {
-            b.iter(|| periods(Design::MixedClock, params))
+            b.iter(|| periods(&MIXED_CLOCK, params))
         });
     }
     g.finish();
@@ -37,13 +38,13 @@ fn capacity_ablation(c: &mut Criterion) {
     g.sample_size(10);
     for capacity in [4usize, 8, 16, 32] {
         let params = FifoParams::new(capacity, 8);
-        let t = throughput(Design::MixedClock, params);
+        let t = throughput(&MIXED_CLOCK, params);
         println!(
             "capacity {capacity:2}: put {:6.1} MHz  get {:6.1} MHz (detector tree depth grows)",
             t.put, t.get
         );
         g.bench_function(format!("places_{capacity}"), |b| {
-            b.iter(|| periods(Design::MixedClock, params))
+            b.iter(|| periods(&MIXED_CLOCK, params))
         });
     }
     g.finish();

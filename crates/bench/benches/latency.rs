@@ -4,22 +4,25 @@
 //! latency half of Table 1 for that shape.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mtf_bench::measure::{latency, Design};
+use mtf_bench::measure::latency;
+use mtf_core::design::DesignRegistry;
 use mtf_core::FifoParams;
 
 fn bench_latency(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_latency");
     g.sample_size(10);
     let params = FifoParams::new(4, 8);
-    for design in Design::ALL {
+    for design in DesignRegistry::table1().iter() {
         let l = latency(design, params, 4);
         println!(
             "{:<15} 4x8 latency: min {:.2} ns  max {:.2} ns",
-            design.label(),
+            design.kind().label(),
             l.min_ns,
             l.max_ns
         );
-        g.bench_function(design.label(), |b| b.iter(|| latency(design, params, 2)));
+        g.bench_function(design.kind().label(), |b| {
+            b.iter(|| latency(design, params, 2))
+        });
     }
     g.finish();
 }

@@ -5,30 +5,32 @@
 //! run doubles as a compact Table 1 regeneration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mtf_bench::measure::{throughput, Design};
-use mtf_core::FifoParams;
+use mtf_bench::measure::throughput;
+use mtf_core::design::DesignRegistry;
+use mtf_core::{FifoParams, InterfaceSpec};
 
 fn bench_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_throughput");
     g.sample_size(10);
-    for design in Design::ALL {
+    for design in DesignRegistry::table1().iter() {
         for &(capacity, width) in &[(4usize, 8usize), (16, 16)] {
             let params = FifoParams::new(capacity, width);
             let t = throughput(design, params);
+            let async_put = matches!(
+                design.put_interface(params),
+                InterfaceSpec::Async4Phase { .. }
+            );
             println!(
                 "{:<15} {capacity:2}x{width:2}: put {:6.1} {}  get {:6.1} MHz",
-                design.label(),
+                design.kind().label(),
                 t.put,
-                if design.async_put() {
-                    "MOps/s"
-                } else {
-                    "MHz   "
-                },
+                if async_put { "MOps/s" } else { "MHz   " },
                 t.get,
             );
-            g.bench_function(format!("{}/{capacity}x{width}", design.label()), |b| {
-                b.iter(|| throughput(design, params))
-            });
+            g.bench_function(
+                format!("{}/{capacity}x{width}", design.kind().label()),
+                |b| b.iter(|| throughput(design, params)),
+            );
         }
     }
     g.finish();

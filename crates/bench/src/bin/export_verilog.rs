@@ -4,160 +4,126 @@
 //! ```text
 //! cargo run -p mtf-bench --bin export_verilog --release [-- <capacity> <width>]
 //! ```
+//!
+//! The export loop iterates the design registry: any design registered in
+//! [`DesignRegistry::paper`] is exported with a port list derived from its
+//! interface specs — clocks first, then the put side, then the get side.
+//! `--json` emits one structured [`ExperimentReport`] (files are still
+//! written).
 
-use mtf_core::{
-    AsyncAsyncFifo, AsyncSyncFifo, AsyncSyncRelayStation, FifoParams, MixedClockFifo,
-    MixedClockRelayStation, SyncAsyncFifo,
-};
-use mtf_gates::{to_verilog, Builder, Port};
-use mtf_sim::Simulator;
+use mtf_bench::args::Args;
+use mtf_bench::harness::Harness;
+use mtf_bench::json::Json;
+use mtf_bench::report::{DesignEntry, ExperimentReport};
+use mtf_core::design::DesignRegistry;
+use mtf_core::{DesignPorts, FifoParams, InterfaceSpec, MixedTimingDesign};
+use mtf_gates::{to_verilog, Port};
 
-fn write(name: &str, contents: String) {
-    let path = format!("{name}.v");
-    std::fs::write(&path, contents).expect("write .v file");
-    println!("  wrote {path}");
+/// The Verilog module name: registry name, with `_fifo` appended for the
+/// FIFO designs (the relay stations already carry their `_rs` suffix).
+fn module_name(design: &dyn MixedTimingDesign) -> String {
+    let name = design.kind().name();
+    if name.ends_with("_rs") {
+        name.to_string()
+    } else {
+        format!("{name}_fifo")
+    }
+}
+
+/// The exported port list, derived from the design's interface specs:
+/// clocks first, then the put side, then the get side (the paper's
+/// figure-2 ordering). Asynchronous buses keep the `put_data`/`get_data`
+/// spelling, clocked ones `data_put`/`data_get`.
+fn port_list(ports: &DesignPorts) -> Vec<Port> {
+    let mut v = Vec::new();
+    if let Some(c) = ports.clk_put {
+        v.push(Port::input("clk_put", c));
+    }
+    if let Some(c) = ports.clk_get {
+        v.push(Port::input("clk_get", c));
+    }
+    match ports.put_spec() {
+        InterfaceSpec::SyncFifo { .. } => {
+            v.push(Port::input("req_put", ports.req_put.expect("sync put")));
+            v.push(Port::input_bus("data_put", &ports.data_put));
+            v.push(Port::output("full", ports.full.expect("sync put")));
+        }
+        InterfaceSpec::Async4Phase { .. } => {
+            v.push(Port::input("put_req", ports.put_req.expect("async put")));
+            v.push(Port::input_bus("put_data", &ports.data_put));
+            v.push(Port::output("put_ack", ports.put_ack.expect("async put")));
+        }
+        InterfaceSpec::SyncStream { .. } => {
+            v.push(Port::input("valid_in", ports.valid_in.expect("stream put")));
+            v.push(Port::input_bus("data_put", &ports.data_put));
+            v.push(Port::output(
+                "stop_out",
+                ports.stop_out.expect("stream put"),
+            ));
+        }
+    }
+    match ports.get_spec() {
+        InterfaceSpec::SyncFifo { .. } => {
+            v.push(Port::input("req_get", ports.req_get.expect("sync get")));
+            v.push(Port::output_bus("data_get", &ports.data_get));
+            v.push(Port::output(
+                "valid_get",
+                ports.valid_get.expect("sync get"),
+            ));
+            if let Some(e) = ports.empty {
+                v.push(Port::output("empty", e));
+            }
+        }
+        InterfaceSpec::Async4Phase { .. } => {
+            v.push(Port::input("get_req", ports.get_req.expect("async get")));
+            v.push(Port::output_bus("get_data", &ports.data_get));
+            v.push(Port::output("get_ack", ports.get_ack.expect("async get")));
+        }
+        InterfaceSpec::SyncStream { .. } => {
+            v.push(Port::input("stop_in", ports.stop_in.expect("stream get")));
+            v.push(Port::output_bus("data_get", &ports.data_get));
+            v.push(Port::output(
+                "valid_get",
+                ports.valid_get.expect("stream get"),
+            ));
+        }
+    }
+    v
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let capacity: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let width: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let args = Args::parse();
+    let json = args.json();
+    let capacity: usize = args.positional(0).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let width: usize = args.positional(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     let params = FifoParams::new(capacity, width);
-    println!("exporting {params} designs as structural Verilog:");
-
-    // Mixed-clock FIFO.
-    {
-        let mut sim = Simulator::new(0);
-        let clk_put = sim.net("clk_put");
-        let clk_get = sim.net("clk_get");
-        let mut b = Builder::new(&mut sim);
-        let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
-        let nl = b.finish();
-        let ports = vec![
-            Port::input("clk_put", clk_put),
-            Port::input("clk_get", clk_get),
-            Port::input("req_put", f.req_put),
-            Port::input_bus("data_put", &f.data_put),
-            Port::output("full", f.full),
-            Port::input("req_get", f.req_get),
-            Port::output_bus("data_get", &f.data_get),
-            Port::output("valid_get", f.valid_get),
-            Port::output("empty", f.empty),
-        ];
-        write(
-            "mixed_clock_fifo",
-            to_verilog("mixed_clock_fifo", &nl, &sim, &ports),
-        );
+    if !json {
+        println!("exporting {params} designs as structural Verilog:");
     }
 
-    // Async-sync FIFO.
-    {
-        let mut sim = Simulator::new(0);
-        let clk_get = sim.net("clk_get");
-        let mut b = Builder::new(&mut sim);
-        let f = AsyncSyncFifo::build(&mut b, params, clk_get);
-        let nl = b.finish();
-        let ports = vec![
-            Port::input("clk_get", clk_get),
-            Port::input("put_req", f.put_req),
-            Port::input_bus("put_data", &f.put_data),
-            Port::output("put_ack", f.put_ack),
-            Port::input("req_get", f.req_get),
-            Port::output_bus("data_get", &f.data_get),
-            Port::output("valid_get", f.valid_get),
-            Port::output("empty", f.empty),
-        ];
-        write(
-            "async_sync_fifo",
-            to_verilog("async_sync_fifo", &nl, &sim, &ports),
-        );
+    let mut r = ExperimentReport::new("export_verilog");
+    let mut files = Vec::new();
+    for design in DesignRegistry::paper().iter() {
+        let mut h = Harness::new(0);
+        h.clock_nets(design.clocking());
+        let ports = h.build(design, params).clone();
+        let name = module_name(design);
+        let plist = port_list(&ports);
+        let path = format!("{name}.v");
+        std::fs::write(&path, to_verilog(&name, h.netlist(), &h.sim, &plist))
+            .expect("write .v file");
+        if !json {
+            println!("  wrote {path}");
+        }
+        r.entries
+            .push(DesignEntry::new(design, params).with("ports", plist.len() as f64));
+        files.push(Json::Str(path));
     }
-
-    // Mixed-clock relay station.
-    {
-        let mut sim = Simulator::new(0);
-        let clk_put = sim.net("clk_put");
-        let clk_get = sim.net("clk_get");
-        let mut b = Builder::new(&mut sim);
-        let f = MixedClockRelayStation::build(&mut b, params, clk_put, clk_get);
-        let nl = b.finish();
-        let ports = vec![
-            Port::input("clk_put", clk_put),
-            Port::input("clk_get", clk_get),
-            Port::input("valid_in", f.valid_in),
-            Port::input_bus("data_put", &f.data_put),
-            Port::output("stop_out", f.stop_out),
-            Port::input("stop_in", f.stop_in),
-            Port::output_bus("data_get", &f.data_get),
-            Port::output("valid_get", f.valid_get),
-        ];
-        write(
-            "mixed_clock_rs",
-            to_verilog("mixed_clock_rs", &nl, &sim, &ports),
-        );
+    if !json {
+        println!("note: behavioural controller macros (OPT/OGT/DV) are emitted as");
+        println!("black boxes; their specifications live in mtf-async.");
+    } else {
+        r.note("files", Json::Arr(files));
+        r.emit();
     }
-
-    // Async-sync relay station.
-    {
-        let mut sim = Simulator::new(0);
-        let clk_get = sim.net("clk_get");
-        let mut b = Builder::new(&mut sim);
-        let f = AsyncSyncRelayStation::build(&mut b, params, clk_get);
-        let nl = b.finish();
-        let ports = vec![
-            Port::input("clk_get", clk_get),
-            Port::input("put_req", f.put_req),
-            Port::input_bus("put_data", &f.put_data),
-            Port::output("put_ack", f.put_ack),
-            Port::input("stop_in", f.stop_in),
-            Port::output_bus("data_get", &f.data_get),
-            Port::output("valid_get", f.valid_get),
-        ];
-        write(
-            "async_sync_rs",
-            to_verilog("async_sync_rs", &nl, &sim, &ports),
-        );
-    }
-
-    // Extensions.
-    {
-        let mut sim = Simulator::new(0);
-        let mut b = Builder::new(&mut sim);
-        let f = AsyncAsyncFifo::build(&mut b, params);
-        let nl = b.finish();
-        let ports = vec![
-            Port::input("put_req", f.put_req),
-            Port::input_bus("put_data", &f.put_data),
-            Port::output("put_ack", f.put_ack),
-            Port::input("get_req", f.get_req),
-            Port::output_bus("get_data", &f.get_data),
-            Port::output("get_ack", f.get_ack),
-        ];
-        write(
-            "async_async_fifo",
-            to_verilog("async_async_fifo", &nl, &sim, &ports),
-        );
-    }
-    {
-        let mut sim = Simulator::new(0);
-        let clk_put = sim.net("clk_put");
-        let mut b = Builder::new(&mut sim);
-        let f = SyncAsyncFifo::build(&mut b, params, clk_put);
-        let nl = b.finish();
-        let ports = vec![
-            Port::input("clk_put", clk_put),
-            Port::input("req_put", f.req_put),
-            Port::input_bus("data_put", &f.data_put),
-            Port::output("full", f.full),
-            Port::input("get_req", f.get_req),
-            Port::output_bus("get_data", &f.get_data),
-            Port::output("get_ack", f.get_ack),
-        ];
-        write(
-            "sync_async_fifo",
-            to_verilog("sync_async_fifo", &nl, &sim, &ports),
-        );
-    }
-    println!("note: behavioural controller macros (OPT/OGT/DV) are emitted as");
-    println!("black boxes; their specifications live in mtf-async.");
 }

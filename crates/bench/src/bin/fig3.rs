@@ -7,138 +7,161 @@
 //! ```text
 //! cargo run -p mtf-bench --bin fig3
 //! ```
+//!
+//! `--json` suppresses the diagrams (the VCD files are still written) and
+//! emits one structured [`ExperimentReport`] instead.
 
-use mtf_async::FourPhaseProducer;
-use mtf_core::env::{SyncConsumer, SyncProducer};
-use mtf_core::{AsyncSyncFifo, FifoParams, MixedClockFifo};
-use mtf_gates::Builder;
-use mtf_sim::{vcd, ClockGen, Probe, Simulator, Time};
+use mtf_bench::args::Args;
+use mtf_bench::harness::{Drain, Feed, Harness};
+use mtf_bench::json::Json;
+use mtf_bench::report::{DesignEntry, ExperimentReport};
+use mtf_core::design::{ASYNC_SYNC, MIXED_CLOCK};
+use mtf_core::{FifoParams, MixedTimingDesign};
+use mtf_sim::{vcd, Probe, Time};
 
-fn sync_protocols() {
-    let mut sim = Simulator::new(1);
-    let clk_put = sim.net("clk_put");
-    let clk_get = sim.net("clk_get");
-    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ns(10));
-    ClockGen::builder(Time::from_ns(10))
-        .phase(Time::from_ns(4))
-        .spawn(&mut sim, clk_get);
-    let mut b = Builder::new(&mut sim);
-    let f = MixedClockFifo::build(&mut b, FifoParams::new(4, 8), clk_put, clk_get);
-    drop(b.finish());
+fn sync_protocols(json: bool) -> DesignEntry {
+    let mut h = Harness::new(1);
+    h.clock_nets_both();
+    h.gen_put(Time::from_ns(10));
+    h.gen_get_phased(Time::from_ns(10), Time::from_ns(4));
+    let f = h.build(&MIXED_CLOCK, FifoParams::new(4, 8)).clone();
 
     let probes = vec![
-        Probe::scalar("CLK_put", clk_put),
-        Probe::scalar("req_put", f.req_put),
+        Probe::scalar("CLK_put", f.clk_put.unwrap()),
+        Probe::scalar("req_put", f.req_put.unwrap()),
         Probe::bus("data_put", &f.data_put),
-        Probe::scalar("full", f.full),
-        Probe::scalar("CLK_get", clk_get),
-        Probe::scalar("req_get", f.req_get),
+        Probe::scalar("full", f.full.unwrap()),
+        Probe::scalar("CLK_get", f.clk_get.unwrap()),
+        Probe::scalar("req_get", f.req_get.unwrap()),
         Probe::bus("data_get", &f.data_get),
-        Probe::scalar("valid_get", f.valid_get),
-        Probe::scalar("empty", f.empty),
+        Probe::scalar("valid_get", f.valid_get.unwrap()),
+        Probe::scalar("empty", f.empty.unwrap()),
     ];
     for p in &probes {
         for &n in &p.nets {
-            sim.trace(n);
+            h.sim.trace(n);
         }
     }
 
-    let _pj = SyncProducer::spawn(
-        &mut sim,
+    let _pj = h.feed(
         "prod",
-        clk_put,
-        f.req_put,
-        &f.data_put,
-        f.full,
-        vec![0x3C, 0x55],
+        Feed::Saturate {
+            items: vec![0x3C, 0x55],
+            bundling: Time::ZERO,
+            phase: Time::ZERO,
+        },
     );
-    let _cj = SyncConsumer::spawn(
-        &mut sim,
+    let cj = h.drain(
         "cons",
-        clk_get,
-        f.req_get,
-        &f.data_get,
-        f.valid_get,
-        2,
+        Drain::Consume {
+            n: 2,
+            phase: Time::ZERO,
+        },
     );
-    sim.run_until(Time::from_ns(140)).expect("runs");
+    h.sim.run_until(Time::from_ns(140)).expect("runs");
 
-    println!("Fig. 3(a,b): synchronous put and get protocols (mixed-clock FIFO)");
-    println!("  two items (0x3C, 0x55) enqueued and dequeued; '#'=high '_'=low 'z'=undriven\n");
-    print!(
-        "{}",
-        vcd::render_ascii(
-            &sim,
-            &probes,
-            Time::ZERO,
-            Time::from_ns(140),
-            Time::from_ns(1)
-        )
-    );
-    std::fs::write("fig3_sync.vcd", vcd::render_vcd(&sim, &probes)).expect("write vcd");
-    println!("\n  full waveform written to fig3_sync.vcd\n");
+    if !json {
+        println!("Fig. 3(a,b): synchronous put and get protocols (mixed-clock FIFO)");
+        println!("  two items (0x3C, 0x55) enqueued and dequeued; '#'=high '_'=low 'z'=undriven\n");
+        print!(
+            "{}",
+            vcd::render_ascii(
+                &h.sim,
+                &probes,
+                Time::ZERO,
+                Time::from_ns(140),
+                Time::from_ns(1)
+            )
+        );
+    }
+    std::fs::write("fig3_sync.vcd", vcd::render_vcd(&h.sim, &probes)).expect("write vcd");
+    if !json {
+        println!("\n  full waveform written to fig3_sync.vcd\n");
+    }
+    DesignEntry::new(
+        &MIXED_CLOCK as &dyn MixedTimingDesign,
+        FifoParams::new(4, 8),
+    )
+    .with("items_delivered", cj.len() as f64)
+    .with("probes", probes.len() as f64)
 }
 
-fn async_protocol() {
-    let mut sim = Simulator::new(2);
-    let clk_get = sim.net("clk_get");
-    ClockGen::spawn_simple(&mut sim, clk_get, Time::from_ns(10));
-    let mut b = Builder::new(&mut sim);
-    let f = AsyncSyncFifo::build(&mut b, FifoParams::new(4, 8), clk_get);
-    drop(b.finish());
+fn async_protocol(json: bool) -> DesignEntry {
+    let mut h = Harness::new(2);
+    h.clock_nets(ASYNC_SYNC.clocking());
+    h.gen_get(Time::from_ns(10));
+    let f = h.build(&ASYNC_SYNC, FifoParams::new(4, 8)).clone();
 
     let probes = vec![
-        Probe::scalar("put_req", f.put_req),
-        Probe::bus("put_data", &f.put_data),
-        Probe::scalar("put_ack", f.put_ack),
-        Probe::scalar("CLK_get", clk_get),
-        Probe::scalar("valid_get", f.valid_get),
-        Probe::scalar("empty", f.empty),
+        Probe::scalar("put_req", f.put_req.unwrap()),
+        Probe::bus("put_data", &f.data_put),
+        Probe::scalar("put_ack", f.put_ack.unwrap()),
+        Probe::scalar("CLK_get", f.clk_get.unwrap()),
+        Probe::scalar("valid_get", f.valid_get.unwrap()),
+        Probe::scalar("empty", f.empty.unwrap()),
     ];
     for p in &probes {
         for &n in &p.nets {
-            sim.trace(n);
+            h.sim.trace(n);
         }
     }
 
-    let _ph = FourPhaseProducer::spawn(
-        &mut sim,
+    let _pj = h.feed(
         "prod",
-        f.put_req,
-        f.put_ack,
-        &f.put_data,
-        vec![0x3C, 0x55],
-        Time::from_ps(500),
-        Time::from_ns(15),
+        Feed::Saturate {
+            items: vec![0x3C, 0x55],
+            bundling: Time::from_ps(500),
+            phase: Time::from_ns(15),
+        },
     );
-    let _cj = SyncConsumer::spawn(
-        &mut sim,
+    let cj = h.drain(
         "cons",
-        clk_get,
-        f.req_get,
-        &f.data_get,
-        f.valid_get,
-        2,
+        Drain::Consume {
+            n: 2,
+            phase: Time::ZERO,
+        },
     );
-    sim.run_until(Time::from_ns(120)).expect("runs");
+    h.sim.run_until(Time::from_ns(120)).expect("runs");
 
-    println!("Fig. 3(c): asynchronous 4-phase bundled-data put protocol (async-sync FIFO)");
-    println!("  req+ -> ack+ -> req- -> ack-; data bundled with req\n");
-    print!(
-        "{}",
-        vcd::render_ascii(
-            &sim,
-            &probes,
-            Time::ZERO,
-            Time::from_ns(120),
-            Time::from_ns(1)
-        )
-    );
-    std::fs::write("fig3_async.vcd", vcd::render_vcd(&sim, &probes)).expect("write vcd");
-    println!("\n  full waveform written to fig3_async.vcd");
+    if !json {
+        println!("Fig. 3(c): asynchronous 4-phase bundled-data put protocol (async-sync FIFO)");
+        println!("  req+ -> ack+ -> req- -> ack-; data bundled with req\n");
+        print!(
+            "{}",
+            vcd::render_ascii(
+                &h.sim,
+                &probes,
+                Time::ZERO,
+                Time::from_ns(120),
+                Time::from_ns(1)
+            )
+        );
+    }
+    std::fs::write("fig3_async.vcd", vcd::render_vcd(&h.sim, &probes)).expect("write vcd");
+    if !json {
+        println!("\n  full waveform written to fig3_async.vcd");
+    }
+    DesignEntry::new(&ASYNC_SYNC as &dyn MixedTimingDesign, FifoParams::new(4, 8))
+        .with("items_delivered", cj.len() as f64)
+        .with("probes", probes.len() as f64)
 }
 
 fn main() {
-    sync_protocols();
-    async_protocol();
+    let args = Args::parse();
+    let json = args.json();
+    let sync_entry = sync_protocols(json);
+    let async_entry = async_protocol(json);
+    if json {
+        let mut r = ExperimentReport::new("fig3");
+        r.entries.push(sync_entry);
+        r.entries.push(async_entry);
+        r.note(
+            "vcd_files",
+            Json::Arr(vec![
+                Json::str("fig3_sync.vcd"),
+                Json::str("fig3_async.vcd"),
+            ]),
+        );
+        r.emit();
+    }
 }

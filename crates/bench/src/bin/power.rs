@@ -11,12 +11,15 @@
 //! ```text
 //! cargo run -p mtf-bench --bin power --release
 //! ```
+//!
+//! `--json` emits one structured [`ExperimentReport`] instead of the text.
 
-use mtf_core::baseline::ShiftRegisterFifo;
-use mtf_core::env::{SyncConsumer, SyncProducer};
-use mtf_core::{FifoParams, MixedClockFifo};
-use mtf_gates::Builder;
-use mtf_sim::{ClockGen, NetId, Simulator, Time};
+use mtf_bench::args::Args;
+use mtf_bench::harness::{Drain, Feed, Harness};
+use mtf_bench::report::{DesignEntry, ExperimentReport};
+use mtf_core::design::{MIXED_CLOCK, SHIFT_REGISTER};
+use mtf_core::{FifoParams, MixedTimingDesign};
+use mtf_sim::{NetId, Time};
 use mtf_timing::{dynamic_energy, storage_write_toggles, Tech};
 
 struct Run {
@@ -26,112 +29,123 @@ struct Run {
     clock_fj: f64,
 }
 
-fn measure(shift: bool, params: FifoParams, n_items: u64) -> Run {
+fn measure(design: &dyn MixedTimingDesign, params: FifoParams, n_items: u64) -> Run {
     let items: Vec<u64> = (0..n_items)
         .map(|i| (i * 2_654_435_761) & ((1 << params.width) - 1))
         .collect();
-    let mut sim = Simulator::new(73);
-    let clk_put = sim.net("clk_put");
-    let clk_get = sim.net("clk_get");
-    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ns(10));
-    ClockGen::builder(Time::from_ns(10))
-        .phase(Time::from_ps(4_100))
-        .spawn(&mut sim, clk_get);
-    let mut b = Builder::new(&mut sim);
-    let (req_put, data_put, full, req_get, data_get, valid_get, nl);
-    if shift {
-        let f = ShiftRegisterFifo::build(&mut b, params, clk_put);
-        nl = b.finish();
-        req_put = f.req_put;
-        data_put = f.data_put;
-        full = f.full;
-        req_get = f.req_get;
-        data_get = f.data_get;
-        valid_get = f.valid_get;
-    } else {
-        let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
-        nl = b.finish();
-        req_put = f.req_put;
-        data_put = f.data_put;
-        full = f.full;
-        req_get = f.req_get;
-        data_get = f.data_get;
-        valid_get = f.valid_get;
-    }
-    let get_clk = if shift { clk_put } else { clk_get };
-    let _pj = SyncProducer::spawn(
-        &mut sim,
+    let mut h = Harness::new(73);
+    h.clock_nets_both();
+    h.gen_put(Time::from_ns(10));
+    h.gen_get_phased(Time::from_ns(10), Time::from_ps(4_100));
+    h.build(design, params);
+    let _pj = h.feed(
         "p",
-        clk_put,
-        req_put,
-        &data_put,
-        full,
-        items.clone(),
+        Feed::Saturate {
+            items: items.clone(),
+            bundling: Time::ZERO,
+            phase: Time::ZERO,
+        },
     );
-    let cj = SyncConsumer::spawn(
-        &mut sim, "c", get_clk, req_get, &data_get, valid_get, n_items,
+    let cj = h.drain(
+        "c",
+        Drain::Consume {
+            n: n_items,
+            phase: Time::ZERO,
+        },
     );
     // Run in slices and stop as soon as the stream completes, so idle
     // clock ticking does not get charged to the workload.
     while (cj.len() as u64) < n_items {
-        sim.run_for(Time::from_ns(200)).expect("runs");
-        assert!(sim.now() < Time::from_us(100), "workload stalled");
+        h.sim.run_for(Time::from_ns(200)).expect("runs");
+        assert!(h.sim.now() < Time::from_us(100), "workload stalled");
     }
     assert_eq!(cj.values(), items);
 
     let tech = Tech::hp06();
-    let total = dynamic_energy(&tech, &nl, &sim);
+    let nl = h.netlist();
+    let total = dynamic_energy(&tech, nl, &h.sim);
     // Clock component: energy switched on the two clock nets.
-    let loads = tech.net_loads(&nl);
-    let clock_fj: f64 = [clk_put, clk_get]
+    let loads = tech.net_loads(nl);
+    let clock_fj: f64 = [h.clk_put.unwrap(), h.clk_get.unwrap()]
         .iter()
         .map(|&c| {
             let l = loads.get(c.index()).copied().unwrap_or(0.0);
-            sim.toggles(NetId::from_index(c.index())) as f64 * l * 3.3 * 3.3 / 2.0
+            h.sim.toggles(NetId::from_index(c.index())) as f64 * l * 3.3 * 3.3 / 2.0
         })
         .sum();
     Run {
         items: n_items,
-        storage_toggles: storage_write_toggles(&nl, &sim),
+        storage_toggles: storage_write_toggles(nl, &h.sim),
         total_fj: total.total_fj,
         clock_fj,
     }
 }
 
 fn main() {
-    println!("E12 — the immobile-data power claim (paper Section 2)");
-    println!();
+    let args = Args::parse();
+    let json = args.json();
+    if !json {
+        println!("E12 — the immobile-data power claim (paper Section 2)");
+        println!();
+    }
+    let mut entries = Vec::new();
     for &(cap, w) in &[(8usize, 8usize), (16, 16)] {
         let params = FifoParams::new(cap, w);
         let n = 120u64;
-        let ours = measure(false, params, n);
-        let shift = measure(true, params, n);
-        println!("{cap}-place, {w}-bit, {n} items streamed:");
-        println!(
-            "  storage bits written/item:  mixed-clock {:6.1}   shift-register {:6.1}  ({:.1}x)",
-            ours.storage_toggles as f64 / ours.items as f64,
-            shift.storage_toggles as f64 / shift.items as f64,
-            shift.storage_toggles as f64 / ours.storage_toggles.max(1) as f64,
-        );
-        println!(
-            "  signal energy/item:         mixed-clock {:6.0} fJ  shift-register {:6.0} fJ",
-            (ours.total_fj - ours.clock_fj) / ours.items as f64,
-            (shift.total_fj - shift.clock_fj) / shift.items as f64,
-        );
-        println!(
-            "  clock energy/item:          mixed-clock {:6.0} fJ  shift-register {:6.0} fJ",
-            ours.clock_fj / ours.items as f64,
-            shift.clock_fj / shift.items as f64,
-        );
-        println!();
+        let ours = measure(&MIXED_CLOCK, params, n);
+        let shift = measure(&SHIFT_REGISTER, params, n);
+        if !json {
+            println!("{cap}-place, {w}-bit, {n} items streamed:");
+            println!(
+                "  storage bits written/item:  mixed-clock {:6.1}   shift-register {:6.1}  ({:.1}x)",
+                ours.storage_toggles as f64 / ours.items as f64,
+                shift.storage_toggles as f64 / shift.items as f64,
+                shift.storage_toggles as f64 / ours.storage_toggles.max(1) as f64,
+            );
+            println!(
+                "  signal energy/item:         mixed-clock {:6.0} fJ  shift-register {:6.0} fJ",
+                (ours.total_fj - ours.clock_fj) / ours.items as f64,
+                (shift.total_fj - shift.clock_fj) / shift.items as f64,
+            );
+            println!(
+                "  clock energy/item:          mixed-clock {:6.0} fJ  shift-register {:6.0} fJ",
+                ours.clock_fj / ours.items as f64,
+                shift.clock_fj / shift.items as f64,
+            );
+            println!();
+        }
+        for (design, run) in [
+            (&MIXED_CLOCK as &dyn MixedTimingDesign, &ours),
+            (&SHIFT_REGISTER as &dyn MixedTimingDesign, &shift),
+        ] {
+            entries.push(
+                DesignEntry::new(design, params)
+                    .with("items", run.items as f64)
+                    .with(
+                        "storage_toggles_per_item",
+                        run.storage_toggles as f64 / run.items as f64,
+                    )
+                    .with(
+                        "signal_fj_per_item",
+                        (run.total_fj - run.clock_fj) / run.items as f64,
+                    )
+                    .with("clock_fj_per_item", run.clock_fj / run.items as f64),
+            );
+        }
     }
-    println!("Reading: the unambiguous half of the claim holds — each item's bits hit");
-    println!("storage once instead of once per stage (a ~capacity-times difference in");
-    println!("storage writes). Under this RC model, however, the mixed-clock design's");
-    println!("*total* signal energy comes out higher: its control fabric — detector");
-    println!("trees, token rings, enable broadcasts and the mid-cycle commit gating —");
-    println!("switches every cycle whether or not data moves, while the shift FIFO's");
-    println!("take-chain goes quiet in steady flow. Realising the paper's \"potential");
-    println!("for low power\" therefore additionally requires gating that fabric (and");
-    println!("the clocks); the immobile data path itself delivers its savings.");
+    if json {
+        let mut r = ExperimentReport::new("power");
+        r.entries = entries;
+        r.emit();
+    } else {
+        println!("Reading: the unambiguous half of the claim holds — each item's bits hit");
+        println!("storage once instead of once per stage (a ~capacity-times difference in");
+        println!("storage writes). Under this RC model, however, the mixed-clock design's");
+        println!("*total* signal energy comes out higher: its control fabric — detector");
+        println!("trees, token rings, enable broadcasts and the mid-cycle commit gating —");
+        println!("switches every cycle whether or not data moves, while the shift FIFO's");
+        println!("take-chain goes quiet in steady flow. Realising the paper's \"potential");
+        println!("for low power\" therefore additionally requires gating that fabric (and");
+        println!("the clocks); the immobile data path itself delivers its savings.");
+    }
 }

@@ -10,14 +10,18 @@
 //! ```text
 //! cargo run -p mtf-bench --bin related_work --release
 //! ```
+//!
+//! `--json` emits one structured [`ExperimentReport`] instead of the text.
 
-use mtf_bench::measure::{latency, periods, Design};
-use mtf_core::baseline::{GrayPointerFifo, PerCellSyncFifo, SeizovicFifo};
-use mtf_core::env::SyncConsumer;
-use mtf_core::{FifoParams, MixedClockFifo};
-use mtf_gates::{Builder, CellDelays};
-use mtf_sim::{ClockGen, Logic, MetaModel, Simulator, Time};
-use mtf_timing::{area, Sta, Tech};
+use mtf_bench::args::Args;
+use mtf_bench::harness::{Drain, Harness};
+use mtf_bench::json::Json;
+use mtf_bench::measure::{latency, periods, seizovic_latency};
+use mtf_bench::report::{DesignEntry, ExperimentReport};
+use mtf_core::design::{ASYNC_SYNC, GRAY_POINTER, MIXED_CLOCK, PER_CELL_SYNC};
+use mtf_core::{FifoParams, MixedTimingDesign};
+use mtf_sim::{Logic, Time};
+use mtf_timing::{area, AreaReport, Sta, Tech};
 
 const EXT: Time = Time::from_ps(100);
 
@@ -30,42 +34,28 @@ fn gray_latency(params: FifoParams, t_put: Time, t_get: Time, steps: usize) -> (
     let mut hi = f64::NEG_INFINITY;
     for s in 0..steps {
         let offset = Time::from_ps(t_get.as_ps() * s as u64 / steps as u64);
-        let mut sim = Simulator::new(5);
-        let clk_put = sim.net("clk_put");
-        let clk_get = sim.net("clk_get");
-        ClockGen::builder(t_put)
-            .phase(offset)
-            .spawn(&mut sim, clk_put);
-        ClockGen::spawn_simple(&mut sim, clk_get, t_get);
-        let mut b = Builder::with_delays(&mut sim, CellDelays::hp06_custom(), MetaModel::ideal());
-        let f = GrayPointerFifo::build(&mut b, params, clk_put, clk_get);
-        let nl = b.finish();
-        Tech::hp06_custom().annotate(&nl);
-        let _cj = SyncConsumer::spawn(
-            &mut sim,
+        let mut h = Harness::calibrated(5);
+        h.clock_nets_both();
+        h.gen_put_phased(t_put, offset);
+        h.gen_get(t_get);
+        h.build_annotated(&GRAY_POINTER, params, &Tech::hp06_custom());
+        let valid_get = h.ports().valid_get.expect("sync get");
+        h.drain(
             "c",
-            clk_get,
-            f.req_get,
-            &f.data_get,
-            f.valid_get,
-            1,
+            Drain::Consume {
+                n: 1,
+                phase: Time::ZERO,
+            },
         );
         // One item, injected on a put edge after warm-up.
         let warm = t_get * 40;
         let k = (warm.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps()) / t_put.as_ps();
         let edge = offset + t_put * k;
         let t0 = edge + EXT;
-        for (i, &dn) in f.data_put.iter().enumerate() {
-            let d = sim.driver(dn);
-            sim.drive_at(d, dn, Logic::from_bool((0xA5 >> i) & 1 == 1), t0);
-        }
-        let rd = sim.driver(f.req_put);
-        sim.drive_at(rd, f.req_put, Logic::L, Time::ZERO);
-        sim.drive_at(rd, f.req_put, Logic::H, t0);
-        sim.drive_at(rd, f.req_put, Logic::L, edge + t_put + EXT);
-        sim.trace(f.valid_get);
-        sim.run_until(t0 + t_get * 60).unwrap();
-        let wf = sim.waveform(f.valid_get).unwrap();
+        h.inject_sync_once(0xA5, t0, edge + t_put + EXT);
+        h.sim.trace(valid_get);
+        h.sim.run_until(t0 + t_get * 60).unwrap();
+        let wf = h.sim.waveform(valid_get).unwrap();
         let mut m = t0.as_ps() / t_get.as_ps();
         let capture = loop {
             m += 1;
@@ -82,141 +72,168 @@ fn gray_latency(params: FifoParams, t_put: Time, t_get: Time, steps: usize) -> (
     (lo, hi)
 }
 
-/// Seizovic empty-pipeline latency at the given depth (ns).
-fn seizovic_latency(depth: usize, t: Time) -> f64 {
-    let mut sim = Simulator::new(6);
-    let clk = sim.net("clk");
-    ClockGen::spawn_simple(&mut sim, clk, t);
-    let port = SeizovicFifo::spawn(&mut sim, "szv", clk, 8, depth);
-    let t0 = t * 40 + Time::from_ps(137);
-    let items = [0xA5u64];
-    // Manual injection at t0 so the origin is exact.
-    for (i, &dn) in port.put_data.iter().enumerate() {
-        let d = sim.driver(dn);
-        sim.drive_at(d, dn, Logic::from_bool((items[0] >> i) & 1 == 1), t0);
-    }
-    let rd = sim.driver(port.put_req);
-    sim.drive_at(rd, port.put_req, Logic::L, Time::ZERO);
-    sim.drive_at(rd, port.put_req, Logic::H, t0 + Time::from_ps(150));
-    sim.drive_at(rd, port.put_req, Logic::L, t0 + t * 4);
-    let cj = SyncConsumer::spawn(
-        &mut sim,
-        "c",
-        clk,
-        port.req_get,
-        &port.data_get,
-        port.valid_get,
-        1,
-    );
-    sim.run_until(t0 + t * (4 * depth as u64 + 20)).unwrap();
-    (cj.time_of(0).expect("delivered") - t0).as_ps() as f64 / 1000.0
+/// Gate-count area of `design` at `capacity` (8-bit), with the default
+/// gate model (area does not depend on delays).
+fn area_of(design: &dyn MixedTimingDesign, capacity: usize) -> AreaReport {
+    let mut h = Harness::new(0);
+    h.clock_nets_both();
+    h.build(design, FifoParams::new(capacity, 8));
+    area(h.netlist())
 }
 
 fn main() {
+    let args = Args::parse();
+    let json = args.json();
     let params = FifoParams::new(8, 8);
-    println!("Related-work comparison (8-place, 8-bit unless noted)");
-    println!();
+    if !json {
+        println!("Related-work comparison (8-place, 8-bit unless noted)");
+        println!();
+    }
 
     // ---- latency: ours vs Gray-pointer vs Seizovic -------------------------
-    let ours_p = periods(Design::MixedClock, params);
+    let ours_p = periods(&MIXED_CLOCK, params);
     let t_put = ours_p.put.unwrap();
     let t_get = ours_p.get;
-    let ours = latency(Design::MixedClock, params, 8);
+    let ours = latency(&MIXED_CLOCK, params, 8);
     let (g_lo, g_hi) = gray_latency(params, t_put, t_get, 8);
-    println!("Empty-FIFO latency (both clocks at this design's own fmax):");
-    println!(
-        "  this paper's mixed-clock FIFO: {:.2} .. {:.2} ns",
-        ours.min_ns, ours.max_ns
-    );
-    println!("  Gray-pointer FIFO            : {g_lo:.2} .. {g_hi:.2} ns");
-    println!(
-        "  -> the pointer design pays pointer-sync + registered flags: {:.1}x",
-        g_lo / ours.min_ns
-    );
-    println!();
-    println!("Seizovic pipeline synchronization, latency vs depth (10 ns clock):");
+    if !json {
+        println!("Empty-FIFO latency (both clocks at this design's own fmax):");
+        println!(
+            "  this paper's mixed-clock FIFO: {:.2} .. {:.2} ns",
+            ours.min_ns, ours.max_ns
+        );
+        println!("  Gray-pointer FIFO            : {g_lo:.2} .. {g_hi:.2} ns");
+        println!(
+            "  -> the pointer design pays pointer-sync + registered flags: {:.1}x",
+            g_lo / ours.min_ns
+        );
+        println!();
+        println!("Seizovic pipeline synchronization, latency vs depth (10 ns clock):");
+    }
+    let mut seizovic_ns = Vec::new();
     for depth in [2usize, 4, 8] {
         let l = seizovic_latency(depth, Time::from_ns(10));
-        println!("  depth {depth}: {l:6.1} ns  (~2 cycles per stage)");
+        seizovic_ns.push((depth, l));
+        if !json {
+            println!("  depth {depth}: {l:6.1} ns  (~2 cycles per stage)");
+        }
     }
-    println!("  -> linear in depth, as the paper criticises; ours is depth-independent.");
-    println!();
+    if !json {
+        println!("  -> linear in depth, as the paper criticises; ours is depth-independent.");
+        println!();
 
-    // ---- area: ours vs per-cell synchronization ----------------------------
-    println!("Area (estimated transistors), ours vs Intel-style per-cell sync:");
-    println!("  capacity      ours    per-cell    overhead");
-    for capacity in [4usize, 8, 16] {
-        let build = |per_cell: bool| {
-            let mut sim = Simulator::new(0);
-            let clk_put = sim.net("clk_put");
-            let clk_get = sim.net("clk_get");
-            let mut b = Builder::new(&mut sim);
-            if per_cell {
-                let _ =
-                    PerCellSyncFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
-            } else {
-                let _ =
-                    MixedClockFifo::build(&mut b, FifoParams::new(capacity, 8), clk_put, clk_get);
-            }
-            area(&b.finish())
-        };
-        let ours = build(false);
-        let intel = build(true);
-        println!(
-            "  {capacity:8}  {:8}  {:10}  +{:.0}% total, +{:.0}% flops",
-            ours.total,
-            intel.total,
-            100.0 * (intel.total as f64 / ours.total as f64 - 1.0),
-            100.0 * (intel.flops as f64 / ours.flops as f64 - 1.0),
-        );
+        // ---- area: ours vs per-cell synchronization ------------------------
+        println!("Area (estimated transistors), ours vs Intel-style per-cell sync:");
+        println!("  capacity      ours    per-cell    overhead");
     }
-    println!("  -> the per-cell synchronizers dominate and scale with capacity,");
-    println!("     the paper's area argument against the Intel design.");
-    println!();
+    let mut areas = Vec::new();
+    for capacity in [4usize, 8, 16] {
+        let ours_a = area_of(&MIXED_CLOCK, capacity);
+        let intel = area_of(&PER_CELL_SYNC, capacity);
+        if !json {
+            println!(
+                "  {capacity:8}  {:8}  {:10}  +{:.0}% total, +{:.0}% flops",
+                ours_a.total,
+                intel.total,
+                100.0 * (intel.total as f64 / ours_a.total as f64 - 1.0),
+                100.0 * (intel.flops as f64 / ours_a.flops as f64 - 1.0),
+            );
+        }
+        areas.push((capacity, ours_a, intel));
+    }
+    if !json {
+        println!("  -> the per-cell synchronizers dominate and scale with capacity,");
+        println!("     the paper's area argument against the Intel design.");
+        println!();
+    }
 
     // ---- fmax: ours vs Gray-pointer ----------------------------------------
-    let gray_fmax = {
-        let mut sim = Simulator::new(0);
-        let clk_put = sim.net("clk_put");
-        let clk_get = sim.net("clk_get");
-        let mut b = Builder::with_delays(&mut sim, CellDelays::hp06_custom(), MetaModel::ideal());
-        let f = GrayPointerFifo::build(&mut b, params, clk_put, clk_get);
-        let nl = b.finish();
-        Tech::hp06_custom().annotate(&nl);
-        let mut sta = Sta::new(&nl);
-        sta.external_launch(f.req_put, clk_put, EXT);
-        for &d in &f.data_put {
+    let gray_p = {
+        let mut h = Harness::calibrated(0);
+        h.clock_nets_both();
+        h.build_annotated(&GRAY_POINTER, params, &Tech::hp06_custom());
+        let ports = h.ports().clone();
+        let mut sta = Sta::new(h.netlist());
+        let (clk_put, clk_get) = (ports.clk_put.unwrap(), ports.clk_get.unwrap());
+        sta.external_launch(ports.req_put.unwrap(), clk_put, EXT);
+        for &d in &ports.data_put {
             sta.external_launch(d, clk_put, EXT);
         }
-        sta.external_launch(f.req_get, clk_get, EXT);
+        sta.external_launch(ports.req_get.unwrap(), clk_get, EXT);
         (
             sta.min_period(clk_put).unwrap().fmax_mhz,
             sta.min_period(clk_get).unwrap().fmax_mhz,
         )
     };
-    println!("fmax (STA, custom calibration):");
-    println!(
-        "  this paper's mixed-clock FIFO: put {:.0} MHz, get {:.0} MHz",
-        1.0e6 / t_put.as_ps() as f64,
-        1.0e6 / t_get.as_ps() as f64
-    );
-    println!(
-        "  Gray-pointer FIFO            : put {:.0} MHz, get {:.0} MHz",
-        gray_fmax.0, gray_fmax.1
-    );
-    println!("  (comparable — the pointer design's weakness is latency, not rate,");
-    println!("   which matches the paper's framing of its advantage.)");
+    if !json {
+        println!("fmax (STA, custom calibration):");
+        println!(
+            "  this paper's mixed-clock FIFO: put {:.0} MHz, get {:.0} MHz",
+            1.0e6 / t_put.as_ps() as f64,
+            1.0e6 / t_get.as_ps() as f64
+        );
+        println!(
+            "  Gray-pointer FIFO            : put {:.0} MHz, get {:.0} MHz",
+            gray_p.0, gray_p.1
+        );
+        println!("  (comparable — the pointer design's weakness is latency, not rate,");
+        println!("   which matches the paper's framing of its advantage.)");
+    }
 
     // Produce the Seizovic vs async-sync contrast the paper draws in words.
-    let asy = latency(Design::AsyncSync, params, 6);
+    let asy = latency(&ASYNC_SYNC, params, 6);
     let szv8 = seizovic_latency(8, Time::from_ns(10));
-    println!();
-    println!(
-        "Async->sync bridging: async-sync FIFO {:.1} ns vs Seizovic(8) {szv8:.1} ns",
-        asy.min_ns
-    );
+    if !json {
+        println!();
+        println!(
+            "Async->sync bridging: async-sync FIFO {:.1} ns vs Seizovic(8) {szv8:.1} ns",
+            asy.min_ns
+        );
+    }
     assert!(
         szv8 > asy.min_ns * 3.0,
         "the linear-depth baseline must lose clearly"
     );
+
+    if json {
+        let mut r = ExperimentReport::new("related_work");
+        r.entries.push(
+            DesignEntry::new(&MIXED_CLOCK, params)
+                .with("put_mhz", 1.0e6 / t_put.as_ps() as f64)
+                .with("get_mhz", 1.0e6 / t_get.as_ps() as f64)
+                .with("latency_min_ns", ours.min_ns)
+                .with("latency_max_ns", ours.max_ns),
+        );
+        r.entries.push(
+            DesignEntry::new(&GRAY_POINTER, params)
+                .with("put_mhz", gray_p.0)
+                .with("get_mhz", gray_p.1)
+                .with("latency_min_ns", g_lo)
+                .with("latency_max_ns", g_hi),
+        );
+        r.entries
+            .push(DesignEntry::new(&ASYNC_SYNC, params).with("latency_min_ns", asy.min_ns));
+        for (capacity, ours_a, intel) in &areas {
+            r.entries.push(
+                DesignEntry::new(&MIXED_CLOCK, FifoParams::new(*capacity, 8))
+                    .with("area_transistors", ours_a.total as f64)
+                    .with("area_flops", ours_a.flops as f64),
+            );
+            r.entries.push(
+                DesignEntry::new(&PER_CELL_SYNC, FifoParams::new(*capacity, 8))
+                    .with("area_transistors", intel.total as f64)
+                    .with("area_flops", intel.flops as f64),
+            );
+        }
+        r.note(
+            "seizovic_latency_ns",
+            Json::Obj(
+                seizovic_ns
+                    .iter()
+                    .map(|(d, l)| (format!("depth_{d}"), Json::Num(*l)))
+                    .collect(),
+            ),
+        );
+        r.emit();
+    }
 }

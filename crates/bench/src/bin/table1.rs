@@ -13,46 +13,77 @@
 //! in input order, and every cell seeds its own simulator. `--stats`
 //! appends the simulation kernel's internal counters for one
 //! representative transfer run.
+//!
+//! `--json` emits the full grid as one structured [`ExperimentReport`];
+//! `--json --cell NAME[:CAPxWIDTH]` measures a single cell (the schema
+//! smoke test in CI uses this).
 
-use mtf_bench::measure::{latency_with, throughput, Design, LatencyRange, Throughput};
+use mtf_bench::args::Args;
+use mtf_bench::harness::{Drain, Feed, Harness};
+use mtf_bench::measure::{latency_with, throughput, LatencyRange, Throughput};
 use mtf_bench::paper;
-use mtf_bench::sweep::{self, SweepRunner};
-use mtf_core::FifoParams;
+use mtf_bench::report::{DesignEntry, ExperimentReport};
+use mtf_bench::sweep::SweepRunner;
+use mtf_core::design::{DesignRegistry, MIXED_CLOCK};
+use mtf_core::{FifoParams, MixedTimingDesign};
+use mtf_sim::{SimStats, Time};
 
 const WIDTHS: [usize; 2] = [8, 16];
 const CAPACITIES: [usize; 3] = [4, 8, 16];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let stats = args.iter().any(|a| a == "--stats");
-    let steps = args
-        .iter()
-        .position(|a| a == "--latency-steps")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(if quick { 4 } else { 10 });
-    let runner = SweepRunner::new(sweep::parse_jobs(&args));
+    let args = Args::parse();
+    let quick = args.flag("--quick");
+    let stats = args.flag("--stats");
+    let json = args.json();
+    let steps = args.usize_of("--latency-steps", if quick { 4 } else { 10 });
+    let runner = SweepRunner::new(args.jobs());
+    let registry = DesignRegistry::table1();
+    let designs: Vec<&'static dyn MixedTimingDesign> = registry.iter().collect();
 
-    println!("Table 1 reproduction — Chelcea & Nowick, DAC 2001");
-    println!("(sync interfaces: MHz by static timing analysis; async: MegaOps/s by simulation)");
-    println!();
+    // `--json --cell NAME[:CAPxWIDTH]`: one cell only, for the schema
+    // smoke test (fast enough for CI).
+    if let Some(cell) = args.value_of("--cell") {
+        assert!(json, "--cell implies --json");
+        let (name, params) = parse_cell(cell);
+        let design =
+            DesignRegistry::get(&name).unwrap_or_else(|| panic!("unknown design {name:?}"));
+        let t = throughput(design, params);
+        let l = latency_with(design, FifoParams::new(params.capacity, 8), steps, &runner);
+        let mut r = ExperimentReport::new("table1");
+        r.entries.push(
+            DesignEntry::new(design, params)
+                .with("put", t.put)
+                .with("get", t.get)
+                .with("latency_min_ns", l.min_ns)
+                .with("latency_max_ns", l.max_ns),
+        );
+        r.emit();
+        return;
+    }
+
+    if !json {
+        println!("Table 1 reproduction — Chelcea & Nowick, DAC 2001");
+        println!(
+            "(sync interfaces: MHz by static timing analysis; async: MegaOps/s by simulation)"
+        );
+        println!();
+    }
 
     // ---- throughput ------------------------------------------------------
     // Every (design, width, capacity) cell is independent; compute the
     // whole grid through the runner, then print in the paper's row order.
-    let tcells: Vec<(Design, usize, usize)> = Design::ALL
-        .iter()
-        .flat_map(|&d| {
+    let tcells: Vec<(usize, usize, usize)> = (0..designs.len())
+        .flat_map(|d| {
             WIDTHS
                 .iter()
                 .flat_map(move |&w| CAPACITIES.iter().map(move |&c| (d, w, c)))
         })
         .collect();
     let tvals: Vec<Throughput> = runner.run(&tcells, |_, &(d, w, c)| {
-        throughput(d, FifoParams::new(c, w))
+        throughput(designs[d], FifoParams::new(c, w))
     });
-    let tput = |d: Design, w: usize, c: usize| -> Throughput {
+    let tput = |d: usize, w: usize, c: usize| -> Throughput {
         let i = tcells
             .iter()
             .position(|&cell| cell == (d, w, c))
@@ -60,23 +91,25 @@ fn main() {
         tvals[i]
     };
 
-    println!("THROUGHPUT                paper        measured       ratio");
-    for design in Design::ALL {
-        println!("{}", design.label());
-        for &width in &WIDTHS {
-            for &capacity in &CAPACITIES {
-                let m = tput(design, width, capacity);
-                let p =
-                    paper::throughput_of(design.label(), capacity, width).expect("published cell");
-                println!(
-                    "  {capacity:2}-place {width:2}-bit   put {pp:5.0} / {mp:5.0}  ({rp:4.2})   get {pg:5.0} / {mg:5.0}  ({rg:4.2})",
-                    pp = p.put,
-                    mp = m.put,
-                    rp = m.put / p.put,
-                    pg = p.get,
-                    mg = m.get,
-                    rg = m.get / p.get,
-                );
+    if !json {
+        println!("THROUGHPUT                paper        measured       ratio");
+        for (d, design) in designs.iter().enumerate() {
+            println!("{}", design.kind().label());
+            for &width in &WIDTHS {
+                for &capacity in &CAPACITIES {
+                    let m = tput(d, width, capacity);
+                    let p = paper::throughput_of(design.kind().label(), capacity, width)
+                        .expect("published cell");
+                    println!(
+                        "  {capacity:2}-place {width:2}-bit   put {pp:5.0} / {mp:5.0}  ({rp:4.2})   get {pg:5.0} / {mg:5.0}  ({rg:4.2})",
+                        pp = p.put,
+                        mp = m.put,
+                        rp = m.put / p.put,
+                        pg = p.get,
+                        mg = m.get,
+                        rg = m.get / p.get,
+                    );
+                }
             }
         }
     }
@@ -84,14 +117,18 @@ fn main() {
     // ---- latency ----------------------------------------------------------
     // The cell grid and each cell's alignment sweep share the same worker
     // pool; with the pool busy on cells the inner sweeps run inline.
-    let lcells: Vec<(Design, usize)> = Design::ALL
-        .iter()
-        .flat_map(|&d| CAPACITIES.iter().map(move |&c| (d, c)))
+    let lcells: Vec<(usize, usize)> = (0..designs.len())
+        .flat_map(|d| CAPACITIES.iter().map(move |&c| (d, c)))
         .collect();
     let lvals: Vec<LatencyRange> = runner.run(&lcells, |_, &(d, c)| {
-        latency_with(d, FifoParams::new(c, 8), steps, &SweepRunner::serial())
+        latency_with(
+            designs[d],
+            FifoParams::new(c, 8),
+            steps,
+            &SweepRunner::serial(),
+        )
     });
-    let lat = |d: Design, c: usize| -> LatencyRange {
+    let lat = |d: usize, c: usize| -> LatencyRange {
         let i = lcells
             .iter()
             .position(|&cell| cell == (d, c))
@@ -99,121 +136,157 @@ fn main() {
         lvals[i]
     };
 
-    println!();
-    println!("LATENCY (8-bit, empty FIFO)   paper min/max      measured min/max");
-    for design in Design::ALL {
-        println!("{}", design.label());
-        for &capacity in &CAPACITIES {
-            let m = lat(design, capacity);
-            let p = paper::latency_of(design.label(), capacity).expect("published cell");
-            println!(
-                "  {capacity:2}-place    {:4.2} / {:4.2} ns      {:4.2} / {:4.2} ns",
-                p.min_ns, p.max_ns, m.min_ns, m.max_ns
-            );
+    if !json {
+        println!();
+        println!("LATENCY (8-bit, empty FIFO)   paper min/max      measured min/max");
+        for (d, design) in designs.iter().enumerate() {
+            println!("{}", design.kind().label());
+            for &capacity in &CAPACITIES {
+                let m = lat(d, capacity);
+                let p = paper::latency_of(design.kind().label(), capacity).expect("published cell");
+                println!(
+                    "  {capacity:2}-place    {:4.2} / {:4.2} ns      {:4.2} / {:4.2} ns",
+                    p.min_ns, p.max_ns, m.min_ns, m.max_ns
+                );
+            }
         }
     }
 
     // ---- shape checks -------------------------------------------------------
     // Reuse the grid values computed above: the measurements are pure
     // functions of their cell, so a recompute would give the same numbers
-    // and only burn time.
-    println!();
-    println!("Shape checks (the claims the reproduction must preserve):");
-    let mut pass = 0;
-    let mut fail = 0;
-    let mut check = |name: &str, ok: bool| {
-        println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, name);
-        if ok {
-            pass += 1
-        } else {
-            fail += 1
+    // and only burn time. Registry order is [mixed_clock, async_sync,
+    // mixed_clock_rs, async_sync_rs].
+    let mc4 = tput(0, 8, 4);
+    let mc8 = tput(0, 8, 8);
+    let mc16 = tput(0, 8, 16);
+    let mc4w = tput(0, 16, 4);
+    let as4 = tput(1, 8, 4);
+    let rs4 = tput(2, 8, 4);
+    let l4 = lat(0, 4);
+    let l16 = lat(0, 16);
+    let checks: Vec<(&str, bool)> = vec![
+        (
+            "sync put faster than sync get (empty detector heavier)",
+            mc4.put > mc4.get,
+        ),
+        (
+            "throughput decreases with capacity",
+            mc4.put > mc8.put && mc8.put > mc16.put,
+        ),
+        ("throughput decreases with width", mc4.put > mc4w.put),
+        ("async put slower than sync put", as4.put < mc4.put),
+        (
+            "async-sync get ≈ mixed-clock get (same get part)",
+            (as4.get / mc4.get - 1.0).abs() < 0.1,
+        ),
+        (
+            "MCRS put ≥ mixed-clock put (put controller is one inverter)",
+            rs4.put >= mc4.put * 0.98,
+        ),
+        (
+            "MCRS get ≤ mixed-clock get (stopIn in the controller)",
+            rs4.get <= mc4.get * 1.02,
+        ),
+        ("latency grows with capacity", l16.min_ns > l4.min_ns),
+        ("max latency exceeds min", l4.max_ns > l4.min_ns),
+    ];
+    let pass = checks.iter().filter(|(_, ok)| *ok).count();
+    let fail = checks.len() - pass;
+
+    if !json {
+        println!();
+        println!("Shape checks (the claims the reproduction must preserve):");
+        for (name, ok) in &checks {
+            println!("  [{}] {}", if *ok { "ok" } else { "FAIL" }, name);
         }
-    };
-
-    let mc4 = tput(Design::MixedClock, 8, 4);
-    let mc8 = tput(Design::MixedClock, 8, 8);
-    let mc16 = tput(Design::MixedClock, 8, 16);
-    let mc4w = tput(Design::MixedClock, 16, 4);
-    let as4 = tput(Design::AsyncSync, 8, 4);
-    let rs4 = tput(Design::MixedClockRs, 8, 4);
-    check(
-        "sync put faster than sync get (empty detector heavier)",
-        mc4.put > mc4.get,
-    );
-    check(
-        "throughput decreases with capacity",
-        mc4.put > mc8.put && mc8.put > mc16.put,
-    );
-    check("throughput decreases with width", mc4.put > mc4w.put);
-    check("async put slower than sync put", as4.put < mc4.put);
-    check(
-        "async-sync get ≈ mixed-clock get (same get part)",
-        (as4.get / mc4.get - 1.0).abs() < 0.1,
-    );
-    check(
-        "MCRS put ≥ mixed-clock put (put controller is one inverter)",
-        rs4.put >= mc4.put * 0.98,
-    );
-    check(
-        "MCRS get ≤ mixed-clock get (stopIn in the controller)",
-        rs4.get <= mc4.get * 1.02,
-    );
-    let l4 = lat(Design::MixedClock, 4);
-    let l16 = lat(Design::MixedClock, 16);
-    check("latency grows with capacity", l16.min_ns > l4.min_ns);
-    check("max latency exceeds min", l4.max_ns > l4.min_ns);
-    println!();
-    println!("{pass} shape checks passed, {fail} failed");
-
-    if stats {
-        print_kernel_stats();
+        println!();
+        println!("{pass} shape checks passed, {fail} failed");
+        if stats {
+            print_kernel_stats(kernel_stats());
+        }
+    } else {
+        let mut r = ExperimentReport::new("table1").with_kernel(kernel_stats());
+        for (d, design) in designs.iter().enumerate() {
+            for &width in &WIDTHS {
+                for &capacity in &CAPACITIES {
+                    let m = tput(d, width, capacity);
+                    let mut e = DesignEntry::new(*design, FifoParams::new(capacity, width))
+                        .with("put", m.put)
+                        .with("get", m.get);
+                    if width == 8 {
+                        let l = lat(d, capacity);
+                        e = e
+                            .with("latency_min_ns", l.min_ns)
+                            .with("latency_max_ns", l.max_ns);
+                    }
+                    r.entries.push(e);
+                }
+            }
+        }
+        r.note(
+            "shape_checks_passed",
+            mtf_bench::json::Json::Num(pass as f64),
+        );
+        r.note(
+            "shape_checks_failed",
+            mtf_bench::json::Json::Num(fail as f64),
+        );
+        r.emit();
     }
+
     if fail > 0 {
         std::process::exit(1);
     }
 }
 
-/// Runs one representative mixed-clock transfer and dumps the kernel's
+/// `NAME[:CAPxWIDTH]`, e.g. `mixed_clock` or `async_sync:8x16`.
+fn parse_cell(cell: &str) -> (String, FifoParams) {
+    match cell.split_once(':') {
+        None => (cell.to_string(), FifoParams::new(4, 8)),
+        Some((name, geom)) => {
+            let (c, w) = geom
+                .split_once('x')
+                .unwrap_or_else(|| panic!("--cell wants NAME:CAPxWIDTH, got {cell:?}"));
+            let capacity = c.parse().unwrap_or_else(|_| panic!("bad capacity {c:?}"));
+            let width = w.parse().unwrap_or_else(|_| panic!("bad width {w:?}"));
+            (name.to_string(), FifoParams::new(capacity, width))
+        }
+    }
+}
+
+/// Runs one representative mixed-clock transfer and returns the kernel's
 /// internal counters ([`mtf_sim::Simulator::stats`]) — a quick check of
 /// how hard the event queue worked and how much the wake coalescing and
 /// delta ring are earning.
-fn print_kernel_stats() {
-    use mtf_core::env::{SyncConsumer, SyncProducer};
-    use mtf_core::MixedClockFifo;
-    use mtf_gates::{Builder, CellDelays};
-    use mtf_sim::{ClockGen, MetaModel, Simulator, Time};
-
-    let mut sim = Simulator::new(7);
-    let clk_put = sim.net("clk_put");
-    let clk_get = sim.net("clk_get");
-    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ps(4_000));
-    ClockGen::builder(Time::from_ps(5_300))
-        .phase(Time::from_ps(700))
-        .spawn(&mut sim, clk_get);
-    let mut b = Builder::with_delays(&mut sim, CellDelays::hp06_custom(), MetaModel::ideal());
-    let f = MixedClockFifo::build(&mut b, FifoParams::new(8, 8), clk_put, clk_get);
-    drop(b.finish());
+fn kernel_stats() -> SimStats {
+    let mut h = Harness::calibrated(7);
+    h.clock_nets_both();
+    h.gen_put(Time::from_ps(4_000));
+    h.gen_get_phased(Time::from_ps(5_300), Time::from_ps(700));
+    h.build(&MIXED_CLOCK, FifoParams::new(8, 8));
     let items: Vec<u64> = (0..64).collect();
-    let _pj = SyncProducer::spawn(
-        &mut sim,
+    let n = items.len() as u64;
+    let _pj = h.feed(
         "prod",
-        clk_put,
-        f.req_put,
-        &f.data_put,
-        f.full,
-        items.clone(),
+        Feed::Saturate {
+            items,
+            bundling: Time::ZERO,
+            phase: Time::ZERO,
+        },
     );
-    let _cj = SyncConsumer::spawn(
-        &mut sim,
+    let _cj = h.drain(
         "cons",
-        clk_get,
-        f.req_get,
-        &f.data_get,
-        f.valid_get,
-        items.len() as u64,
+        Drain::Consume {
+            n,
+            phase: Time::ZERO,
+        },
     );
-    sim.run_until(Time::from_us(2)).expect("simulation runs");
-    let s = sim.stats();
+    h.sim.run_until(Time::from_us(2)).expect("simulation runs");
+    h.sim.stats()
+}
+
+fn print_kernel_stats(s: SimStats) {
     println!();
     println!("Kernel stats (mixed-clock 8-place/8-bit, 64-item transfer, 2 µs):");
     println!("  events processed      {}", s.events_processed);

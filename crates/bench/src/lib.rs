@@ -21,9 +21,19 @@
 //! out across cores through [`sweep::SweepRunner`] (`--jobs N` on the
 //! binaries), with results reassembled in input order so the printed
 //! tables are byte-identical at any thread count.
+//!
+//! Experiments are built on the design layer (`mtf_core::design`): the
+//! [`harness`] module assembles clocks/design/environments for any
+//! registered design, [`args`] parses the shared CLI flags, and
+//! [`report`]/[`json`] provide the structured `--json` output every
+//! binary emits.
 
 #![warn(missing_docs)]
 
+pub mod args;
+pub mod harness;
+pub mod json;
 pub mod measure;
 pub mod paper;
+pub mod report;
 pub mod sweep;

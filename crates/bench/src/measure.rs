@@ -11,63 +11,30 @@
 //! clock period; Min/Max are the sweep extremes.
 //!
 //! All measurements use the custom-circuit calibration
-//! ([`CellDelays::hp06_custom`]/[`Tech::hp06_custom`]) and the ideal
+//! ([`Tech::hp06_custom`], via [`Harness::calibrated`]) and the ideal
 //! metastability model (the paper's HSpice runs are deterministic; the
 //! stochastic model is exercised by the robustness experiment instead).
+//!
+//! Every procedure takes `&dyn MixedTimingDesign`, so any design in the
+//! [`DesignRegistry`](mtf_core::DesignRegistry) — paper or baseline — is
+//! measured by the same code path. The one exception is the behavioural
+//! Seizovic baseline, which has no netlist to analyse statically;
+//! [`seizovic_latency`] measures it by simulation at an explicit pipeline
+//! depth.
 
-use mtf_async::FourPhaseProducer;
-use mtf_core::env::{PacketSink, SyncConsumer};
-use mtf_core::{
-    AsyncSyncFifo, AsyncSyncRelayStation, FifoParams, MixedClockFifo, MixedClockRelayStation,
-};
-use mtf_gates::{Builder, CellDelays};
-use mtf_sim::{ClockGen, Logic, MetaModel, NetId, Simulator, Time};
+use mtf_core::baseline::SeizovicFifo;
+use mtf_core::design::MIXED_CLOCK;
+use mtf_core::{FifoParams, InterfaceSpec, MixedTimingDesign};
+use mtf_sim::{ClockGen, Logic, Simulator, Time};
 use mtf_timing::{Sta, Tech};
 
+use crate::harness::{Drain, Feed, Harness};
 use crate::sweep::SweepRunner;
 
 /// Environment reaction delay after a clock edge (request/data driving).
 const EXT: Time = Time::from_ps(100);
 /// Bundling margin used by the asynchronous producer environments.
 const BUNDLING: Time = Time::from_ps(150);
-
-/// The four designs of Table 1.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Design {
-    /// Section 3: the sync-sync FIFO.
-    MixedClock,
-    /// Section 4: the async-sync FIFO.
-    AsyncSync,
-    /// Section 5.2: the mixed-clock relay station.
-    MixedClockRs,
-    /// Section 5.3: the async-sync relay station.
-    AsyncSyncRs,
-}
-
-impl Design {
-    /// All four, in the paper's row order.
-    pub const ALL: [Design; 4] = [
-        Design::MixedClock,
-        Design::AsyncSync,
-        Design::MixedClockRs,
-        Design::AsyncSyncRs,
-    ];
-
-    /// The paper's row label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Design::MixedClock => "Mixed-Clock",
-            Design::AsyncSync => "Async-Sync",
-            Design::MixedClockRs => "Mixed-Clock RS",
-            Design::AsyncSyncRs => "Async-Sync RS",
-        }
-    }
-
-    /// True if the put interface is asynchronous (throughput in MegaOps/s).
-    pub fn async_put(self) -> bool {
-        matches!(self, Design::AsyncSync | Design::AsyncSyncRs)
-    }
-}
 
 /// A measured throughput pair. Units: MHz for synchronous interfaces,
 /// MegaOps/s for asynchronous ones (same magnitude).
@@ -88,10 +55,6 @@ pub struct LatencyRange {
     pub max_ns: f64,
 }
 
-fn builder(sim: &mut Simulator) -> Builder<'_> {
-    Builder::with_delays(sim, CellDelays::hp06_custom(), MetaModel::ideal())
-}
-
 /// The STA-derived minimum clock periods of a design's synchronous
 /// interfaces (put period is `None` for asynchronous puts).
 #[derive(Clone, Copy, Debug)]
@@ -102,79 +65,60 @@ pub struct Periods {
     pub get: Time,
 }
 
+fn async_put(design: &dyn MixedTimingDesign, params: FifoParams) -> bool {
+    matches!(
+        design.put_interface(params),
+        InterfaceSpec::Async4Phase { .. }
+    )
+}
+
 /// Computes the STA periods for `design` at `params`.
-pub fn periods(design: Design, params: FifoParams) -> Periods {
-    let mut sim = Simulator::new(1);
-    let clk_put = sim.net("clk_put");
-    let clk_get = sim.net("clk_get");
-    let mut b = builder(&mut sim);
-    let (req_like, data_put, req_get_like, stop_in, nclk_get): (
-        NetId,
-        Vec<NetId>,
-        Option<NetId>,
-        Option<NetId>,
-        NetId,
-    );
-    match design {
-        Design::MixedClock => {
-            let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
-            req_like = f.req_put;
-            data_put = f.data_put.clone();
-            req_get_like = Some(f.req_get);
-            stop_in = None;
-            nclk_get = f.nclk_get;
-        }
-        Design::AsyncSync => {
-            let f = AsyncSyncFifo::build(&mut b, params, clk_get);
-            req_like = f.put_req;
-            data_put = f.put_data.clone();
-            req_get_like = Some(f.req_get);
-            stop_in = None;
-            nclk_get = f.nclk_get;
-        }
-        Design::MixedClockRs => {
-            let f = MixedClockRelayStation::build(&mut b, params, clk_put, clk_get);
-            req_like = f.valid_in;
-            data_put = f.data_put.clone();
-            req_get_like = None;
-            stop_in = Some(f.stop_in);
-            nclk_get = f.nclk_get;
-        }
-        Design::AsyncSyncRs => {
-            let f = AsyncSyncRelayStation::build(&mut b, params, clk_get);
-            req_like = f.put_req;
-            data_put = f.put_data.clone();
-            req_get_like = None;
-            stop_in = Some(f.stop_in);
-            nclk_get = f.nclk_get;
-        }
-    }
-    let nl = b.finish();
-    Tech::hp06_custom().annotate(&nl);
-    let mut sta = Sta::new(&nl);
+///
+/// # Panics
+///
+/// Panics for purely behavioural designs (Seizovic): they place no gates,
+/// so no timing paths exist.
+pub fn periods(design: &dyn MixedTimingDesign, params: FifoParams) -> Periods {
+    let mut h = Harness::calibrated(1);
+    h.clock_nets_both();
+    h.build_annotated(design, params, &Tech::hp06_custom());
+    let ports = h.ports().clone();
+    let put_clock = ports
+        .put_clock()
+        .unwrap_or_else(|| h.clk_put.expect("harness created both clock nets"));
+    let get_clock = ports
+        .get_clock()
+        .unwrap_or_else(|| h.clk_get.expect("harness created both clock nets"));
+    let mut sta = Sta::new(h.netlist());
     // The mid-cycle dequeue commit launches from the falling get edge.
-    sta.external_launch_half(nclk_get, clk_get, Time::from_ps(100));
-    if !design.async_put() {
-        sta.external_launch(req_like, clk_put, EXT);
-        for &d in &data_put {
-            sta.external_launch(d, clk_put, EXT);
+    if let Some(nclk_get) = ports.nclk_get {
+        sta.external_launch_half(nclk_get, get_clock, Time::from_ps(100));
+    }
+    if !async_put(design, params) {
+        let req_like = ports
+            .req_put
+            .or(ports.valid_in)
+            .expect("clocked puts have a request-like input");
+        sta.external_launch(req_like, put_clock, EXT);
+        for &d in &ports.data_put {
+            sta.external_launch(d, put_clock, EXT);
         }
     }
-    if let Some(rg) = req_get_like {
-        sta.external_launch(rg, clk_get, EXT);
+    if let Some(rg) = ports.req_get {
+        sta.external_launch(rg, get_clock, EXT);
     }
-    if let Some(si) = stop_in {
-        sta.external_launch(si, clk_get, EXT);
+    if let Some(si) = ports.stop_in {
+        sta.external_launch(si, get_clock, EXT);
     }
     let get = sta
-        .min_period(clk_get)
+        .min_period(get_clock)
         .expect("get domain must have paths")
         .period;
-    let put = if design.async_put() {
+    let put = if async_put(design, params) {
         None
     } else {
         Some(
-            sta.min_period(clk_put)
+            sta.min_period(put_clock)
                 .expect("put domain must have paths")
                 .period,
         )
@@ -183,7 +127,7 @@ pub fn periods(design: Design, params: FifoParams) -> Periods {
 }
 
 /// Measures the Table 1 throughput cell for `design` at `params`.
-pub fn throughput(design: Design, params: FifoParams) -> Throughput {
+pub fn throughput(design: &dyn MixedTimingDesign, params: FifoParams) -> Throughput {
     let p = periods(design, params);
     let get = 1.0e6 / p.get.as_ps() as f64;
     let put = match p.put {
@@ -196,70 +140,37 @@ pub fn throughput(design: Design, params: FifoParams) -> Throughput {
 /// Measures an asynchronous put interface's steady-state throughput in
 /// MegaOps/s, with the synchronous get side clocked at its own maximum
 /// frequency so the FIFO never back-pressures.
-fn async_put_mops(design: Design, params: FifoParams, get_period: Time) -> f64 {
+fn async_put_mops(design: &dyn MixedTimingDesign, params: FifoParams, get_period: Time) -> f64 {
     let ops: u64 = 300;
-    let mut sim = Simulator::new(2);
-    let clk_get = sim.net("clk_get");
+    let mut h = Harness::calibrated(2);
+    h.clock_nets(design.clocking());
     // 5% margin over the STA period keeps the drain side comfortably legal.
     let period = Time::from_ps(get_period.as_ps() * 21 / 20);
-    ClockGen::builder(period)
-        .phase(Time::from_ps(333))
-        .spawn(&mut sim, clk_get);
-    let mut b = builder(&mut sim);
-    let journal = match design {
-        Design::AsyncSync => {
-            let f = AsyncSyncFifo::build(&mut b, params, clk_get);
-            let nl = b.finish();
-            Tech::hp06_custom().annotate(&nl);
-            let ph = FourPhaseProducer::spawn(
-                &mut sim,
-                "prod",
-                f.put_req,
-                f.put_ack,
-                &f.put_data,
-                (0..ops).collect(),
-                BUNDLING,
-                Time::ZERO,
-            );
-            let _cj = SyncConsumer::spawn(
-                &mut sim,
+    h.gen_get_phased(period, Time::from_ps(333));
+    h.build_annotated(design, params, &Tech::hp06_custom());
+    let journal = h.feed(
+        "prod",
+        Feed::Saturate {
+            items: (0..ops).collect(),
+            bundling: BUNDLING,
+            phase: Time::ZERO,
+        },
+    );
+    match h.ports().get_spec() {
+        InterfaceSpec::SyncStream { .. } => {
+            h.drain("sink", Drain::Sink { stalls: vec![] });
+        }
+        _ => {
+            h.drain(
                 "cons",
-                clk_get,
-                f.req_get,
-                &f.data_get,
-                f.valid_get,
-                ops,
+                Drain::Consume {
+                    n: ops,
+                    phase: Time::ZERO,
+                },
             );
-            ph.journal().clone()
         }
-        Design::AsyncSyncRs => {
-            let f = AsyncSyncRelayStation::build(&mut b, params, clk_get);
-            let nl = b.finish();
-            Tech::hp06_custom().annotate(&nl);
-            let ph = FourPhaseProducer::spawn(
-                &mut sim,
-                "prod",
-                f.put_req,
-                f.put_ack,
-                &f.put_data,
-                (0..ops).collect(),
-                BUNDLING,
-                Time::ZERO,
-            );
-            let _kj = PacketSink::spawn(
-                &mut sim,
-                "sink",
-                clk_get,
-                &f.data_get,
-                f.valid_get,
-                f.stop_in,
-                vec![],
-            );
-            ph.journal().clone()
-        }
-        _ => unreachable!("synchronous puts are timed statically"),
-    };
-    sim.run_until(Time::from_us(40)).expect("simulation runs");
+    }
+    h.sim.run_until(Time::from_us(40)).expect("simulation runs");
     assert_eq!(journal.len() as u64, ops, "producer must finish");
     journal.ops_per_second(40).expect("steady state reached") / 1.0e6
 }
@@ -271,48 +182,39 @@ fn async_put_mops(design: Design, params: FifoParams, get_period: Time) -> f64 {
 /// 1.0 means the STA bound is exactly where simulation first succeeds;
 /// values below 1.0 mean STA is conservative by that margin.
 pub fn sim_fmax_factor_mixed_clock(params: FifoParams) -> f64 {
-    let p = periods(Design::MixedClock, params);
+    let p = periods(&MIXED_CLOCK, params);
     let (t_put, t_get) = (p.put.expect("sync put"), p.get);
 
     let clean_at = |factor: f64| -> bool {
         let scale = |t: Time| Time::from_ps((t.as_ps() as f64 * factor).round() as u64);
         let (tp, tg) = (scale(t_put), scale(t_get));
-        let mut sim = Simulator::new(17);
-        let clk_put = sim.net("clk_put");
-        let clk_get = sim.net("clk_get");
-        ClockGen::spawn_simple(&mut sim, clk_put, tp);
-        ClockGen::builder(tg)
-            .phase(Time::from_ps(tg.as_ps() / 3))
-            .spawn(&mut sim, clk_get);
-        let mut b = builder(&mut sim);
-        let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
-        let nl = b.finish();
-        Tech::hp06_custom().annotate(&nl);
+        let mut h = Harness::calibrated(17);
+        h.clock_nets_both();
+        h.gen_put(tp);
+        h.gen_get_phased(tg, Time::from_ps(tg.as_ps() / 3));
+        h.build_annotated(&MIXED_CLOCK, params, &Tech::hp06_custom());
         let items: Vec<u64> = (0..60).collect();
-        let pj = mtf_core::env::SyncProducer::spawn(
-            &mut sim,
+        let pj = h.feed(
             "p",
-            clk_put,
-            f.req_put,
-            &f.data_put,
-            f.full,
-            items.clone(),
+            Feed::Saturate {
+                items: items.clone(),
+                bundling: BUNDLING,
+                phase: Time::ZERO,
+            },
         );
-        let cj = SyncConsumer::spawn(
-            &mut sim,
+        let cj = h.drain(
             "c",
-            clk_get,
-            f.req_get,
-            &f.data_get,
-            f.valid_get,
-            items.len() as u64,
+            Drain::Consume {
+                n: items.len() as u64,
+                phase: Time::ZERO,
+            },
         );
         let horizon = Time::from_ps(tp.max(tg).as_ps() * 200);
-        if sim.run_until(horizon).is_err() {
+        if h.sim.run_until(horizon).is_err() {
             return false;
         }
-        let viol = sim.violations_of(mtf_sim::ViolationKind::Setup).count()
-            + sim.violations_of(mtf_sim::ViolationKind::Hold).count();
+        let viol = h.sim.violations_of(mtf_sim::ViolationKind::Setup).count()
+            + h.sim.violations_of(mtf_sim::ViolationKind::Hold).count();
         viol == 0 && pj.len() == items.len() && cj.values() == items
     };
 
@@ -335,7 +237,7 @@ pub fn sim_fmax_factor_mixed_clock(params: FifoParams) -> f64 {
 /// requesting; one item injected at an instant swept over one get-clock
 /// period in `steps` steps. Returns the Min/Max of
 /// `capture edge − data-valid instant` in nanoseconds.
-pub fn latency(design: Design, params: FifoParams, steps: usize) -> LatencyRange {
+pub fn latency(design: &dyn MixedTimingDesign, params: FifoParams, steps: usize) -> LatencyRange {
     latency_with(design, params, steps, &SweepRunner::serial())
 }
 
@@ -343,7 +245,7 @@ pub fn latency(design: Design, params: FifoParams, steps: usize) -> LatencyRange
 /// step builds its own freshly seeded simulator, so the Min/Max is
 /// independent of the thread schedule.
 pub fn latency_with(
-    design: Design,
+    design: &dyn MixedTimingDesign,
     params: FifoParams,
     steps: usize,
     runner: &SweepRunner,
@@ -369,24 +271,33 @@ pub fn latency_with(
     }
 }
 
-fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) -> f64 {
+fn latency_once(
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+    p: Periods,
+    offset: Time,
+) -> f64 {
+    let kind = design.kind();
     let t_get = p.get;
-    // The relay station enqueues continuously — bubbles included — so a
+    let stream_put = matches!(
+        design.put_interface(params),
+        InterfaceSpec::SyncStream { .. }
+    );
+    // A relay station enqueues continuously — bubbles included — so a
     // put clock faster than the get clock would fill it with invalid
     // packets and the measured "latency" would be the drain time of the
     // whole ring. The paper's empty-FIFO latency setup implies
     // rate-matched interfaces; use the slower period on both sides.
-    let t_put = match (design, p.put) {
-        (Design::MixedClockRs, Some(tp)) => tp.max(t_get),
+    let t_put = match (stream_put, p.put) {
+        (true, Some(tp)) => tp.max(t_get),
         (_, Some(tp)) => tp,
         (_, None) => t_get,
     };
     let warmup = t_get * 40;
 
-    let mut sim = Simulator::new(3);
-    let clk_put = sim.net("clk_put");
-    let clk_get = sim.net("clk_get");
-    ClockGen::spawn_simple(&mut sim, clk_get, t_get);
+    let mut h = Harness::calibrated(3);
+    h.clock_nets_both();
+    h.gen_get(t_get);
 
     // For synchronous puts the injection instant is tied to a put-clock
     // edge, so the sweep shifts the whole put clock; for asynchronous puts
@@ -398,191 +309,96 @@ fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) ->
             (warmup.as_ps() + t_put.as_ps() - 1 - offset.as_ps() % t_put.as_ps()) / t_put.as_ps();
         offset + t_put * k
     };
-    if !design.async_put() {
-        ClockGen::builder(t_put)
-            .phase(offset)
-            .spawn(&mut sim, clk_put);
+    if !async_put(design, params) {
+        h.gen_put_phased(t_put, offset);
     }
 
-    let mut b = builder(&mut sim);
-    enum Rig {
-        Sync {
-            req: NetId,
-            data: Vec<NetId>,
-            valid_get: NetId,
-        },
-        Async {
-            req: NetId,
-            data: Vec<NetId>,
-            valid_get: NetId,
-        },
+    h.build_annotated(design, params, &Tech::hp06_custom());
+    let ports = h.ports().clone();
+
+    // Drain side: a requesting consumer or a stall-free sink.
+    match ports.get_spec() {
+        InterfaceSpec::SyncStream { .. } => {
+            h.drain("sink", Drain::Sink { stalls: vec![] });
+        }
+        _ => {
+            h.drain(
+                "cons",
+                Drain::Consume {
+                    n: 1,
+                    phase: Time::ZERO,
+                },
+            );
+        }
     }
-    let rig = match design {
-        Design::MixedClock => {
-            let f = MixedClockFifo::build(&mut b, params, clk_put, clk_get);
-            let nl = b.finish();
-            Tech::hp06_custom().annotate(&nl);
-            let _cj = SyncConsumer::spawn(
-                &mut sim,
-                "cons",
-                clk_get,
-                f.req_get,
-                &f.data_get,
-                f.valid_get,
-                1,
+
+    if stream_put {
+        // The relay station streams continuously (bubbles included) and
+        // self-regulates its occupancy, so the valid packet must come
+        // from a real upstream source that holds it under back-pressure.
+        // Latency is measured from the traced rise of `valid_in` (the
+        // instant the packet is on the bus).
+        let valid_in = ports.valid_in.expect("stream put");
+        let valid_get = ports.valid_get.expect("stream get");
+        let mut packets: Vec<Option<u64>> = vec![None; 45];
+        packets.push(Some(0xA5));
+        packets.extend(std::iter::repeat_n(None, 40));
+        h.feed("src", Feed::Packets { packets });
+        h.sim.trace(valid_in);
+        h.sim.trace(valid_get);
+        h.sim
+            .run_until(warmup + t_get * 120)
+            .expect("simulation runs");
+        let t0 = h
+            .sim
+            .waveform(valid_in)
+            .expect("traced")
+            .edges(mtf_sim::Edge::Rising)
+            .next()
+            .expect("the valid packet was presented");
+        let wf = h.sim.waveform(valid_get).expect("traced");
+        let mut k = t0.as_ps() / t_get.as_ps();
+        let capture = loop {
+            k += 1;
+            let edge = Time::from_ps(k * t_get.as_ps());
+            assert!(
+                edge <= t0 + t_get * 80,
+                "packet was never delivered ({kind:?} {params})"
             );
-            Rig::Sync {
-                req: f.req_put,
-                data: f.data_put,
-                valid_get: f.valid_get,
+            if wf.value_at(edge) == Logic::H {
+                break edge;
             }
-        }
-        Design::AsyncSync => {
-            let f = AsyncSyncFifo::build(&mut b, params, clk_get);
-            let nl = b.finish();
-            Tech::hp06_custom().annotate(&nl);
-            let _cj = SyncConsumer::spawn(
-                &mut sim,
-                "cons",
-                clk_get,
-                f.req_get,
-                &f.data_get,
-                f.valid_get,
-                1,
-            );
-            Rig::Async {
-                req: f.put_req,
-                data: f.put_data,
-                valid_get: f.valid_get,
-            }
-        }
-        Design::MixedClockRs => {
-            // The relay station streams continuously (bubbles included) and
-            // self-regulates its occupancy, so the valid packet must come
-            // from a real upstream source that holds it under
-            // back-pressure. Latency is measured from the traced rise of
-            // `valid_in` (the instant the packet is on the bus).
-            let f = MixedClockRelayStation::build(&mut b, params, clk_put, clk_get);
-            let nl = b.finish();
-            Tech::hp06_custom().annotate(&nl);
-            let _kj = PacketSink::spawn(
-                &mut sim,
-                "sink",
-                clk_get,
-                &f.data_get,
-                f.valid_get,
-                f.stop_in,
-                vec![],
-            );
-            let mut packets: Vec<Option<u64>> = vec![None; 45];
-            packets.push(Some(0xA5));
-            packets.extend(std::iter::repeat_n(None, 40));
-            let _sj = mtf_core::env::PacketSource::spawn(
-                &mut sim,
-                "src",
-                clk_put,
-                f.valid_in,
-                &f.data_put,
-                f.stop_out,
-                packets,
-            );
-            sim.trace(f.valid_in);
-            sim.trace(f.valid_get);
-            sim.run_until(warmup + t_get * 120)
-                .expect("simulation runs");
-            let t0 = sim
-                .waveform(f.valid_in)
-                .expect("traced")
-                .edges(mtf_sim::Edge::Rising)
-                .next()
-                .expect("the valid packet was presented");
-            let wf = sim.waveform(f.valid_get).expect("traced");
-            let mut k = t0.as_ps() / t_get.as_ps();
-            let capture = loop {
-                k += 1;
-                let edge = Time::from_ps(k * t_get.as_ps());
-                assert!(
-                    edge <= t0 + t_get * 80,
-                    "packet was never delivered ({design:?} {params})"
-                );
-                if wf.value_at(edge) == Logic::H {
-                    break edge;
-                }
-            };
-            return (capture - t0).as_ps() as f64 / 1000.0;
-        }
-        Design::AsyncSyncRs => {
-            let f = AsyncSyncRelayStation::build(&mut b, params, clk_get);
-            let nl = b.finish();
-            Tech::hp06_custom().annotate(&nl);
-            let _kj = PacketSink::spawn(
-                &mut sim,
-                "sink",
-                clk_get,
-                &f.data_get,
-                f.valid_get,
-                f.stop_in,
-                vec![],
-            );
-            Rig::Async {
-                req: f.put_req,
-                data: f.put_data,
-                valid_get: f.valid_get,
-            }
-        }
-    };
+        };
+        return (capture - t0).as_ps() as f64 / 1000.0;
+    }
 
     // Inject exactly one item; `t0` is the instant the put data bus holds
     // valid data (the paper's latency origin).
     let item: u64 = 0xA5;
-    let (t0, valid_get) = match rig {
-        Rig::Sync {
-            req,
-            data,
-            valid_get,
-        } => {
-            let t0 = put_edge + EXT;
-            for (i, &dnet) in data.iter().enumerate() {
-                let drv = sim.driver(dnet);
-                sim.drive_at(drv, dnet, Logic::from_bool((item >> i) & 1 == 1), t0);
-            }
-            let rd = sim.driver(req);
-            sim.drive_at(rd, req, Logic::L, Time::ZERO);
-            sim.drive_at(rd, req, Logic::H, t0);
-            // One packet only: deassert before the following edge closes.
-            sim.drive_at(rd, req, Logic::L, put_edge + t_put + EXT);
-            (t0, valid_get)
-        }
-        Rig::Async {
-            req,
-            data,
-            valid_get,
-        } => {
-            let t0 = warmup + offset;
-            for (i, &dnet) in data.iter().enumerate() {
-                let drv = sim.driver(dnet);
-                sim.drive_at(drv, dnet, Logic::from_bool((item >> i) & 1 == 1), t0);
-            }
-            let rd = sim.driver(req);
-            sim.drive_at(rd, req, Logic::L, Time::ZERO);
-            sim.drive_at(rd, req, Logic::H, t0 + BUNDLING);
-            sim.drive_at(rd, req, Logic::L, t0 + BUNDLING + t_get * 3);
-            (t0, valid_get)
-        }
+    let t0 = if async_put(design, params) {
+        let t0 = warmup + offset;
+        h.inject_async_once(item, t0, BUNDLING, t0 + BUNDLING + t_get * 3);
+        t0
+    } else {
+        let t0 = put_edge + EXT;
+        // One packet only: deassert before the following edge closes.
+        h.inject_sync_once(item, t0, put_edge + t_put + EXT);
+        t0
     };
 
-    sim.trace(valid_get);
-    sim.run_until(t0 + t_get * 60).expect("simulation runs");
+    let valid_get = ports.valid_get.expect("clocked get");
+    h.sim.trace(valid_get);
+    h.sim.run_until(t0 + t_get * 60).expect("simulation runs");
 
     // The receiver "retrieves the data item and can use it" at the first
     // get-clock edge where valid_get is high. Get edges fall at k·t_get.
-    let wf = sim.waveform(valid_get).expect("traced");
+    let wf = h.sim.waveform(valid_get).expect("traced");
     let mut k = t0.as_ps() / t_get.as_ps(); // first edge at or after t0
     let capture = loop {
         k += 1;
         let edge = Time::from_ps(k * t_get.as_ps());
         if edge > t0 + t_get * 59 {
-            panic!("item was never delivered ({design:?} {params})");
+            panic!("item was never delivered ({kind:?} {params})");
         }
         if wf.value_at(edge) == Logic::H {
             break edge;
@@ -591,25 +407,64 @@ fn latency_once(design: Design, params: FifoParams, p: Periods, offset: Time) ->
     (capture - t0).as_ps() as f64 / 1000.0
 }
 
+/// Latency of the behavioural Seizovic pipeline at an explicit `depth`
+/// and clock period `t`: one item injected into an empty pipeline with
+/// the receiver requesting; returns the ns from data-valid to capture.
+///
+/// The Seizovic baseline lives outside [`periods`]/[`latency`] because it
+/// is depth-parameterised below [`FifoParams`]' minimum capacity (the
+/// related-work comparison sweeps depth 2, 4, 8) and places no gates for
+/// the STA to analyse.
+pub fn seizovic_latency(depth: usize, t: Time) -> f64 {
+    let mut sim = Simulator::new(6);
+    let clk = sim.net("clk");
+    ClockGen::spawn_simple(&mut sim, clk, t);
+    let f = SeizovicFifo::spawn(&mut sim, "szv", clk, 8, depth);
+    let t0 = t * 40 + Time::from_ps(137);
+    let item: u64 = 0xA5;
+    for (i, &dnet) in f.put_data.iter().enumerate() {
+        let drv = sim.driver(dnet);
+        sim.drive_at(drv, dnet, Logic::from_bool((item >> i) & 1 == 1), t0);
+    }
+    let rd = sim.driver(f.put_req);
+    sim.drive_at(rd, f.put_req, Logic::L, Time::ZERO);
+    sim.drive_at(rd, f.put_req, Logic::H, t0 + Time::from_ps(150));
+    sim.drive_at(rd, f.put_req, Logic::L, t0 + t * 4);
+    let cj = mtf_core::env::SyncConsumer::spawn(
+        &mut sim,
+        "c",
+        clk,
+        f.req_get,
+        &f.data_get,
+        f.valid_get,
+        1,
+    );
+    sim.run_until(t0 + t * (4 * depth as u64 + 20))
+        .expect("simulation runs");
+    let capture = cj.time_of(0).expect("item delivered");
+    (capture - t0).as_ps() as f64 / 1000.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mtf_core::design::{ASYNC_SYNC, MIXED_CLOCK};
 
     #[test]
     fn mixed_clock_throughput_shape() {
-        let t4 = throughput(Design::MixedClock, FifoParams::new(4, 8));
-        let t16 = throughput(Design::MixedClock, FifoParams::new(16, 8));
+        let t4 = throughput(&MIXED_CLOCK, FifoParams::new(4, 8));
+        let t16 = throughput(&MIXED_CLOCK, FifoParams::new(16, 8));
         assert!(t4.put > t4.get, "put must beat get (detector complexity)");
         assert!(t4.put > t16.put, "throughput decreases with capacity");
         assert!(t4.get > t16.get);
-        let w16 = throughput(Design::MixedClock, FifoParams::new(4, 16));
+        let w16 = throughput(&MIXED_CLOCK, FifoParams::new(4, 16));
         assert!(t4.put > w16.put, "throughput decreases with width");
     }
 
     #[test]
     fn async_put_is_slower_than_sync_put() {
-        let mc = throughput(Design::MixedClock, FifoParams::new(4, 8));
-        let asy = throughput(Design::AsyncSync, FifoParams::new(4, 8));
+        let mc = throughput(&MIXED_CLOCK, FifoParams::new(4, 8));
+        let asy = throughput(&ASYNC_SYNC, FifoParams::new(4, 8));
         assert!(asy.put < mc.put, "async {} vs sync {}", asy.put, mc.put);
         assert!(asy.put > 50.0, "but still in a sane range: {}", asy.put);
     }
@@ -617,16 +472,16 @@ mod tests {
     #[test]
     fn async_sync_get_matches_mixed_clock_get() {
         // The get part is reused verbatim; the STA should agree closely.
-        let mc = throughput(Design::MixedClock, FifoParams::new(8, 8));
-        let asy = throughput(Design::AsyncSync, FifoParams::new(8, 8));
+        let mc = throughput(&MIXED_CLOCK, FifoParams::new(8, 8));
+        let asy = throughput(&ASYNC_SYNC, FifoParams::new(8, 8));
         let ratio = asy.get / mc.get;
         assert!((0.9..1.1).contains(&ratio), "get ratio {ratio}");
     }
 
     #[test]
     fn latency_range_is_sane_and_grows_with_capacity() {
-        let l4 = latency(Design::MixedClock, FifoParams::new(4, 8), 6);
-        let l16 = latency(Design::MixedClock, FifoParams::new(16, 8), 6);
+        let l4 = latency(&MIXED_CLOCK, FifoParams::new(4, 8), 6);
+        let l16 = latency(&MIXED_CLOCK, FifoParams::new(16, 8), 6);
         assert!(l4.min_ns > 0.0);
         assert!(l4.max_ns >= l4.min_ns);
         assert!(

@@ -1,0 +1,57 @@
+//! `--json` schema smoke check: runs the `table1` binary for one cell,
+//! parses the emitted line back through [`ExperimentReport::from_json`],
+//! and re-renders it — end-to-end coverage of the `mtf-bench-report-v1`
+//! schema as actually produced by a binary (not just the unit fixtures).
+
+use mtf_bench::json::Json;
+use mtf_bench::report::{ExperimentReport, SCHEMA};
+use std::process::Command;
+
+#[test]
+fn table1_cell_json_round_trips() {
+    let out = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args([
+            "--json",
+            "--cell",
+            "mixed_clock:4x8",
+            "--latency-steps",
+            "2",
+        ])
+        .output()
+        .expect("table1 --json --cell runs");
+    assert!(
+        out.status.success(),
+        "table1 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 output");
+    let line = text.trim();
+    assert!(
+        !line.contains('\n'),
+        "--json must emit exactly one line, got: {line:?}"
+    );
+
+    let tree = Json::parse(line).expect("valid JSON");
+    assert_eq!(tree.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    let report = ExperimentReport::from_json(&tree).expect("schema parses back");
+    assert_eq!(report.experiment, "table1");
+    assert_eq!(report.entries.len(), 1);
+    let e = &report.entries[0];
+    assert_eq!(e.design, "mixed_clock");
+    assert_eq!(e.label, "Mixed-Clock");
+    assert_eq!((e.params.capacity, e.params.width), (4, 8));
+    for key in ["put", "get", "latency_min_ns", "latency_max_ns"] {
+        let v = e
+            .measurements
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("measurement {key} missing"))
+            .1;
+        assert!(v.is_finite() && v > 0.0, "{key} = {v}");
+    }
+
+    // Full round trip: re-render and parse again.
+    let again = ExperimentReport::from_json(&Json::parse(&report.to_json().render()).unwrap())
+        .expect("round trips");
+    assert_eq!(again, report);
+}

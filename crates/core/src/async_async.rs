@@ -111,6 +111,20 @@ impl AsyncAsyncFifo {
             cell_full,
         }
     }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme.
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::AsyncAsync, self.params);
+        p.put_req = Some(self.put_req);
+        p.data_put = self.put_data.clone();
+        p.put_ack = Some(self.put_ack);
+        p.get_req = Some(self.get_req);
+        p.data_get = self.get_data.clone();
+        p.get_ack = Some(self.get_ack);
+        p
+    }
 }
 
 #[cfg(test)]

@@ -265,6 +265,23 @@ impl AsyncSyncFifo {
         }
         Some(n)
     }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme.
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::AsyncSync, self.params);
+        p.clk_get = Some(self.clk_get);
+        p.put_req = Some(self.put_req);
+        p.data_put = self.put_data.clone();
+        p.put_ack = Some(self.put_ack);
+        p.req_get = Some(self.req_get);
+        p.data_get = self.data_get.clone();
+        p.valid_get = Some(self.valid_get);
+        p.empty = Some(self.empty);
+        p.nclk_get = Some(self.nclk_get);
+        p
+    }
 }
 
 #[cfg(test)]

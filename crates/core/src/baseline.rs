@@ -220,6 +220,23 @@ impl GrayPointerFifo {
             empty,
         }
     }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme.
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::GrayPointer, self.params);
+        p.clk_put = Some(self.clk_put);
+        p.clk_get = Some(self.clk_get);
+        p.req_put = Some(self.req_put);
+        p.data_put = self.data_put.clone();
+        p.full = Some(self.full);
+        p.req_get = Some(self.req_get);
+        p.data_get = self.data_get.clone();
+        p.valid_get = Some(self.valid_get);
+        p.empty = Some(self.empty);
+        p
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -531,6 +548,23 @@ impl PerCellSyncFifo {
             empty,
         }
     }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme.
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::PerCellSync, self.params);
+        p.clk_put = Some(self.clk_put);
+        p.clk_get = Some(self.clk_get);
+        p.req_put = Some(self.req_put);
+        p.data_put = self.data_put.clone();
+        p.full = Some(self.full);
+        p.req_get = Some(self.req_get);
+        p.data_get = self.data_get.clone();
+        p.valid_get = Some(self.valid_get);
+        p.empty = Some(self.empty);
+        p
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -628,6 +662,24 @@ impl ShiftRegisterFifo {
             valid_get,
             empty,
         }
+    }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme. The single
+    /// clock sits in the put slot; get-side environments fall back to it
+    /// via [`DesignPorts::get_clock`](crate::design::DesignPorts::get_clock).
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::ShiftRegister, self.params);
+        p.clk_put = Some(self.clk);
+        p.req_put = Some(self.req_put);
+        p.data_put = self.data_put.clone();
+        p.full = Some(self.full);
+        p.req_get = Some(self.req_get);
+        p.data_get = self.data_get.clone();
+        p.valid_get = Some(self.valid_get);
+        p.empty = Some(self.empty);
+        p
     }
 }
 

@@ -1,0 +1,924 @@
+//! The **design layer**: one uniform contract over every FIFO and relay
+//! station in the workspace.
+//!
+//! The paper's point is that its designs are *interchangeable* behind
+//! put/get interfaces; this module makes that interchangeability a type.
+//! Each design (the six paper designs plus the four related-work baselines
+//! in [`baseline`](crate::baseline)) implements [`MixedTimingDesign`]:
+//! a constructor that takes whatever clocks the design declares it needs
+//! ([`Clocking`]) and returns a [`DesignPorts`] naming every external net
+//! under one scheme, plus metadata describing each interface's protocol
+//! ([`InterfaceSpec`]).
+//!
+//! On top of the trait sits the [`DesignRegistry`] — a string/enum →
+//! design table that experiment harnesses iterate instead of hand-wiring
+//! concrete types, so a new design is measured, conformance-tested and
+//! exported the moment it is registered.
+//!
+//! The nine gate-level designs build through [`Builder`]; the Seizovic
+//! baseline is behavioural (it spawns a simulator component) and reaches
+//! the simulator through [`Builder::sim`], so the trait covers it too.
+
+use mtf_gates::Builder;
+use mtf_sim::NetId;
+
+use crate::baseline::{GrayPointerFifo, PerCellSyncFifo, SeizovicFifo, ShiftRegisterFifo};
+use crate::{
+    AsyncAsyncFifo, AsyncSyncFifo, AsyncSyncRelayStation, FifoParams, MixedClockFifo,
+    MixedClockRelayStation, SyncAsyncFifo,
+};
+
+/// The protocol spoken by one side (put or get) of a design.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InterfaceSpec {
+    /// Clocked FIFO interface: `req`/`full` on the put side,
+    /// `req`/`valid`/`empty` on the get side (paper Fig. 3a/3b).
+    SyncFifo {
+        /// Data width in bits.
+        width: usize,
+    },
+    /// Clocked latency-insensitive stream: `valid`/`stop` with bubbles
+    /// (paper Sec. 5, Carloni's relay-station protocol).
+    SyncStream {
+        /// Data width in bits.
+        width: usize,
+    },
+    /// Asynchronous 4-phase bundled-data channel: `req`/`ack` with the
+    /// data bundled alongside (paper Fig. 3c).
+    Async4Phase {
+        /// Data width in bits.
+        width: usize,
+    },
+}
+
+impl InterfaceSpec {
+    /// The interface's data width in bits.
+    pub fn width(self) -> usize {
+        match self {
+            InterfaceSpec::SyncFifo { width }
+            | InterfaceSpec::SyncStream { width }
+            | InterfaceSpec::Async4Phase { width } => width,
+        }
+    }
+
+    /// True for the two clocked protocols.
+    pub fn is_clocked(self) -> bool {
+        !matches!(self, InterfaceSpec::Async4Phase { .. })
+    }
+
+    /// A short human label ("sync-fifo", "stream", "async-4ph").
+    pub fn label(self) -> &'static str {
+        match self {
+            InterfaceSpec::SyncFifo { .. } => "sync-fifo",
+            InterfaceSpec::SyncStream { .. } => "stream",
+            InterfaceSpec::Async4Phase { .. } => "async-4ph",
+        }
+    }
+}
+
+/// Which external clock nets a design consumes.
+///
+/// Single-clock designs occupy one named slot so harnesses know which net
+/// to create: the shift-register baseline clocks both interfaces from the
+/// *put* slot, the Seizovic baseline's clocked side is its *get* side.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Clocking {
+    /// Independent put and get clocks (the mixed-clock designs).
+    PutAndGet,
+    /// Only the put-side clock (sync-async FIFO, shift register).
+    PutOnly,
+    /// Only the get-side clock (async-sync designs, Seizovic).
+    GetOnly,
+    /// No clocks at all (async-async FIFO).
+    Unclocked,
+}
+
+impl Clocking {
+    /// True if the design consumes a put-slot clock.
+    pub fn needs_put(self) -> bool {
+        matches!(self, Clocking::PutAndGet | Clocking::PutOnly)
+    }
+
+    /// True if the design consumes a get-slot clock.
+    pub fn needs_get(self) -> bool {
+        matches!(self, Clocking::PutAndGet | Clocking::GetOnly)
+    }
+}
+
+/// The clock nets handed to [`MixedTimingDesign::build`]. Slots the design
+/// does not consume (per its [`Clocking`]) may be `None`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClockInputs {
+    /// The put-side clock net, if provided.
+    pub clk_put: Option<NetId>,
+    /// The get-side clock net, if provided.
+    pub clk_get: Option<NetId>,
+}
+
+impl ClockInputs {
+    /// Both clocks.
+    pub fn both(clk_put: NetId, clk_get: NetId) -> Self {
+        ClockInputs {
+            clk_put: Some(clk_put),
+            clk_get: Some(clk_get),
+        }
+    }
+
+    /// Only the put-side clock.
+    pub fn put(clk_put: NetId) -> Self {
+        ClockInputs {
+            clk_put: Some(clk_put),
+            clk_get: None,
+        }
+    }
+
+    /// Only the get-side clock.
+    pub fn get(clk_get: NetId) -> Self {
+        ClockInputs {
+            clk_put: None,
+            clk_get: Some(clk_get),
+        }
+    }
+
+    /// No clocks.
+    pub fn none() -> Self {
+        ClockInputs::default()
+    }
+
+    fn require_put(&self, who: &str) -> NetId {
+        self.clk_put
+            .unwrap_or_else(|| panic!("{who} requires a put-side clock net"))
+    }
+
+    fn require_get(&self, who: &str) -> NetId {
+        self.clk_get
+            .unwrap_or_else(|| panic!("{who} requires a get-side clock net"))
+    }
+}
+
+/// Identity of a registered design.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DesignKind {
+    /// Section 3: the sync-sync FIFO.
+    MixedClock,
+    /// Section 4: the async-sync FIFO.
+    AsyncSync,
+    /// The sync-async extension (deferred to the paper's tech report).
+    SyncAsync,
+    /// The async-async token-ring FIFO (paper ref. \[4\]).
+    AsyncAsync,
+    /// Section 5.2: the mixed-clock relay station.
+    MixedClockRs,
+    /// Section 5.3: the async-sync relay station.
+    AsyncSyncRs,
+    /// Baseline: Gray-code pointer-comparison FIFO (paper ref. \[5\]).
+    GrayPointer,
+    /// Baseline: Intel-style per-cell-synchronizer FIFO (paper ref. \[9\]).
+    PerCellSync,
+    /// Baseline: single-clock shift-register FIFO (mobile data).
+    ShiftRegister,
+    /// Baseline: Seizovic pipeline synchronization (paper ref. \[13\]).
+    Seizovic,
+}
+
+impl DesignKind {
+    /// The registry key (also the `--design` spelling on the binaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::MixedClock => "mixed_clock",
+            DesignKind::AsyncSync => "async_sync",
+            DesignKind::SyncAsync => "sync_async",
+            DesignKind::AsyncAsync => "async_async",
+            DesignKind::MixedClockRs => "mixed_clock_rs",
+            DesignKind::AsyncSyncRs => "async_sync_rs",
+            DesignKind::GrayPointer => "gray_pointer",
+            DesignKind::PerCellSync => "per_cell_sync",
+            DesignKind::ShiftRegister => "shift_register",
+            DesignKind::Seizovic => "seizovic",
+        }
+    }
+
+    /// The row label used in the paper's tables (and this repo's reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignKind::MixedClock => "Mixed-Clock",
+            DesignKind::AsyncSync => "Async-Sync",
+            DesignKind::SyncAsync => "Sync-Async",
+            DesignKind::AsyncAsync => "Async-Async",
+            DesignKind::MixedClockRs => "Mixed-Clock RS",
+            DesignKind::AsyncSyncRs => "Async-Sync RS",
+            DesignKind::GrayPointer => "Gray-pointer",
+            DesignKind::PerCellSync => "Per-cell sync",
+            DesignKind::ShiftRegister => "Shift-register",
+            DesignKind::Seizovic => "Seizovic",
+        }
+    }
+
+    /// True for the four related-work baselines.
+    pub fn is_baseline(self) -> bool {
+        matches!(
+            self,
+            DesignKind::GrayPointer
+                | DesignKind::PerCellSync
+                | DesignKind::ShiftRegister
+                | DesignKind::Seizovic
+        )
+    }
+}
+
+/// Every external net of a built design, under one naming scheme.
+///
+/// Only the nets belonging to the design's actual interfaces are `Some`;
+/// the data buses are empty only for designs without the corresponding
+/// side (none today). The scheme is the union of the three protocols:
+///
+/// * sync FIFO put: [`req_put`](Self::req_put) / [`full`](Self::full)
+/// * async put: [`put_req`](Self::put_req) / [`put_ack`](Self::put_ack)
+/// * stream put: [`valid_in`](Self::valid_in) / [`stop_out`](Self::stop_out)
+/// * sync FIFO get: [`req_get`](Self::req_get) /
+///   [`valid_get`](Self::valid_get) / [`empty`](Self::empty)
+/// * stream get: [`valid_get`](Self::valid_get) / [`stop_in`](Self::stop_in)
+/// * async get: [`get_req`](Self::get_req) / [`get_ack`](Self::get_ack)
+#[derive(Clone, Debug)]
+pub struct DesignPorts {
+    /// Which design these ports belong to.
+    pub kind: DesignKind,
+    /// The parameters it was built with.
+    pub params: FifoParams,
+    /// Put-side clock (also the single clock of put-slot designs).
+    pub clk_put: Option<NetId>,
+    /// Get-side clock (also the single clock of get-slot designs).
+    pub clk_get: Option<NetId>,
+    /// Sync put request (input).
+    pub req_put: Option<NetId>,
+    /// Sync put back-pressure flag (output).
+    pub full: Option<NetId>,
+    /// Async 4-phase put request (input).
+    pub put_req: Option<NetId>,
+    /// Async 4-phase put acknowledge (output).
+    pub put_ack: Option<NetId>,
+    /// Stream put validity (input).
+    pub valid_in: Option<NetId>,
+    /// Stream put back-pressure (output).
+    pub stop_out: Option<NetId>,
+    /// Put data bus (input), whatever the protocol.
+    pub data_put: Vec<NetId>,
+    /// Sync get request (input).
+    pub req_get: Option<NetId>,
+    /// Dequeue-success / stream-out validity flag (output).
+    pub valid_get: Option<NetId>,
+    /// Global empty flag (output), where the design exposes one.
+    pub empty: Option<NetId>,
+    /// Stream get back-pressure (input).
+    pub stop_in: Option<NetId>,
+    /// Async 4-phase get request (input).
+    pub get_req: Option<NetId>,
+    /// Async 4-phase get acknowledge (output).
+    pub get_ack: Option<NetId>,
+    /// Get data bus (output), whatever the protocol.
+    pub data_get: Vec<NetId>,
+    /// The inverted get clock feeding the mid-cycle dequeue commit —
+    /// timing analysis launches half-cycle paths from it. Only on designs
+    /// with the paper's synchronous get part.
+    pub nclk_get: Option<NetId>,
+}
+
+impl DesignPorts {
+    /// Ports with everything absent — design `ports()` mappings fill in
+    /// what exists.
+    pub fn new(kind: DesignKind, params: FifoParams) -> Self {
+        DesignPorts {
+            kind,
+            params,
+            clk_put: None,
+            clk_get: None,
+            req_put: None,
+            full: None,
+            put_req: None,
+            put_ack: None,
+            valid_in: None,
+            stop_out: None,
+            data_put: Vec::new(),
+            req_get: None,
+            valid_get: None,
+            empty: None,
+            stop_in: None,
+            get_req: None,
+            get_ack: None,
+            data_get: Vec::new(),
+            nclk_get: None,
+        }
+    }
+
+    /// The put-side protocol, derived from which nets exist.
+    pub fn put_spec(&self) -> InterfaceSpec {
+        let width = self.params.width;
+        if self.valid_in.is_some() {
+            InterfaceSpec::SyncStream { width }
+        } else if self.put_req.is_some() {
+            InterfaceSpec::Async4Phase { width }
+        } else {
+            InterfaceSpec::SyncFifo { width }
+        }
+    }
+
+    /// The get-side protocol, derived from which nets exist.
+    pub fn get_spec(&self) -> InterfaceSpec {
+        let width = self.params.width;
+        if self.stop_in.is_some() {
+            InterfaceSpec::SyncStream { width }
+        } else if self.get_req.is_some() {
+            InterfaceSpec::Async4Phase { width }
+        } else {
+            InterfaceSpec::SyncFifo { width }
+        }
+    }
+
+    /// The clock a synchronous *put* environment should use: the put slot,
+    /// falling back to the get slot for single-clock designs.
+    pub fn put_clock(&self) -> Option<NetId> {
+        self.clk_put.or(self.clk_get)
+    }
+
+    /// The clock a synchronous *get* environment should use: the get slot,
+    /// falling back to the put slot for single-clock designs.
+    pub fn get_clock(&self) -> Option<NetId> {
+        self.clk_get.or(self.clk_put)
+    }
+}
+
+/// The uniform contract every design implements: interface metadata plus
+/// a constructor from clocks to [`DesignPorts`].
+///
+/// Implementations are stateless unit structs (e.g. [`MixedClockDesign`]),
+/// so `&'static dyn MixedTimingDesign` is the working currency — that is
+/// what the [`DesignRegistry`] hands out and what harnesses accept.
+pub trait MixedTimingDesign: Sync {
+    /// Which design this is.
+    fn kind(&self) -> DesignKind;
+
+    /// Which clock nets [`build`](Self::build) consumes.
+    fn clocking(&self) -> Clocking;
+
+    /// The put-side protocol at `params`.
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec;
+
+    /// The get-side protocol at `params`.
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec;
+
+    /// Whether the design can be built at `params` (beyond the global
+    /// [`FifoParams`] invariants). `Err` carries the reason.
+    fn supports(&self, params: FifoParams) -> Result<(), String> {
+        let _ = params;
+        Ok(())
+    }
+
+    /// Builds the design into `b`, consuming the clock slots declared by
+    /// [`clocking`](Self::clocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required clock slot is `None`, or if
+    /// [`supports`](Self::supports) would have returned `Err`.
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts;
+}
+
+macro_rules! unit_design {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default)]
+        pub struct $name;
+    };
+}
+
+unit_design!(
+    /// [`MixedClockFifo`] as a [`MixedTimingDesign`].
+    MixedClockDesign
+);
+unit_design!(
+    /// [`AsyncSyncFifo`] as a [`MixedTimingDesign`].
+    AsyncSyncDesign
+);
+unit_design!(
+    /// [`SyncAsyncFifo`] as a [`MixedTimingDesign`].
+    SyncAsyncDesign
+);
+unit_design!(
+    /// [`AsyncAsyncFifo`] as a [`MixedTimingDesign`].
+    AsyncAsyncDesign
+);
+unit_design!(
+    /// [`MixedClockRelayStation`] as a [`MixedTimingDesign`].
+    MixedClockRsDesign
+);
+unit_design!(
+    /// [`AsyncSyncRelayStation`] as a [`MixedTimingDesign`].
+    AsyncSyncRsDesign
+);
+unit_design!(
+    /// [`GrayPointerFifo`] as a [`MixedTimingDesign`].
+    GrayPointerDesign
+);
+unit_design!(
+    /// [`PerCellSyncFifo`] as a [`MixedTimingDesign`].
+    PerCellSyncDesign
+);
+unit_design!(
+    /// [`ShiftRegisterFifo`] as a [`MixedTimingDesign`]. Both interfaces
+    /// run on the put-slot clock.
+    ShiftRegisterDesign
+);
+unit_design!(
+    /// [`SeizovicFifo`] as a [`MixedTimingDesign`]. Behavioural; pipeline
+    /// depth is taken from `params.capacity`, and the clocked (get) side
+    /// runs on the get-slot clock.
+    SeizovicDesign
+);
+
+impl MixedTimingDesign for MixedClockDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::MixedClock
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::PutAndGet
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let f = MixedClockFifo::build(
+            b,
+            params,
+            clocks.require_put("mixed_clock"),
+            clocks.require_get("mixed_clock"),
+        );
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for AsyncSyncDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::AsyncSync
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::GetOnly
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::Async4Phase {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let f = AsyncSyncFifo::build(b, params, clocks.require_get("async_sync"));
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for SyncAsyncDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::SyncAsync
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::PutOnly
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::Async4Phase {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let f = SyncAsyncFifo::build(b, params, clocks.require_put("sync_async"));
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for AsyncAsyncDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::AsyncAsync
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::Unclocked
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::Async4Phase {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::Async4Phase {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, _clocks: ClockInputs) -> DesignPorts {
+        let f = AsyncAsyncFifo::build(b, params);
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for MixedClockRsDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::MixedClockRs
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::PutAndGet
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncStream {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncStream {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let f = MixedClockRelayStation::build(
+            b,
+            params,
+            clocks.require_put("mixed_clock_rs"),
+            clocks.require_get("mixed_clock_rs"),
+        );
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for AsyncSyncRsDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::AsyncSyncRs
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::GetOnly
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::Async4Phase {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncStream {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let f = AsyncSyncRelayStation::build(b, params, clocks.require_get("async_sync_rs"));
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for GrayPointerDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::GrayPointer
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::PutAndGet
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn supports(&self, params: FifoParams) -> Result<(), String> {
+        if params.capacity.is_power_of_two() && params.capacity >= 4 {
+            Ok(())
+        } else {
+            Err(format!(
+                "gray_pointer needs a power-of-two capacity of at least 4 (got {})",
+                params.capacity
+            ))
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let f = GrayPointerFifo::build(
+            b,
+            params,
+            clocks.require_put("gray_pointer"),
+            clocks.require_get("gray_pointer"),
+        );
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for PerCellSyncDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::PerCellSync
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::PutAndGet
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let f = PerCellSyncFifo::build(
+            b,
+            params,
+            clocks.require_put("per_cell_sync"),
+            clocks.require_get("per_cell_sync"),
+        );
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for ShiftRegisterDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::ShiftRegister
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::PutOnly
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let f = ShiftRegisterFifo::build(b, params, clocks.require_put("shift_register"));
+        f.ports()
+    }
+}
+
+impl MixedTimingDesign for SeizovicDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::Seizovic
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::GetOnly
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::Async4Phase {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncFifo {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let clk = clocks.require_get("seizovic");
+        let port = SeizovicFifo::spawn(b.sim(), "szv", clk, params.width, params.capacity);
+        let mut p = DesignPorts::new(DesignKind::Seizovic, params);
+        p.clk_get = Some(clk);
+        p.put_req = Some(port.put_req);
+        p.put_ack = Some(port.put_ack);
+        p.data_put = port.put_data;
+        p.req_get = Some(port.req_get);
+        p.data_get = port.data_get;
+        p.valid_get = Some(port.valid_get);
+        p
+    }
+}
+
+/// The canonical instance behind [`MixedClockDesign`].
+pub static MIXED_CLOCK: MixedClockDesign = MixedClockDesign;
+/// The canonical instance behind [`AsyncSyncDesign`].
+pub static ASYNC_SYNC: AsyncSyncDesign = AsyncSyncDesign;
+/// The canonical instance behind [`SyncAsyncDesign`].
+pub static SYNC_ASYNC: SyncAsyncDesign = SyncAsyncDesign;
+/// The canonical instance behind [`AsyncAsyncDesign`].
+pub static ASYNC_ASYNC: AsyncAsyncDesign = AsyncAsyncDesign;
+/// The canonical instance behind [`MixedClockRsDesign`].
+pub static MIXED_CLOCK_RS: MixedClockRsDesign = MixedClockRsDesign;
+/// The canonical instance behind [`AsyncSyncRsDesign`].
+pub static ASYNC_SYNC_RS: AsyncSyncRsDesign = AsyncSyncRsDesign;
+/// The canonical instance behind [`GrayPointerDesign`].
+pub static GRAY_POINTER: GrayPointerDesign = GrayPointerDesign;
+/// The canonical instance behind [`PerCellSyncDesign`].
+pub static PER_CELL_SYNC: PerCellSyncDesign = PerCellSyncDesign;
+/// The canonical instance behind [`ShiftRegisterDesign`].
+pub static SHIFT_REGISTER: ShiftRegisterDesign = ShiftRegisterDesign;
+/// The canonical instance behind [`SeizovicDesign`].
+pub static SEIZOVIC: SeizovicDesign = SeizovicDesign;
+
+/// All ten designs: paper order (Table 1 rows, then the two extensions),
+/// then the baselines.
+static ALL_DESIGNS: [&dyn MixedTimingDesign; 10] = [
+    &MIXED_CLOCK,
+    &ASYNC_SYNC,
+    &MIXED_CLOCK_RS,
+    &ASYNC_SYNC_RS,
+    &ASYNC_ASYNC,
+    &SYNC_ASYNC,
+    &GRAY_POINTER,
+    &PER_CELL_SYNC,
+    &SHIFT_REGISTER,
+    &SEIZOVIC,
+];
+
+/// A selection of registered designs, iterated in a fixed order.
+///
+/// ```
+/// use mtf_core::design::DesignRegistry;
+/// let four = DesignRegistry::table1();
+/// let labels: Vec<_> = four.iter().map(|d| d.kind().label()).collect();
+/// assert_eq!(labels, ["Mixed-Clock", "Async-Sync", "Mixed-Clock RS", "Async-Sync RS"]);
+/// assert!(DesignRegistry::get("gray_pointer").is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DesignRegistry {
+    entries: Vec<&'static dyn MixedTimingDesign>,
+}
+
+impl std::fmt::Debug for dyn MixedTimingDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MixedTimingDesign({})", self.kind().name())
+    }
+}
+
+impl DesignRegistry {
+    /// Every design: the six paper designs then the four baselines.
+    pub fn standard() -> Self {
+        DesignRegistry {
+            entries: ALL_DESIGNS.to_vec(),
+        }
+    }
+
+    /// The six paper designs (Table 1 rows, then the two extensions).
+    pub fn paper() -> Self {
+        DesignRegistry {
+            entries: ALL_DESIGNS[..6].to_vec(),
+        }
+    }
+
+    /// The four designs of Table 1, in the paper's row order.
+    pub fn table1() -> Self {
+        DesignRegistry {
+            entries: ALL_DESIGNS[..4].to_vec(),
+        }
+    }
+
+    /// The four related-work baselines.
+    pub fn baselines() -> Self {
+        DesignRegistry {
+            entries: ALL_DESIGNS[6..].to_vec(),
+        }
+    }
+
+    /// Looks a design up by its registry name (see [`DesignKind::name`]).
+    pub fn get(name: &str) -> Option<&'static dyn MixedTimingDesign> {
+        ALL_DESIGNS
+            .iter()
+            .copied()
+            .find(|d| d.kind().name() == name)
+    }
+
+    /// The design behind a [`DesignKind`].
+    pub fn of(kind: DesignKind) -> &'static dyn MixedTimingDesign {
+        ALL_DESIGNS
+            .iter()
+            .copied()
+            .find(|d| d.kind() == kind)
+            .expect("every kind is registered")
+    }
+
+    /// Iterates the selection in its fixed order.
+    pub fn iter(&self) -> impl Iterator<Item = &'static dyn MixedTimingDesign> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The registry names of the selection, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|d| d.kind().name()).collect()
+    }
+
+    /// Number of designs in the selection.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the selection is empty (never, for the stock selections).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtf_sim::Simulator;
+
+    #[test]
+    fn registry_shapes() {
+        assert_eq!(DesignRegistry::standard().len(), 10);
+        assert_eq!(DesignRegistry::paper().len(), 6);
+        assert_eq!(DesignRegistry::table1().len(), 4);
+        assert_eq!(DesignRegistry::baselines().len(), 4);
+        for d in DesignRegistry::standard().iter() {
+            assert!(
+                std::ptr::eq(DesignRegistry::get(d.kind().name()).unwrap(), d),
+                "name lookup must round-trip"
+            );
+            assert!(std::ptr::eq(DesignRegistry::of(d.kind()), d));
+        }
+        assert!(DesignRegistry::get("no_such_design").is_none());
+    }
+
+    #[test]
+    fn specs_are_consistent_with_ports() {
+        // Build every design once and check that the metadata the trait
+        // promises matches what the returned ports actually expose.
+        let params = FifoParams::new(4, 8);
+        for d in DesignRegistry::standard().iter() {
+            d.supports(params).expect("4/8 fits every design");
+            let mut sim = Simulator::new(0);
+            let clk_put = d.clocking().needs_put().then(|| sim.net("clk_put"));
+            let clk_get = d.clocking().needs_get().then(|| sim.net("clk_get"));
+            let mut b = Builder::new(&mut sim);
+            let ports = d.build(&mut b, params, ClockInputs { clk_put, clk_get });
+            drop(b.finish());
+            let name = d.kind().name();
+            assert_eq!(ports.kind, d.kind(), "{name}");
+            assert_eq!(ports.params, params, "{name}");
+            assert_eq!(ports.put_spec(), d.put_interface(params), "{name} put");
+            assert_eq!(ports.get_spec(), d.get_interface(params), "{name} get");
+            assert_eq!(ports.data_put.len(), params.width, "{name} put bus");
+            assert_eq!(ports.data_get.len(), params.width, "{name} get bus");
+            assert_eq!(ports.clk_put, clk_put, "{name} clk_put");
+            assert_eq!(ports.clk_get, clk_get, "{name} clk_get");
+            // Each side exposes exactly the nets of its protocol.
+            match ports.put_spec() {
+                InterfaceSpec::SyncFifo { .. } => {
+                    assert!(ports.req_put.is_some() && ports.full.is_some(), "{name}");
+                    assert!(
+                        ports.put_req.is_none() && ports.valid_in.is_none(),
+                        "{name}"
+                    );
+                }
+                InterfaceSpec::Async4Phase { .. } => {
+                    assert!(ports.put_req.is_some() && ports.put_ack.is_some(), "{name}");
+                    assert!(
+                        ports.req_put.is_none() && ports.valid_in.is_none(),
+                        "{name}"
+                    );
+                }
+                InterfaceSpec::SyncStream { .. } => {
+                    assert!(
+                        ports.valid_in.is_some() && ports.stop_out.is_some(),
+                        "{name}"
+                    );
+                }
+            }
+            match ports.get_spec() {
+                InterfaceSpec::SyncFifo { .. } => {
+                    assert!(
+                        ports.req_get.is_some() && ports.valid_get.is_some(),
+                        "{name}"
+                    );
+                    assert!(ports.get_req.is_none() && ports.stop_in.is_none(), "{name}");
+                }
+                InterfaceSpec::Async4Phase { .. } => {
+                    assert!(ports.get_req.is_some() && ports.get_ack.is_some(), "{name}");
+                    assert!(ports.req_get.is_none() && ports.stop_in.is_none(), "{name}");
+                }
+                InterfaceSpec::SyncStream { .. } => {
+                    assert!(
+                        ports.stop_in.is_some() && ports.valid_get.is_some(),
+                        "{name}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_pointer_capacity_gate() {
+        assert!(GRAY_POINTER.supports(FifoParams::new(8, 8)).is_ok());
+        assert!(GRAY_POINTER.supports(FifoParams::new(6, 8)).is_err());
+        assert!(GRAY_POINTER.supports(FifoParams::new(3, 8)).is_err());
+    }
+}

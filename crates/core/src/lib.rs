@@ -71,6 +71,7 @@
 mod async_async;
 mod async_sync;
 pub mod baseline;
+pub mod design;
 mod detectors;
 pub mod env;
 mod mixed_clock;
@@ -80,6 +81,10 @@ mod sync_async;
 
 pub use async_async::AsyncAsyncFifo;
 pub use async_sync::AsyncSyncFifo;
+pub use design::{
+    ClockInputs, Clocking, DesignKind, DesignPorts, DesignRegistry, InterfaceSpec,
+    MixedTimingDesign,
+};
 pub use detectors::{
     build_bimodal_empty, build_full_detector, build_ne_detector, build_oe_detector,
 };

@@ -308,6 +308,24 @@ impl MixedClockFifo {
         }
         Some(n)
     }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme.
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::MixedClock, self.params);
+        p.clk_put = Some(self.clk_put);
+        p.clk_get = Some(self.clk_get);
+        p.req_put = Some(self.req_put);
+        p.data_put = self.data_put.clone();
+        p.full = Some(self.full);
+        p.req_get = Some(self.req_get);
+        p.data_get = self.data_get.clone();
+        p.valid_get = Some(self.valid_get);
+        p.empty = Some(self.empty);
+        p.nclk_get = Some(self.nclk_get);
+        p
+    }
 }
 
 #[cfg(test)]

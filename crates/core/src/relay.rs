@@ -118,6 +118,25 @@ impl MixedClockRelayStation {
             nclk_get,
         }
     }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme. The relay
+    /// station's `empty` is internal to the stream protocol and is not
+    /// exported.
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::MixedClockRs, self.params);
+        p.clk_put = Some(self.clk_put);
+        p.clk_get = Some(self.clk_get);
+        p.valid_in = Some(self.valid_in);
+        p.data_put = self.data_put.clone();
+        p.stop_out = Some(self.stop_out);
+        p.stop_in = Some(self.stop_in);
+        p.data_get = self.data_get.clone();
+        p.valid_get = Some(self.valid_get);
+        p.nclk_get = Some(self.nclk_get);
+        p
+    }
 }
 
 /// The async–sync relay station (ASRS, paper Section 5.3) — per the paper,
@@ -207,6 +226,22 @@ impl AsyncSyncRelayStation {
             cell_full,
             nclk_get,
         }
+    }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme.
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::AsyncSyncRs, self.params);
+        p.clk_get = Some(self.clk_get);
+        p.put_req = Some(self.put_req);
+        p.data_put = self.put_data.clone();
+        p.put_ack = Some(self.put_ack);
+        p.stop_in = Some(self.stop_in);
+        p.data_get = self.data_get.clone();
+        p.valid_get = Some(self.valid_get);
+        p.nclk_get = Some(self.nclk_get);
+        p
     }
 }
 

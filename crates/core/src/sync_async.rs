@@ -133,6 +133,21 @@ impl SyncAsyncFifo {
             cell_empty,
         }
     }
+
+    /// Maps the external nets onto the uniform
+    /// [`DesignPorts`](crate::design::DesignPorts) scheme.
+    pub fn ports(&self) -> crate::design::DesignPorts {
+        let mut p =
+            crate::design::DesignPorts::new(crate::design::DesignKind::SyncAsync, self.params);
+        p.clk_put = Some(self.clk_put);
+        p.req_put = Some(self.req_put);
+        p.data_put = self.data_put.clone();
+        p.full = Some(self.full);
+        p.get_req = Some(self.get_req);
+        p.data_get = self.get_data.clone();
+        p.get_ack = Some(self.get_ack);
+        p
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,8 @@
 
 use std::collections::VecDeque;
 
+use mtf_core::{ClockInputs, DesignPorts, FifoParams, InterfaceSpec, MixedTimingDesign};
+use mtf_gates::Builder;
 use mtf_sim::{Component, Ctx, DriverId, Logic, LogicVec, NetId, Simulator, Time};
 
 /// How soon after a clock edge a relay station's registered outputs settle.
@@ -309,6 +311,72 @@ impl RelayChain {
     }
 }
 
+/// Splices a mixed-timing design between two single-clock relay chains —
+/// the generalised Fig. 11a topology: `upstream` chain (put-side clock
+/// domain) → `design` → `downstream` chain (get-side clock domain).
+///
+/// Any design registered in `mtf_core::design` whose **both** interfaces
+/// speak the relay-station stream protocol (`valid`/`stop`) can be
+/// spliced; the design is built gate-level through its
+/// [`MixedTimingDesign`] impl and wired to the chains with 1 ps
+/// repeaters. Returns the built design's ports (for probing the
+/// boundary nets), or an error naming the offending interface when the
+/// design does not speak the stream protocol on either side or rejects
+/// the parameters.
+pub fn splice_stream_design(
+    sim: &mut Simulator,
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+    clk_put: NetId,
+    clk_get: NetId,
+    upstream: &RelayPort,
+    downstream: &RelayPort,
+) -> Result<DesignPorts, String> {
+    let name = design.kind().name();
+    match design.put_interface(params) {
+        InterfaceSpec::SyncStream { .. } => {}
+        other => {
+            return Err(format!(
+                "{name}: put side speaks {}, not the relay stream protocol",
+                other.label()
+            ))
+        }
+    }
+    match design.get_interface(params) {
+        InterfaceSpec::SyncStream { .. } => {}
+        other => {
+            return Err(format!(
+                "{name}: get side speaks {}, not the relay stream protocol",
+                other.label()
+            ))
+        }
+    }
+    design.supports(params)?;
+    let mut b = Builder::new(sim);
+    let ports = design.build(
+        &mut b,
+        params,
+        ClockInputs {
+            clk_put: Some(clk_put),
+            clk_get: Some(clk_get),
+        },
+    );
+    drop(b.finish());
+    // Upstream chain output → design put interface.
+    connect(sim, upstream.out_valid, ports.valid_in.expect("stream put"));
+    connect_bus(sim, &upstream.out_data, &ports.data_put);
+    connect(sim, ports.stop_out.expect("stream put"), upstream.stop_in);
+    // Design get interface → downstream chain input.
+    connect(
+        sim,
+        ports.valid_get.expect("stream get"),
+        downstream.in_valid,
+    );
+    connect_bus(sim, &ports.data_get, &downstream.in_data);
+    connect(sim, downstream.stop_out, ports.stop_in.expect("stream get"));
+    Ok(ports)
+}
+
 /// Shorts net `from` onto net `to` with a negligible (1 ps) repeater —
 /// used to join separately created interface nets.
 pub fn connect(sim: &mut Simulator, from: NetId, to: NetId) {
@@ -422,6 +490,75 @@ mod tests {
             long >= short + Time::from_ns(30),
             "each extra station adds at least a cycle: {short} -> {long}"
         );
+    }
+
+    #[test]
+    fn splice_carries_packets_across_a_clock_boundary() {
+        use mtf_core::design::MIXED_CLOCK_RS;
+
+        let mut sim = Simulator::new(21);
+        let clk_a = sim.net("clk_a");
+        let clk_b = sim.net("clk_b");
+        ClockGen::spawn_simple(&mut sim, clk_a, Time::from_ns(10));
+        ClockGen::builder(Time::from_ns(13))
+            .phase(Time::from_ps(2_400))
+            .spawn(&mut sim, clk_b);
+        let left = RelayChain::spawn(&mut sim, "l", clk_a, 8, 2, Time::from_ns(1));
+        let right = RelayChain::spawn(&mut sim, "r", clk_b, 8, 2, Time::from_ns(1));
+        let ports = splice_stream_design(
+            &mut sim,
+            &MIXED_CLOCK_RS,
+            FifoParams::new(8, 8),
+            clk_a,
+            clk_b,
+            &left.port,
+            &right.port,
+        )
+        .expect("MCRS speaks the stream protocol on both sides");
+        assert!(ports.valid_in.is_some() && ports.stop_in.is_some());
+        let packets: Vec<Option<u64>> = (0..60).map(Some).collect();
+        let sj = PacketSource::spawn(
+            &mut sim,
+            "src",
+            clk_a,
+            left.port.in_valid,
+            &left.port.in_data,
+            left.port.stop_out,
+            packets,
+        );
+        let kj = PacketSink::spawn(
+            &mut sim,
+            "sink",
+            clk_b,
+            &right.port.out_data,
+            right.port.out_valid,
+            right.port.stop_in,
+            vec![(10, 25)],
+        );
+        sim.run_until(Time::from_us(10)).unwrap();
+        assert_eq!(kj.values(), sj.values(), "boundary splice is lossless");
+    }
+
+    #[test]
+    fn splice_rejects_non_stream_designs() {
+        use mtf_core::design::MIXED_CLOCK;
+
+        let mut sim = Simulator::new(22);
+        let clk = sim.net("clk");
+        ClockGen::spawn_simple(&mut sim, clk, Time::from_ns(10));
+        let left = RelayChain::spawn(&mut sim, "l", clk, 8, 1, Time::from_ns(1));
+        let right = RelayChain::spawn(&mut sim, "r", clk, 8, 1, Time::from_ns(1));
+        let err = splice_stream_design(
+            &mut sim,
+            &MIXED_CLOCK,
+            FifoParams::new(8, 8),
+            clk,
+            clk,
+            &left.port,
+            &right.port,
+        )
+        .unwrap_err();
+        assert!(err.contains("not the relay stream protocol"), "got: {err}");
     }
 
     #[test]

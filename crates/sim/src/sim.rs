@@ -74,7 +74,7 @@ impl fmt::Display for Violation {
 
 /// Kernel counters, taken with [`Simulator::stats`]. Cheap to copy; all
 /// values are cumulative since construction.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Events popped and dispatched by [`Simulator::run_until`].
     pub events_processed: u64,

@@ -1,8 +1,9 @@
 //! Experiment E11 — the paper's related-work claims, as assertions
 //! (the `related_work` binary prints the full comparison).
 
-use mtf_bench::measure::{latency, periods, Design};
+use mtf_bench::measure::{latency, periods};
 use mtf_core::baseline::{GrayPointerFifo, PerCellSyncFifo, SeizovicFifo};
+use mtf_core::design::{ASYNC_SYNC, MIXED_CLOCK};
 use mtf_core::env::{SyncConsumer, SyncProducer};
 use mtf_core::{FifoParams, MixedClockFifo};
 use mtf_gates::{Builder, CellDelays};
@@ -12,7 +13,7 @@ use mtf_timing::area;
 /// Empty-FIFO latency (ns) of the Gray-pointer baseline at the mixed-clock
 /// design's own fmax clocks, best alignment over a small sweep.
 fn gray_min_latency(params: FifoParams) -> f64 {
-    let p = periods(Design::MixedClock, params);
+    let p = periods(&MIXED_CLOCK, params);
     let (t_put, t_get) = (p.put.unwrap(), p.get);
     let mut best = f64::INFINITY;
     for s in 0..4 {
@@ -58,7 +59,7 @@ fn gray_min_latency(params: FifoParams) -> f64 {
 #[test]
 fn paper_beats_pointer_fifo_on_latency() {
     let params = FifoParams::new(8, 8);
-    let ours = latency(Design::MixedClock, params, 4);
+    let ours = latency(&MIXED_CLOCK, params, 4);
     let gray = gray_min_latency(params);
     assert!(
         gray > ours.min_ns * 1.1,
@@ -96,7 +97,7 @@ fn paper_beats_seizovic_by_depth_independence() {
     );
     sim.run_until(Time::from_us(3)).unwrap();
     let szv_ns = (cj.time_of(0).expect("delivered") - t0).as_ps() as f64 / 1000.0;
-    let ours = latency(Design::AsyncSync, FifoParams::new(8, 8), 4);
+    let ours = latency(&ASYNC_SYNC, FifoParams::new(8, 8), 4);
     assert!(
         szv_ns > ours.min_ns * 5.0,
         "pipeline synchronization at depth 6 must be far slower \

@@ -1,0 +1,66 @@
+//! Registry-driven conformance: the golden-queue check (`fifo_transfer`)
+//! over **every** design in [`DesignRegistry::standard`] — the paper's six
+//! designs *and* the four related-work baselines — at several shapes.
+//!
+//! This is the design layer's payoff: a newly registered design is
+//! conformance-tested by this loop with no new test code, and a design
+//! that cannot support a shape must say so through
+//! [`MixedTimingDesign::supports`] rather than crash.
+//!
+//! [`MixedTimingDesign::supports`]: mtf_core::MixedTimingDesign::supports
+
+use mtf_bench::harness::{fifo_transfer, TransferConfig};
+use mtf_core::design::DesignRegistry;
+use mtf_core::FifoParams;
+use mtf_sim::Time;
+
+#[test]
+fn every_registered_design_passes_the_golden_queue() {
+    let registry = DesignRegistry::standard();
+    let mut covered = 0;
+    let mut declined = 0;
+    for design in registry.iter() {
+        for &(capacity, width) in &[(4usize, 8usize), (6, 8), (8, 16)] {
+            let params = FifoParams::new(capacity, width);
+            if let Err(why) = design.supports(params) {
+                // Declared inability (gray_pointer wants power-of-two
+                // capacities) is the contract; silent wrong answers are not.
+                assert!(
+                    !capacity.is_power_of_two(),
+                    "{} refused a supported shape {params}: {why}",
+                    design.kind().name()
+                );
+                declined += 1;
+                continue;
+            }
+            let mask = (1u64 << width) - 1;
+            let items: Vec<u64> = (0..24u64)
+                .map(|i| (i * 37 + capacity as u64) & mask)
+                .collect();
+            let cfg = TransferConfig {
+                producer_phase: Time::from_ps(300),
+                getter_phase: Time::from_ps(500),
+                bubble_offset: Some(1),
+                stalls: vec![(12, 20)],
+                ..TransferConfig::plain(11, 10_000, 12_700, Time::from_us(80))
+            };
+            let out = fifo_transfer(design, params, &items, &cfg);
+            assert_eq!(out, items, "{} at {params}", design.kind().name());
+            covered += 1;
+        }
+    }
+    assert_eq!(covered + declined, registry.len() * 3);
+    assert!(declined >= 1, "the capacity gate must have been exercised");
+}
+
+#[test]
+fn registry_lookup_round_trips() {
+    let registry = DesignRegistry::standard();
+    for design in registry.iter() {
+        let name = design.kind().name();
+        let found = DesignRegistry::get(name).expect("registered name resolves");
+        assert_eq!(found.kind(), design.kind());
+        assert_eq!(DesignRegistry::of(design.kind()).kind(), design.kind());
+    }
+    assert!(DesignRegistry::get("no_such_design").is_none());
+}

@@ -2,213 +2,23 @@
 //! (the four paper designs plus the two extensions): whatever goes in
 //! comes out — in order, exactly once — for randomized payloads, shapes
 //! and clock configurations.
+//!
+//! Every design goes through the same generic driver,
+//! [`mtf_bench::harness::fifo_transfer`], with the per-design environment
+//! variation expressed as a [`TransferConfig`]; the per-design simulator
+//! schedules are identical to the pre-design-layer hand-wired drivers, so
+//! the tracked regressions in `cross_design.proptest-regressions` replay
+//! against the exact same event streams.
 
-use mtf_async::{FourPhaseGetter, FourPhaseProducer};
-use mtf_core::env::{PacketSink, PacketSource, SyncConsumer, SyncProducer};
-use mtf_core::{
-    AsyncAsyncFifo, AsyncSyncFifo, AsyncSyncRelayStation, FifoParams, MixedClockFifo,
-    MixedClockRelayStation, SyncAsyncFifo,
+use mtf_bench::harness::{fifo_transfer, TransferConfig};
+use mtf_core::design::{
+    ASYNC_ASYNC, ASYNC_SYNC, ASYNC_SYNC_RS, MIXED_CLOCK, MIXED_CLOCK_RS, SYNC_ASYNC,
 };
-use mtf_gates::Builder;
-use mtf_sim::{ClockGen, Simulator, Time};
+use mtf_core::FifoParams;
+use mtf_sim::Time;
 use proptest::prelude::*;
 
 const HORIZON: Time = Time::from_us(60);
-
-fn mixed_clock(seed: u64, p: FifoParams, t_put: u64, t_get: u64, items: &[u64]) -> Vec<u64> {
-    let mut sim = Simulator::new(seed);
-    let clk_put = sim.net("clk_put");
-    let clk_get = sim.net("clk_get");
-    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ps(t_put));
-    ClockGen::builder(Time::from_ps(t_get))
-        .phase(Time::from_ps(seed % t_get))
-        .spawn(&mut sim, clk_get);
-    let mut b = Builder::new(&mut sim);
-    let f = MixedClockFifo::build(&mut b, p, clk_put, clk_get);
-    drop(b.finish());
-    let _pj = SyncProducer::spawn(
-        &mut sim,
-        "p",
-        clk_put,
-        f.req_put,
-        &f.data_put,
-        f.full,
-        items.to_vec(),
-    );
-    let cj = SyncConsumer::spawn(
-        &mut sim,
-        "c",
-        clk_get,
-        f.req_get,
-        &f.data_get,
-        f.valid_get,
-        items.len() as u64,
-    );
-    sim.run_until(HORIZON).unwrap();
-    cj.values()
-}
-
-fn async_sync(seed: u64, p: FifoParams, t_get: u64, items: &[u64]) -> Vec<u64> {
-    let mut sim = Simulator::new(seed);
-    let clk_get = sim.net("clk_get");
-    ClockGen::builder(Time::from_ps(t_get))
-        .phase(Time::from_ps(seed % t_get))
-        .spawn(&mut sim, clk_get);
-    let mut b = Builder::new(&mut sim);
-    let f = AsyncSyncFifo::build(&mut b, p, clk_get);
-    drop(b.finish());
-    let _ph = FourPhaseProducer::spawn(
-        &mut sim,
-        "p",
-        f.put_req,
-        f.put_ack,
-        &f.put_data,
-        items.to_vec(),
-        Time::from_ps(400),
-        Time::from_ps(seed % 3_000),
-    );
-    let cj = SyncConsumer::spawn(
-        &mut sim,
-        "c",
-        clk_get,
-        f.req_get,
-        &f.data_get,
-        f.valid_get,
-        items.len() as u64,
-    );
-    sim.run_until(HORIZON).unwrap();
-    cj.values()
-}
-
-fn sync_async(seed: u64, p: FifoParams, t_put: u64, items: &[u64]) -> Vec<u64> {
-    let mut sim = Simulator::new(seed);
-    let clk_put = sim.net("clk_put");
-    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ps(t_put));
-    let mut b = Builder::new(&mut sim);
-    let f = SyncAsyncFifo::build(&mut b, p, clk_put);
-    drop(b.finish());
-    let _pj = SyncProducer::spawn(
-        &mut sim,
-        "p",
-        clk_put,
-        f.req_put,
-        &f.data_put,
-        f.full,
-        items.to_vec(),
-    );
-    let gh = FourPhaseGetter::spawn(
-        &mut sim,
-        "g",
-        f.get_req,
-        f.get_ack,
-        &f.get_data,
-        items.len(),
-        Time::from_ps(seed % 2_000),
-    );
-    sim.run_until(HORIZON).unwrap();
-    gh.journal().values()
-}
-
-fn async_async(seed: u64, p: FifoParams, items: &[u64]) -> Vec<u64> {
-    let mut sim = Simulator::new(seed);
-    let mut b = Builder::new(&mut sim);
-    let f = AsyncAsyncFifo::build(&mut b, p);
-    drop(b.finish());
-    let _ph = FourPhaseProducer::spawn(
-        &mut sim,
-        "p",
-        f.put_req,
-        f.put_ack,
-        &f.put_data,
-        items.to_vec(),
-        Time::from_ps(400),
-        Time::from_ps(seed % 2_500),
-    );
-    let gh = FourPhaseGetter::spawn(
-        &mut sim,
-        "g",
-        f.get_req,
-        f.get_ack,
-        &f.get_data,
-        items.len(),
-        Time::from_ps((seed * 7) % 2_500),
-    );
-    sim.run_until(HORIZON).unwrap();
-    gh.journal().values()
-}
-
-fn mcrs(seed: u64, p: FifoParams, t_put: u64, t_get: u64, items: &[u64]) -> Vec<u64> {
-    let mut sim = Simulator::new(seed);
-    let clk_put = sim.net("clk_put");
-    let clk_get = sim.net("clk_get");
-    ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ps(t_put));
-    ClockGen::builder(Time::from_ps(t_get))
-        .phase(Time::from_ps(seed % t_get))
-        .spawn(&mut sim, clk_get);
-    let mut b = Builder::new(&mut sim);
-    let rs = MixedClockRelayStation::build(&mut b, p, clk_put, clk_get);
-    drop(b.finish());
-    // Mix bubbles into the stream pseudo-randomly.
-    let mut packets = Vec::new();
-    for (i, &v) in items.iter().enumerate() {
-        if (i as u64 + seed).is_multiple_of(3) {
-            packets.push(None);
-        }
-        packets.push(Some(v));
-    }
-    let _sj = PacketSource::spawn(
-        &mut sim,
-        "s",
-        clk_put,
-        rs.valid_in,
-        &rs.data_put,
-        rs.stop_out,
-        packets,
-    );
-    let kj = PacketSink::spawn(
-        &mut sim,
-        "k",
-        clk_get,
-        &rs.data_get,
-        rs.valid_get,
-        rs.stop_in,
-        vec![(seed % 40 + 10, seed % 40 + 25)],
-    );
-    sim.run_until(HORIZON).unwrap();
-    kj.values()
-}
-
-fn asrs(seed: u64, p: FifoParams, t_get: u64, items: &[u64]) -> Vec<u64> {
-    let mut sim = Simulator::new(seed);
-    let clk_get = sim.net("clk_get");
-    ClockGen::builder(Time::from_ps(t_get))
-        .phase(Time::from_ps(seed % t_get))
-        .spawn(&mut sim, clk_get);
-    let mut b = Builder::new(&mut sim);
-    let rs = AsyncSyncRelayStation::build(&mut b, p, clk_get);
-    drop(b.finish());
-    let _ph = FourPhaseProducer::spawn(
-        &mut sim,
-        "p",
-        rs.put_req,
-        rs.put_ack,
-        &rs.put_data,
-        items.to_vec(),
-        Time::from_ps(400),
-        Time::ZERO,
-    );
-    let kj = PacketSink::spawn(
-        &mut sim,
-        "k",
-        clk_get,
-        &rs.data_get,
-        rs.valid_get,
-        rs.stop_in,
-        vec![(seed % 30 + 5, seed % 30 + 20)],
-    );
-    sim.run_until(HORIZON).unwrap();
-    kj.values()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -228,11 +38,35 @@ proptest! {
         let items: Vec<u64> = (0..n_items as u64).map(|i| (i * 151 + seed) & mask).collect();
         let t_get = (t_put * ratio_pct / 100).max(t_put / 2 + 500).min(t_put * 2 - 500);
 
-        prop_assert_eq!(mixed_clock(seed, p, t_put, t_get, &items), items.clone(), "mixed-clock");
-        prop_assert_eq!(async_sync(seed, p, t_get, &items), items.clone(), "async-sync");
-        prop_assert_eq!(sync_async(seed, p, t_put, &items), items.clone(), "sync-async");
-        prop_assert_eq!(async_async(seed, p, &items), items.clone(), "async-async");
-        prop_assert_eq!(mcrs(seed, p, t_put, t_get, &items), items.clone(), "MCRS");
-        prop_assert_eq!(asrs(seed, p, t_get, &items), items, "ASRS");
+        let plain = TransferConfig::plain(seed, t_put, t_get, HORIZON);
+        let async_sync = TransferConfig {
+            producer_phase: Time::from_ps(seed % 3_000),
+            ..plain.clone()
+        };
+        let sync_async = TransferConfig {
+            getter_phase: Time::from_ps(seed % 2_000),
+            ..plain.clone()
+        };
+        let async_async = TransferConfig {
+            producer_phase: Time::from_ps(seed % 2_500),
+            getter_phase: Time::from_ps((seed * 7) % 2_500),
+            ..plain.clone()
+        };
+        let mcrs = TransferConfig {
+            bubble_offset: Some(seed),
+            stalls: vec![(seed % 40 + 10, seed % 40 + 25)],
+            ..plain.clone()
+        };
+        let asrs = TransferConfig {
+            stalls: vec![(seed % 30 + 5, seed % 30 + 20)],
+            ..plain.clone()
+        };
+
+        prop_assert_eq!(fifo_transfer(&MIXED_CLOCK, p, &items, &plain), items.clone(), "mixed-clock");
+        prop_assert_eq!(fifo_transfer(&ASYNC_SYNC, p, &items, &async_sync), items.clone(), "async-sync");
+        prop_assert_eq!(fifo_transfer(&SYNC_ASYNC, p, &items, &sync_async), items.clone(), "sync-async");
+        prop_assert_eq!(fifo_transfer(&ASYNC_ASYNC, p, &items, &async_async), items.clone(), "async-async");
+        prop_assert_eq!(fifo_transfer(&MIXED_CLOCK_RS, p, &items, &mcrs), items.clone(), "MCRS");
+        prop_assert_eq!(fifo_transfer(&ASYNC_SYNC_RS, p, &items, &asrs), items, "ASRS");
     }
 }

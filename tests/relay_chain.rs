@@ -2,14 +2,17 @@
 //! (paper Section 5, Figs. 11 and 14).
 
 use mtf_async::{micropipeline, FourPhaseProducer};
+use mtf_core::design::MIXED_CLOCK_RS;
 use mtf_core::env::{PacketSink, PacketSource};
 use mtf_core::{AsyncSyncRelayStation, FifoParams, MixedClockRelayStation};
 use mtf_gates::Builder;
-use mtf_lis::{connect, connect_bus, RelayChain};
+use mtf_lis::{connect, connect_bus, splice_stream_design, RelayChain};
 use mtf_sim::{ClockGen, Simulator, Time};
 
 /// Full Fig. 11a topology with a clock boundary: SRS chain → MCRS → SRS
-/// chain, under an adversarial stall schedule.
+/// chain, under an adversarial stall schedule. The boundary design goes
+/// in through the design layer (`splice_stream_design` takes any
+/// registered stream-protocol design).
 fn mixed_clock_system(
     seed: u64,
     t_a_ps: u64,
@@ -27,16 +30,17 @@ fn mixed_clock_system(
         .phase(Time::from_ps(seed % t_b_ps))
         .spawn(&mut sim, clk_b);
     let chain_a = RelayChain::spawn(&mut sim, "a", clk_a, 8, stations_a, Time::from_ns(1));
-    let mut b = Builder::new(&mut sim);
-    let rs = MixedClockRelayStation::build(&mut b, FifoParams::new(8, 8), clk_a, clk_b);
-    drop(b.finish());
     let chain_b = RelayChain::spawn(&mut sim, "b", clk_b, 8, stations_b, Time::from_ns(1));
-    connect(&mut sim, chain_a.port.out_valid, rs.valid_in);
-    connect_bus(&mut sim, &chain_a.port.out_data, &rs.data_put);
-    connect(&mut sim, rs.stop_out, chain_a.port.stop_in);
-    connect(&mut sim, rs.valid_get, chain_b.port.in_valid);
-    connect_bus(&mut sim, &rs.data_get, &chain_b.port.in_data);
-    connect(&mut sim, chain_b.port.stop_out, rs.stop_in);
+    splice_stream_design(
+        &mut sim,
+        &MIXED_CLOCK_RS,
+        FifoParams::new(8, 8),
+        clk_a,
+        clk_b,
+        &chain_a.port,
+        &chain_b.port,
+    )
+    .expect("MCRS is a stream design");
 
     let packets: Vec<Option<u64>> = (0..n).map(|v| Some(v % 256)).collect();
     let sj = PacketSource::spawn(

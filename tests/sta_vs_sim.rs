@@ -4,7 +4,8 @@
 //! flip-flops' setup checkers — i.e. the STA bound is neither vacuous nor
 //! wildly conservative.
 
-use mtf_bench::measure::{periods, Design};
+use mtf_bench::measure::periods;
+use mtf_core::design::MIXED_CLOCK;
 use mtf_core::env::{SyncConsumer, SyncProducer};
 use mtf_core::{FifoParams, MixedClockFifo};
 use mtf_gates::{Builder, CellDelays};
@@ -56,7 +57,7 @@ fn simulate_at(params: FifoParams, t_put: Time, t_get: Time, seed: u64) -> (usiz
 fn sta_period_simulates_cleanly() {
     for &(cap, w) in &[(4usize, 8usize), (8, 8), (8, 16)] {
         let params = FifoParams::new(cap, w);
-        let p = periods(Design::MixedClock, params);
+        let p = periods(&MIXED_CLOCK, params);
         // 2% guard band over the STA bound.
         let t_put = Time::from_ps(p.put.unwrap().as_ps() * 51 / 50);
         let t_get = Time::from_ps(p.get.as_ps() * 51 / 50);
@@ -71,7 +72,7 @@ fn sta_period_simulates_cleanly() {
 #[test]
 fn overclocking_trips_the_checkers() {
     let params = FifoParams::new(8, 8);
-    let p = periods(Design::MixedClock, params);
+    let p = periods(&MIXED_CLOCK, params);
     // 40% beyond the STA bound: the critical path no longer fits.
     let t_put = Time::from_ps(p.put.unwrap().as_ps() * 6 / 10);
     let t_get = Time::from_ps(p.get.as_ps() * 6 / 10);
@@ -110,7 +111,7 @@ fn sta_bound_is_tight_ish() {
     // The first violations should appear within ~35% below the STA period
     // (the gap is environment-delay modelling slack, not dead margin).
     let params = FifoParams::new(8, 8);
-    let p = periods(Design::MixedClock, params);
+    let p = periods(&MIXED_CLOCK, params);
     let base_put = p.put.unwrap().as_ps();
     let base_get = p.get.as_ps();
     let mut first_bad: Option<u64> = None;
