@@ -1,7 +1,9 @@
-//! `--json` schema smoke check: runs the `table1` binary for one cell,
-//! parses the emitted line back through [`ExperimentReport::from_json`],
-//! and re-renders it — end-to-end coverage of the `mtf-bench-report-v1`
-//! schema as actually produced by a binary (not just the unit fixtures).
+//! `--json` schema checks: runs the `table1` and `chains` binaries,
+//! parses the emitted lines back through [`ExperimentReport::from_json`],
+//! and re-renders them — end-to-end coverage of the `mtf-bench-report-v1`
+//! schema as actually produced by the binaries (not just the unit
+//! fixtures) — plus negative coverage: malformed trees must come back as
+//! `Err`, never as a silently-mangled report.
 
 use mtf_bench::json::Json;
 use mtf_bench::report::{ExperimentReport, SCHEMA};
@@ -54,4 +56,140 @@ fn table1_cell_json_round_trips() {
     let again = ExperimentReport::from_json(&Json::parse(&report.to_json().render()).unwrap())
         .expect("round trips");
     assert_eq!(again, report);
+}
+
+/// The chains sweep emits the same schema with its scenario notes intact.
+/// A tiny `--items` run keeps this fast (throughput checks are skipped
+/// below 40 items), but the binary still verifies every point end-to-end
+/// before it prints anything.
+#[test]
+fn chains_sweep_json_round_trips() {
+    let out = Command::new(env!("CARGO_BIN_EXE_chains"))
+        .args(["--json", "--items", "12"])
+        .output()
+        .expect("chains --json runs");
+    assert!(
+        out.status.success(),
+        "chains failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 output");
+    let line = text.trim();
+    assert!(!line.contains('\n'), "--json must emit exactly one line");
+
+    let tree = Json::parse(line).expect("valid JSON");
+    assert_eq!(tree.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    assert_eq!(tree.get("items_per_run").and_then(Json::as_f64), Some(12.0));
+    let scenarios: Vec<&str> = tree
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .expect("scenarios note")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(scenarios, ["mcrs", "asrs", "mixed", "baseline"]);
+
+    let report = ExperimentReport::from_json(&tree).expect("schema parses back");
+    assert_eq!(report.experiment, "chains");
+    // 4 scenarios × 3 capacities, every one verified before emission.
+    assert_eq!(report.entries.len(), 12);
+    assert_eq!(
+        tree.get("verified_points").and_then(Json::as_f64),
+        Some(12.0)
+    );
+    for e in &report.entries {
+        assert!(
+            e.design.contains('/'),
+            "chain entries are scenario-prefixed, got {:?}",
+            e.design
+        );
+        for key in [
+            "boundaries",
+            "delivered",
+            "min_latency_ns",
+            "max_latency_ns",
+        ] {
+            let v = e
+                .measurements
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("{}: measurement {key} missing", e.design))
+                .1;
+            assert!(v.is_finite() && v > 0.0, "{}: {key} = {v}", e.design);
+        }
+    }
+
+    let again = ExperimentReport::from_json(&Json::parse(&report.to_json().render()).unwrap())
+        .expect("round trips");
+    assert_eq!(again, report);
+}
+
+/// A syntactically valid tree carrying the wrong schema tag must be
+/// rejected by name, not limp through as an empty report.
+#[test]
+fn unknown_schema_is_rejected() {
+    let tree =
+        Json::parse(r#"{"schema":"mtf-bench-report-v999","experiment":"x","designs":[]}"#).unwrap();
+    let err = ExperimentReport::from_json(&tree).unwrap_err();
+    assert!(err.contains("unknown schema"), "got: {err}");
+
+    let untagged = Json::parse(r#"{"experiment":"x","designs":[]}"#).unwrap();
+    let err = ExperimentReport::from_json(&untagged).unwrap_err();
+    assert!(err.contains("missing schema"), "got: {err}");
+}
+
+/// Each required field, removed one at a time, produces a distinct,
+/// named error.
+#[test]
+fn missing_fields_are_rejected_by_name() {
+    let full = format!(
+        concat!(
+            r#"{{"schema":"{schema}","experiment":"x","designs":[{{"design":"d","#,
+            r#""label":"D","params":{{"capacity":4,"width":8,"sync_stages":2}},"#,
+            r#""measurements":{{"put":1.5}}}}]}}"#
+        ),
+        schema = SCHEMA
+    );
+    // Sanity: the fixture itself parses.
+    ExperimentReport::from_json(&Json::parse(&full).unwrap()).expect("fixture is well-formed");
+
+    for (removed, expect) in [
+        (r#""experiment":"x","#, "missing experiment name"),
+        (r#""design":"d","#, "entry without design name"),
+        (r#""label":"D","#, "entry without label"),
+        (
+            r#""params":{"capacity":4,"width":8,"sync_stages":2},"#,
+            "entry without params",
+        ),
+        (r#""capacity":4,"#, "params without capacity"),
+        (
+            r#","measurements":{"put":1.5}"#,
+            "entry without measurements",
+        ),
+    ] {
+        let candidate = full.replace(removed, "");
+        assert_ne!(candidate, full, "fixture never contained {removed:?}");
+        let err = ExperimentReport::from_json(&Json::parse(&candidate).unwrap())
+            .expect_err("mutilated tree must not parse");
+        assert!(err.contains(expect), "removed {removed:?}: got {err:?}");
+    }
+
+    // A tree with no designs array at all is rejected by name too.
+    let headless = format!(r#"{{"schema":"{SCHEMA}","experiment":"x"}}"#);
+    let err = ExperimentReport::from_json(&Json::parse(&headless).unwrap()).unwrap_err();
+    assert!(err.contains("missing designs array"), "got: {err}");
+}
+
+/// Measurements must be numbers; a string smuggled in (a typical
+/// hand-edit mistake in a golden file) is called out by key.
+#[test]
+fn non_numeric_measurement_is_rejected() {
+    let text = format!(
+        r#"{{"schema":"{SCHEMA}","experiment":"x","designs":[{{"design":"d","label":"D",
+           "params":{{"capacity":4,"width":8,"sync_stages":2}},
+           "measurements":{{"put":1.5,"get":"fast"}}}}]}}"#
+    );
+    let err = ExperimentReport::from_json(&Json::parse(&text).unwrap())
+        .expect_err("string measurement must not parse");
+    assert!(err.contains("non-numeric measurement get"), "got: {err}");
 }

@@ -3,8 +3,9 @@
 //!
 //! The paper's point is that its designs are *interchangeable* behind
 //! put/get interfaces; this module makes that interchangeability a type.
-//! Each design (the six paper designs plus the four related-work baselines
-//! in [`baseline`](crate::baseline)) implements [`MixedTimingDesign`]:
+//! Each design (the six paper designs, the four related-work baselines
+//! in [`baseline`](crate::baseline), and Carloni's single-clock relay
+//! station) implements [`MixedTimingDesign`]:
 //! a constructor that takes whatever clocks the design declares it needs
 //! ([`Clocking`]) and returns a [`DesignPorts`] naming every external net
 //! under one scheme, plus metadata describing each interface's protocol
@@ -16,8 +17,9 @@
 //! exported the moment it is registered.
 //!
 //! The nine gate-level designs build through [`Builder`]; the Seizovic
-//! baseline is behavioural (it spawns a simulator component) and reaches
-//! the simulator through [`Builder::sim`], so the trait covers it too.
+//! baseline and the Carloni relay station are behavioural (they spawn
+//! simulator components) and reach the simulator through
+//! [`Builder::sim`], so the trait covers them too.
 
 use mtf_gates::Builder;
 use mtf_sim::NetId;
@@ -25,7 +27,7 @@ use mtf_sim::NetId;
 use crate::baseline::{GrayPointerFifo, PerCellSyncFifo, SeizovicFifo, ShiftRegisterFifo};
 use crate::{
     AsyncAsyncFifo, AsyncSyncFifo, AsyncSyncRelayStation, FifoParams, MixedClockFifo,
-    MixedClockRelayStation, SyncAsyncFifo,
+    MixedClockRelayStation, SyncAsyncFifo, SyncRelayStation,
 };
 
 /// The protocol spoken by one side (put or get) of a design.
@@ -179,6 +181,10 @@ pub enum DesignKind {
     ShiftRegister,
     /// Baseline: Seizovic pipeline synchronization (paper ref. \[13\]).
     Seizovic,
+    /// Baseline: Carloni's single-clock relay station (paper Fig. 11b) —
+    /// the latency-insensitive substrate the mixed-timing stations
+    /// generalise. Behavioural, 2-place, single clock for both sides.
+    SyncRs,
 }
 
 impl DesignKind {
@@ -195,6 +201,7 @@ impl DesignKind {
             DesignKind::PerCellSync => "per_cell_sync",
             DesignKind::ShiftRegister => "shift_register",
             DesignKind::Seizovic => "seizovic",
+            DesignKind::SyncRs => "sync_rs",
         }
     }
 
@@ -211,6 +218,7 @@ impl DesignKind {
             DesignKind::PerCellSync => "Per-cell sync",
             DesignKind::ShiftRegister => "Shift-register",
             DesignKind::Seizovic => "Seizovic",
+            DesignKind::SyncRs => "Sync RS (Carloni)",
         }
     }
 
@@ -222,6 +230,7 @@ impl DesignKind {
                 | DesignKind::PerCellSync
                 | DesignKind::ShiftRegister
                 | DesignKind::Seizovic
+                | DesignKind::SyncRs
         )
     }
 }
@@ -433,6 +442,16 @@ unit_design!(
     /// depth is taken from `params.capacity`, and the clocked (get) side
     /// runs on the get-slot clock.
     SeizovicDesign
+);
+unit_design!(
+    /// [`SyncRelayStation`] as a [`MixedTimingDesign`]. Behavioural and
+    /// *single-clock*: both stream interfaces run on the get-slot clock,
+    /// and the station is always 2-place (Carloni's definition) —
+    /// `params.capacity` is accepted but not used. It is the baseline a
+    /// mixed-timing chain composer splices when **no** clock boundary is
+    /// being crossed; across genuinely different domains it is unsafe,
+    /// which is exactly the paper's argument for the MCRS/ASRS.
+    SyncRsDesign
 );
 
 impl MixedTimingDesign for MixedClockDesign {
@@ -704,6 +723,38 @@ impl MixedTimingDesign for SeizovicDesign {
     }
 }
 
+impl MixedTimingDesign for SyncRsDesign {
+    fn kind(&self) -> DesignKind {
+        DesignKind::SyncRs
+    }
+    fn clocking(&self) -> Clocking {
+        Clocking::GetOnly
+    }
+    fn put_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncStream {
+            width: params.width,
+        }
+    }
+    fn get_interface(&self, params: FifoParams) -> InterfaceSpec {
+        InterfaceSpec::SyncStream {
+            width: params.width,
+        }
+    }
+    fn build(&self, b: &mut Builder<'_>, params: FifoParams, clocks: ClockInputs) -> DesignPorts {
+        let clk = clocks.require_get("sync_rs");
+        let port = SyncRelayStation::spawn(b.sim(), "srs", clk, params.width);
+        let mut p = DesignPorts::new(DesignKind::SyncRs, params);
+        p.clk_get = Some(clk);
+        p.valid_in = Some(port.in_valid);
+        p.stop_out = Some(port.stop_out);
+        p.data_put = port.in_data;
+        p.valid_get = Some(port.out_valid);
+        p.stop_in = Some(port.stop_in);
+        p.data_get = port.out_data;
+        p
+    }
+}
+
 /// The canonical instance behind [`MixedClockDesign`].
 pub static MIXED_CLOCK: MixedClockDesign = MixedClockDesign;
 /// The canonical instance behind [`AsyncSyncDesign`].
@@ -724,10 +775,12 @@ pub static PER_CELL_SYNC: PerCellSyncDesign = PerCellSyncDesign;
 pub static SHIFT_REGISTER: ShiftRegisterDesign = ShiftRegisterDesign;
 /// The canonical instance behind [`SeizovicDesign`].
 pub static SEIZOVIC: SeizovicDesign = SeizovicDesign;
+/// The canonical instance behind [`SyncRsDesign`].
+pub static SYNC_RS: SyncRsDesign = SyncRsDesign;
 
-/// All ten designs: paper order (Table 1 rows, then the two extensions),
-/// then the baselines.
-static ALL_DESIGNS: [&dyn MixedTimingDesign; 10] = [
+/// All eleven designs: paper order (Table 1 rows, then the two
+/// extensions), then the baselines (the Carloni relay station last).
+static ALL_DESIGNS: [&dyn MixedTimingDesign; 11] = [
     &MIXED_CLOCK,
     &ASYNC_SYNC,
     &MIXED_CLOCK_RS,
@@ -738,6 +791,7 @@ static ALL_DESIGNS: [&dyn MixedTimingDesign; 10] = [
     &PER_CELL_SYNC,
     &SHIFT_REGISTER,
     &SEIZOVIC,
+    &SYNC_RS,
 ];
 
 /// A selection of registered designs, iterated in a fixed order.
@@ -782,10 +836,32 @@ impl DesignRegistry {
         }
     }
 
-    /// The four related-work baselines.
+    /// The four related-work FIFO baselines (the behavioural Carloni
+    /// relay station is *not* in this selection — it is a chain
+    /// substrate, not a FIFO alternative, and the related-work tables
+    /// predate it).
     pub fn baselines() -> Self {
         DesignRegistry {
-            entries: ALL_DESIGNS[6..].to_vec(),
+            entries: ALL_DESIGNS[6..10].to_vec(),
+        }
+    }
+
+    /// The stream-protocol designs: every registered design whose put
+    /// **and** get side both speak the relay-station stream protocol
+    /// (`valid`/`stop`), i.e. everything a chain composer can splice
+    /// between two single-clock relay chains. Today: `mixed_clock_rs`
+    /// and `sync_rs`.
+    pub fn streams() -> Self {
+        let probe = FifoParams::new(4, 8);
+        DesignRegistry {
+            entries: ALL_DESIGNS
+                .iter()
+                .copied()
+                .filter(|d| {
+                    matches!(d.put_interface(probe), InterfaceSpec::SyncStream { .. })
+                        && matches!(d.get_interface(probe), InterfaceSpec::SyncStream { .. })
+                })
+                .collect(),
         }
     }
 
@@ -834,10 +910,14 @@ mod tests {
 
     #[test]
     fn registry_shapes() {
-        assert_eq!(DesignRegistry::standard().len(), 10);
+        assert_eq!(DesignRegistry::standard().len(), 11);
         assert_eq!(DesignRegistry::paper().len(), 6);
         assert_eq!(DesignRegistry::table1().len(), 4);
         assert_eq!(DesignRegistry::baselines().len(), 4);
+        assert_eq!(
+            DesignRegistry::streams().names(),
+            vec!["mixed_clock_rs", "sync_rs"]
+        );
         for d in DesignRegistry::standard().iter() {
             assert!(
                 std::ptr::eq(DesignRegistry::get(d.kind().name()).unwrap(), d),

@@ -78,6 +78,7 @@ mod mixed_clock;
 mod params;
 mod relay;
 mod sync_async;
+mod sync_relay;
 
 pub use async_async::AsyncAsyncFifo;
 pub use async_sync::AsyncSyncFifo;
@@ -92,3 +93,4 @@ pub use mixed_clock::MixedClockFifo;
 pub use params::FifoParams;
 pub use relay::{AsyncSyncRelayStation, MixedClockRelayStation};
 pub use sync_async::SyncAsyncFifo;
+pub use sync_relay::{RelayPort, SyncRelayStation};

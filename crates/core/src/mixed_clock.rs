@@ -46,6 +46,17 @@ pub(crate) fn build_sync_cell_array(
     let gtok: Vec<NetId> = (0..n).map(|i| b.sim().net(format!("gtok[{i}]"))).collect();
     let mut cell_full = Vec::with_capacity(n);
     let mut cell_empty = Vec::with_capacity(n);
+    let mut full_at_open = Vec::with_capacity(n);
+    // The get token advances only out of a window that *delivered* — i.e.
+    // the token cell held committed data when the window opened. A window
+    // granted on stale detector state (or racing a commit that lands just
+    // after the opening edge) then parks the token on the cell instead of
+    // walking past it; the next window revisits the same cell, sees the
+    // commit, and delivers in order. Without this gate the token can skip
+    // a committed-but-not-yet-visible cell, reordering the stream and —
+    // once the put token wraps — silently overwriting the skipped item.
+    // Forward-declared: it ORs over per-cell state built in the loop.
+    let gtok_adv = b.input("gtok_adv");
     // The DV reset is gated to the second half of the get cycle (the
     // paper: the cell is declared not-full "asynchronously, in the middle
     // of the CLK_get clock cycle"). This is load-bearing: when the global
@@ -74,7 +85,7 @@ pub(crate) fn build_sync_cell_array(
         let gq = b.dff_opts(
             clk_get,
             gtok[prev],
-            Some(en_get),
+            Some(gtok_adv),
             init,
             MetaModel::ideal(),
             true,
@@ -85,8 +96,10 @@ pub(crate) fn build_sync_cell_array(
         // token and the operation is globally enabled.
         let do_put = b.and2(ptok[i], en_put);
         let do_get = b.and2(gtok[i], en_get);
-        // Mid-cycle commit of the dequeue (see `nclk_get` above).
-        let do_get_commit = b.and(&[gtok[i], en_get, nclk_get]);
+        // Mid-cycle commit of the dequeue (see `nclk_get` above), gated
+        // below by "the window opened on committed data": forward-declared
+        // because it resets the very latch whose registered output gates it.
+        let do_get_commit = b.input("do_get_commit");
         // Matched delay on the set path: the put's `s` must outlive any
         // legitimate reset tail, so that (with the set-dominant latch) a
         // reset can only win once the put has fully committed.
@@ -97,6 +110,19 @@ pub(crate) fn build_sync_cell_array(
         // that early warning, but the get side must never be steered
         // toward data that is still in flight.
         let committed = b.dff_opts(clk_put, do_put, None, Logic::L, MetaModel::ideal(), true);
+        // The DV set must be an edge *pulse*, not the full-cycle `committed`
+        // level: a receiver clocked faster than `sync_stages` times the put
+        // clock consumes a cell within the same put cycle that committed it,
+        // and with a set-dominant latch a cycle-wide set level would swallow
+        // that dequeue's reset — the cell would stay "full" and re-deliver
+        // on the next token wrap. A few matched buffers give the pulse
+        // enough width to register while ending long before the earliest
+        // legitimate reset (which trails the commit by at least the empty
+        // detector's synchronization delay).
+        let committed_d1 = b.buf(committed);
+        let committed_d2 = b.buf(committed_d1);
+        let committed_dly = b.buf(committed_d2);
+        let commit_pulse = b.and_not(committed, committed_dly);
 
         // Data register: data word plus the validity bit.
         let mut reg_in: Vec<NetId> = data_put.to_vec();
@@ -110,10 +136,10 @@ pub(crate) fn build_sync_cell_array(
         // the validity broadcast: it joins the full pool only once the
         // data is really in the register, so a stale grant can never steer
         // the get side into in-flight data. Both are set-dominant (the put
-        // must win a spurious overlapping reset) and reset by the
-        // mid-cycle dequeue commit.
+        // must win the reset tail at a window's closing edge) and reset by
+        // the mid-cycle dequeue commit of a *delivering* window.
         let (_claim_q, e_i) = b.sr_latch_qn_set_dominant(set_pulse, do_get_commit, Logic::L);
-        let (f_i, _) = b.sr_latch_qn_set_dominant(committed, do_get_commit, Logic::L);
+        let (f_i, _) = b.sr_latch_qn_set_dominant(commit_pulse, do_get_commit, Logic::L);
         cell_full.push(f_i);
         cell_empty.push(e_i);
 
@@ -126,11 +152,29 @@ pub(crate) fn build_sync_cell_array(
         // duplicate or a phantom.
         let f_at_open = b.dff_opts(clk_get, f_i, None, Logic::L, MetaModel::ideal(), false);
         let v_eff = b.and2(f_at_open, reg_q[w]);
+        full_at_open.push(f_at_open);
+        // Consumption is gated the same way as validity: only a window that
+        // *delivered* (opened on committed data) may reset the DV state.
+        // A stale window granted on anticipated-empty slack — the get token
+        // parked on a cell whose put is still in flight — must neither
+        // erase the claim nor the commit; without this gate its aborted
+        // reset pulse could race the commit and silently drop the item.
+        let dgc_val = b.and(&[gtok[i], en_get, nclk_get, f_at_open]);
+        b.buf_onto(dgc_val, do_get_commit);
         b.tri_word_onto(do_get, &reg_q[..w], data_get);
         b.tribuf_onto(do_get, v_eff, valid_bus);
 
         b.pop_scope();
     }
+
+    // Token-advance enable (see the `gtok_adv` declaration): the one-hot
+    // selection of the token cell's delivered-at-open flag, sampled by the
+    // token flops at the closing edge of each enabled window.
+    let delivered_sel: Vec<NetId> = (0..n).map(|i| b.and2(gtok[i], full_at_open[i])).collect();
+    let any_delivered = b.or(&delivered_sel);
+    let gtok_adv_val = b.and2(en_get, any_delivered);
+    b.buf_onto(gtok_adv_val, gtok_adv);
+
     SyncCellArray {
         cell_full,
         cell_empty,
@@ -162,23 +206,31 @@ pub(crate) fn build_sync_cell_array(
 ///
 /// # Operating envelope
 ///
-/// The design sets `f_i` asynchronously at the *start* of a put cycle
-/// (that early warning is what makes the one-cell anticipation margin of
-/// the detectors sufficient) while the data itself is latched at the *end*
-/// of the cycle. A get, in turn, can act at the earliest `sync_stages`
-/// get-cycles after `f_i` rises. Cross-domain correctness therefore
-/// requires
+/// The paper's design sets `f_i` asynchronously at the *start* of a put
+/// cycle (that early warning is what makes the one-cell anticipation
+/// margin of the detectors sufficient) while the data itself is latched at
+/// the *end*; a get, in turn, can act at the earliest `sync_stages`
+/// get-cycles after `f_i` rises, so the paper's circuit is only correct
+/// inside
 ///
 /// ```text
 /// T_put < sync_stages · T_get      (and symmetrically
 /// T_get < sync_stages · T_put)
 /// ```
 ///
-/// i.e. with the paper's two synchronizer stages the two clocks must stay
-/// within 2× of each other (the paper's evaluation keeps them within
-/// ~1.3×). Deeper synchronizers widen the envelope along with improving
-/// MTBF. The `clock_ratio_envelope` tests demonstrate both sides of the
-/// boundary.
+/// (the paper's evaluation keeps the clocks within ~1.3×). This
+/// implementation hardens that envelope from a correctness boundary into a
+/// throughput one: the DV state splits the early *claim* (for the full
+/// detector) from a *committed* flag set by an edge pulse at the latching
+/// clock edge, and both the validity broadcast and the dequeue reset are
+/// gated by "committed when the window opened" (`f_at_open`). A get window
+/// granted on stale detector state — inevitable once the receiver outruns
+/// `sync_stages · T_put` — then delivers an explicit bubble instead of a
+/// phantom, a duplicate or a lost item. Outside the envelope the stream
+/// stays lossless and ordered but the delivery rate degrades below one
+/// item per get cycle; deeper synchronizers restore the full-rate envelope
+/// along with improving MTBF. The `clock_ratio_*` tests demonstrate both
+/// sides of the boundary.
 ///
 /// All external nets are public fields; the cell-state nets are exposed for
 /// tests and detectors-of-detectors experiments.
@@ -569,11 +621,13 @@ mod tests {
     }
 
     #[test]
-    fn clock_ratio_envelope_violation_corrupts() {
-        // 17 ns put vs 5 ns get is a 3.4× ratio — outside the
-        // T_put < 2·T_get envelope. The get side then acts on a cell whose
-        // put is still in flight and the stream corrupts. This documents
-        // the design's (implicit, in the paper) operating assumption.
+    fn clock_ratio_beyond_envelope_stays_lossless() {
+        // 17 ns put vs 5 ns get is a 3.4× ratio — outside the paper's
+        // T_put < 2·T_get full-rate envelope, so most get windows are
+        // granted on stale detector state. The commit-pulse DV set and the
+        // delivered-window-gated dequeue reset turn every such window into
+        // an explicit bubble: the stream stays lossless and ordered, only
+        // the rate degrades (the paper's original circuit corrupts here).
         let mut sim = Simulator::new(2);
         let f = build(
             &mut sim,
@@ -601,10 +655,10 @@ mod tests {
             items.len() as u64,
         );
         sim.run_until(Time::from_us(5)).unwrap();
-        assert_ne!(
+        assert_eq!(
             cj.values(),
             items,
-            "outside the envelope the stream corrupts"
+            "beyond the envelope the stream must degrade to bubbles, not corrupt"
         );
     }
 

@@ -43,156 +43,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::VecDeque;
-
 use mtf_core::{ClockInputs, DesignPorts, FifoParams, InterfaceSpec, MixedTimingDesign};
 use mtf_gates::Builder;
-use mtf_sim::{Component, Ctx, DriverId, Logic, LogicVec, NetId, Simulator, Time};
+use mtf_sim::{Component, Ctx, DriverId, NetId, Simulator, Time};
 
-/// How soon after a clock edge a relay station's registered outputs settle.
-const RS_CQ: Time = Time::from_ps(400);
+pub mod chain;
 
-/// Carloni's synchronous relay station (paper Fig. 11b): a clocked
-/// 2-place packet buffer.
-///
-/// Per rising clock edge, in order: the head packet is consumed by the
-/// right neighbour unless `stop_in` was asserted; the packet launched by
-/// the left neighbour is absorbed unless `stop_out` was asserted (the left
-/// neighbour froze). `stop_out` rises (registered) when the buffer would
-/// overflow otherwise — i.e. it still has room for exactly the one packet
-/// that is in flight when it asserts, which is why two registers suffice.
-///
-/// Invalid packets (bubbles, `valid` low) are *not* buffered: a stalled
-/// station simply stops emitting valid packets, and bubbles carry no
-/// information worth storing. This matches the τ-abstraction of
-/// latency-insensitive theory.
-pub struct SyncRelayStation {
-    name: String,
-    clk: NetId,
-    in_valid: NetId,
-    in_data: Vec<NetId>,
-    stop_in: NetId,
-    out_valid: DriverId,
-    out_data: Vec<DriverId>,
-    stop_out: DriverId,
-    queue: VecDeque<LogicVec>,
-    prev_clk: Logic,
-    stopped_upstream: bool,
-}
-
-impl std::fmt::Debug for SyncRelayStation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SyncRelayStation")
-            .field("name", &self.name)
-            .field("occupancy", &self.queue.len())
-            .finish()
-    }
-}
-
-/// The external nets of a spawned [`SyncRelayStation`] (or a whole
-/// [`RelayChain`]).
-#[derive(Clone, Debug)]
-pub struct RelayPort {
-    /// Packet-in validity (input).
-    pub in_valid: NetId,
-    /// Packet-in data (input).
-    pub in_data: Vec<NetId>,
-    /// Back-pressure to the left (output).
-    pub stop_out: NetId,
-    /// Packet-out validity (output).
-    pub out_valid: NetId,
-    /// Packet-out data (output).
-    pub out_data: Vec<NetId>,
-    /// Back-pressure from the right (input).
-    pub stop_in: NetId,
-}
-
-impl SyncRelayStation {
-    /// Spawns a relay station in `sim`, creating all of its external nets.
-    pub fn spawn(sim: &mut Simulator, name: &str, clk: NetId, width: usize) -> RelayPort {
-        let in_valid = sim.net(format!("{name}.in_valid"));
-        let in_data = sim.bus(&format!("{name}.in_data"), width);
-        let stop_in = sim.net(format!("{name}.stop_in"));
-        let out_valid_net = sim.net(format!("{name}.out_valid"));
-        let out_data_nets = sim.bus(&format!("{name}.out_data"), width);
-        let stop_out_net = sim.net(format!("{name}.stop_out"));
-        let out_valid = sim.driver(out_valid_net);
-        let out_data = out_data_nets.iter().map(|&n| sim.driver(n)).collect();
-        let stop_out = sim.driver(stop_out_net);
-        let rs = SyncRelayStation {
-            name: name.to_string(),
-            clk,
-            in_valid,
-            in_data: in_data.clone(),
-            stop_in,
-            out_valid,
-            out_data,
-            stop_out,
-            queue: VecDeque::new(),
-            prev_clk: Logic::X,
-            stopped_upstream: false,
-        };
-        sim.add_component(Box::new(rs), &[clk]);
-        RelayPort {
-            in_valid,
-            in_data,
-            stop_out: stop_out_net,
-            out_valid: out_valid_net,
-            out_data: out_data_nets,
-            stop_in,
-        }
-    }
-
-    fn drive_outputs(&mut self, ctx: &mut Ctx<'_>) {
-        match self.queue.front() {
-            Some(pkt) => {
-                ctx.drive(self.out_valid, Logic::H, RS_CQ);
-                for (i, &d) in self.out_data.iter().enumerate().take(pkt.width()) {
-                    ctx.drive(d, pkt.bit(i), RS_CQ);
-                }
-            }
-            None => {
-                ctx.drive(self.out_valid, Logic::L, RS_CQ);
-            }
-        }
-        let stop = self.queue.len() >= 2;
-        self.stopped_upstream = stop;
-        ctx.drive(self.stop_out, Logic::from_bool(stop), RS_CQ);
-    }
-}
-
-impl Component for SyncRelayStation {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn eval(&mut self, ctx: &mut Ctx<'_>) {
-        let clk = ctx.get(self.clk);
-        let rising = self.prev_clk == Logic::L && clk == Logic::H;
-        let first = self.prev_clk == Logic::X;
-        self.prev_clk = clk;
-        if first {
-            ctx.drive(self.out_valid, Logic::L, Time::ZERO);
-            ctx.drive(self.stop_out, Logic::L, Time::ZERO);
-            return;
-        }
-        if !rising {
-            return;
-        }
-        // Head consumed by the right neighbour unless it stalled us.
-        if ctx.get(self.stop_in) != Logic::H && !self.queue.is_empty() {
-            self.queue.pop_front();
-        }
-        // Absorb the packet in flight from the left (unless we had frozen
-        // the left neighbour, in which case nothing new arrives).
-        if !self.stopped_upstream && ctx.get(self.in_valid) == Logic::H {
-            let pkt = ctx.get_vec(&self.in_data);
-            self.queue.push_back(pkt);
-            debug_assert!(self.queue.len() <= 2, "{}: overflowed two slots", self.name);
-        }
-        self.drive_outputs(ctx);
-    }
-}
+pub use chain::{
+    predict_latency, predict_throughput, run_chain, verification_stalls, verify_chain, AsyncPort,
+    BoundaryReport, BuiltChain, ChainBuilder, ChainDrive, ChainReport, ChainRun, ChainSpec,
+    ChainVerification, DomainSpec, LatencyEnvelope, SegmentSpec, ThroughputPrediction,
+};
+// The behavioural station itself now lives in `mtf-core` (so the design
+// registry can name it); these re-exports keep the original paths alive.
+pub use mtf_core::{RelayPort, SyncRelayStation};
 
 /// A pure transport delay on a packet bundle — one segment of a long wire
 /// after relay-station insertion (the delay should be below the receiving

@@ -1,0 +1,106 @@
+//! Property tests for the heterogeneous chain composer: any well-formed
+//! chain spec — whatever mix of boundary designs, clock ratios, phases,
+//! and depths — must deliver every item exactly once, in FIFO order,
+//! with no deadlock.
+//!
+//! Failures persist their case seed to
+//! `tests/chain_properties.proptest-regressions`; CI replays the
+//! persisted seeds with `PROPTEST_CASES=1`.
+
+use mtf_lis::{run_chain, ChainDrive, ChainSpec};
+use proptest::prelude::*;
+
+/// One boundary draw: clock ratio of the *next* segment in per-mille of
+/// the base period (0.3×–3×), its phase in per-mille of its period, the
+/// station count, and whether the boundary is a mixed-clock RS (`true`)
+/// or a single-clock Carloni RS (`false` — which forces the next segment
+/// onto the same clock, since `sync_rs` has no synchronizers).
+type BoundaryDraw = (u64, u64, usize, bool);
+
+/// Assembles a valid spec from raw draws. Returned specs always pass
+/// `validate()`: every segment period stays within 0.3×–3× of the base
+/// (far above the fixed 1 ns inter-station wire), and `sync_rs` is only
+/// ever placed between segments of the identical domain.
+fn assemble(
+    base_period_ps: u64,
+    capacity: usize,
+    head_stations: usize,
+    boundaries: &[BoundaryDraw],
+) -> ChainSpec {
+    let mut spec = ChainSpec::new(8, capacity).segment(base_period_ps, 0, head_stations);
+    let mut prev = (base_period_ps, 0u64);
+    for &(ratio_pm, phase_pm, stations, is_mcrs) in boundaries {
+        if is_mcrs {
+            let period = base_period_ps * ratio_pm / 1000;
+            let phase = period * phase_pm / 1000;
+            spec = spec
+                .boundary("mixed_clock_rs")
+                .segment(period, phase, stations);
+            prev = (period, phase);
+        } else {
+            spec = spec.boundary("sync_rs").segment(prev.0, prev.1, stations);
+        }
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// 1–6 boundaries of random designs between segments of random
+    /// ratio/phase: lossless FIFO delivery, clean and back-pressured.
+    #[test]
+    fn random_chains_deliver_everything_in_order(
+        seed in 0u64..1_000_000,
+        base_period_ps in 4_000u64..14_000,
+        capacity in 3usize..10,
+        head_stations in 1usize..4,
+        boundaries in prop::collection::vec(
+            (300u64..3_000, 0u64..1_000, 1usize..4, any::<bool>()),
+            1..7,
+        ),
+    ) {
+        let spec = assemble(base_period_ps, capacity, head_stations, &boundaries);
+        prop_assert!(spec.validate().is_ok(), "draw must be valid: {:?}", spec.validate());
+
+        let clean = run_chain(&spec, &ChainDrive::clean(seed, 20, spec.width))
+            .map_err(chain_err)?;
+        prop_assert_eq!(&clean.sent.len(), &20usize, "source wedged");
+        prop_assert_eq!(&clean.delivered, &clean.sent, "clean run not lossless FIFO");
+
+        // The same chain under adversarial sink back-pressure.
+        let stalls = vec![(3, 11), (14, 15), (19, 40)];
+        let stalled = run_chain(&spec, &ChainDrive::with_stalls(seed ^ 0x5a5a, 20, spec.width, stalls))
+            .map_err(chain_err)?;
+        prop_assert_eq!(&stalled.sent.len(), &20usize, "source wedged under stalls");
+        prop_assert_eq!(&stalled.delivered, &stalled.sent, "stalled run not lossless FIFO");
+    }
+
+    /// The async-headed variant: a micropipeline bridged in by an ASRS in
+    /// front of the same random sync chains.
+    #[test]
+    fn random_async_headed_chains_deliver_everything(
+        seed in 0u64..1_000_000,
+        base_period_ps in 6_000u64..14_000,
+        capacity in 4usize..10,
+        head_stages in 2usize..6,
+        boundaries in prop::collection::vec(
+            (400u64..2_500, 0u64..1_000, 1usize..3, any::<bool>()),
+            0..3,
+        ),
+    ) {
+        let spec = assemble(base_period_ps, capacity, 2, &boundaries)
+            .with_async_head(head_stages);
+        prop_assert!(spec.validate().is_ok(), "draw must be valid: {:?}", spec.validate());
+
+        let run = run_chain(&spec, &ChainDrive::clean(seed, 15, spec.width))
+            .map_err(chain_err)?;
+        prop_assert_eq!(&run.sent.len(), &15usize, "producer wedged");
+        prop_assert_eq!(&run.delivered, &run.sent, "async-headed run not lossless FIFO");
+    }
+}
+
+/// Adapts a `run_chain` error into a failed proptest case.
+fn chain_err(e: String) -> proptest::test_runner::TestCaseError {
+    proptest::test_runner::TestCaseError::fail(format!("run_chain failed: {e}"))
+}

@@ -53,6 +53,51 @@ fn every_registered_design_passes_the_golden_queue() {
     assert!(declined >= 1, "the capacity gate must have been exercised");
 }
 
+/// The chain-splice dimension of conformance: every design whose two
+/// interfaces both speak the relay stream protocol
+/// ([`DesignRegistry::streams`]) must also work as the boundary of a
+/// 2-boundary heterogeneous chain — spliced between three single-clock
+/// relay segments and verified end-to-end against its own latency and
+/// throughput predictions, clean and under sink back-pressure.
+#[test]
+fn every_stream_design_splices_into_a_two_boundary_chain() {
+    let streams = DesignRegistry::streams();
+    assert!(
+        streams.iter().any(|d| d.kind().name() == "mixed_clock_rs"),
+        "the paper's MCRS must be a stream design"
+    );
+    for design in streams.iter() {
+        let name = design.kind().name();
+        let hetero = mtf_lis::chain::ChainSpec::new(8, 4)
+            .segment(10_000, 0, 2)
+            .boundary(name)
+            .segment(12_600, 1_900, 1)
+            .boundary(name)
+            .segment(9_300, 4_100, 2);
+        // Single-clock boundary designs (sync_rs) must *refuse* distinct
+        // domains through validation, then pass the same splice in a
+        // homogeneous chain; multi-clock designs take the hetero chain.
+        let spec = match hetero.validate() {
+            Ok(()) => hetero,
+            Err(why) => {
+                assert!(
+                    why.contains("cannot bridge distinct domains"),
+                    "{name} rejected the chain for the wrong reason: {why}"
+                );
+                mtf_lis::chain::ChainSpec::new(8, 4)
+                    .segment(10_000, 0, 2)
+                    .boundary(name)
+                    .segment(10_000, 0, 1)
+                    .boundary(name)
+                    .segment(10_000, 0, 2)
+            }
+        };
+        let v = mtf_lis::chain::verify_chain(&spec, 40)
+            .unwrap_or_else(|e| panic!("{name} failed 2-boundary chain verification: {e}"));
+        assert_eq!(v.clean.report.boundaries.len(), 2, "{name}");
+    }
+}
+
 #[test]
 fn registry_lookup_round_trips() {
     let registry = DesignRegistry::standard();

@@ -9,6 +9,7 @@
 use mtf_core::env::{SyncConsumer, SyncProducer};
 use mtf_core::{FifoParams, MixedClockFifo};
 use mtf_gates::Builder;
+use mtf_lis::chain::{run_chain, ChainDrive, ChainSpec};
 use mtf_sim::{ClockGen, Simulator, Time};
 use proptest::prelude::*;
 
@@ -89,6 +90,45 @@ fn idle_gaps_between_gets() {
     let items: Vec<u64> = (10..30).collect();
     let (got, _) = run(3, 4, 10_000, 11_000, &items, 1, 9);
     assert_eq!(got, items);
+}
+
+/// The heterogeneous-chain version of the deadlock attack: an async
+/// micropipeline head feeds an ASRS, then an MCRS boundary into a third
+/// clock domain, and the sink raises `stopIn` for long windows early on —
+/// while the upstream ASRS is still mid-handshake filling the chain. If
+/// either boundary's bi-modal `ne`/`oe` empty detector wedged (declared
+/// empty and never re-armed), the stranded items would never reach the
+/// sink and the delivered list would come up short.
+#[test]
+fn heterogeneous_chain_survives_sink_backpressure_mid_handshake() {
+    let spec = ChainSpec::new(8, 4)
+        .with_async_head(3)
+        .segment(10_000, 0, 2)
+        .boundary("mixed_clock_rs")
+        .segment(14_000, 3_700, 2);
+    let items = 48;
+    // Stall the sink almost immediately (cycle 2), long before the async
+    // producer's four-phase handshakes have filled the pipeline, then
+    // again mid-drain; each window forces occupancy to the one-item edge
+    // cases on release.
+    let drive = ChainDrive::with_stalls(7, items, 8, vec![(2, 40), (44, 46), (60, 110)]);
+    let run = run_chain(&spec, &drive).expect("chain elaborates and runs");
+    assert_eq!(
+        run.sent.len(),
+        items,
+        "source wedged: upstream back-pressure never released"
+    );
+    assert_eq!(
+        run.delivered, run.sent,
+        "items lost or reordered — a boundary deadlocked under stopIn"
+    );
+    for b in &run.report.boundaries {
+        assert_eq!(
+            b.put_accepts, b.get_delivers,
+            "boundary {} stranded items",
+            b.design
+        );
+    }
 }
 
 proptest! {

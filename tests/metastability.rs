@@ -13,10 +13,14 @@ use mtf_gates::{Builder, CellDelays};
 use mtf_sim::{mtbf_seconds, ClockGen, MetaModel, Simulator, Time, ViolationKind};
 
 /// A hostile flop: wide vulnerability window, slow settling — makes
-/// synchronizer failures visible in microseconds of simulated time.
+/// synchronizer failures visible in microseconds of simulated time. The
+/// window is deliberately huge (1.5 ns): the detectors' raw outputs are
+/// recomputed by put-domain events right after most get-domain changes, so
+/// only a wide window reliably catches the drifting cross-domain
+/// transition as the *last* change before a sampling edge.
 fn hostile() -> MetaModel {
     MetaModel {
-        window: Time::from_ps(400),
+        window: Time::from_ps(1_500),
         tau: Time::from_ps(2_500),
         max_settle: Time::from_ps(25_000),
     }

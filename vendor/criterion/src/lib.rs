@@ -1,0 +1,167 @@
+//! A minimal, dependency-free, **offline** drop-in for the subset of the
+//! `criterion` API this workspace's benches use. The build container has
+//! no access to crates.io, so the workspace vendors this stub instead of
+//! the real crate (see `vendor/README.md`).
+//!
+//! Each `bench_function` runs a short warm-up, then `sample_size` timed
+//! samples, and prints the mean and min wall-clock time per iteration.
+//! There is no statistical analysis, no HTML report, and no comparison
+//! against saved baselines — the JSON benchmark tracking in `mtf-bench`
+//! (see `ROADMAP.md`) is the repository's regression mechanism.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for [`BenchmarkGroup::throughput`] annotations.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput (printed alongside the time).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` and prints the result.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size,
+        };
+        // One warm-up pass, then the timed samples.
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("  {}/{id}: no iterations recorded", self.name);
+            return self;
+        }
+        let warmups = b.samples.len();
+        b.samples.clear();
+        for _ in 0..self.sample_size.div_ceil(warmups) {
+            f(&mut b);
+        }
+        let mean: Duration = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let tput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} B/s)", n as f64 / mean.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {}/{id}: mean {mean:?}, min {min:?} over {} samples{tput}",
+            self.name,
+            b.samples.len(),
+        );
+        self
+    }
+
+    /// Ends the group (printing only; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures inside one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once per sample, recording wall-clock time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.budget.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into one callable group, mirroring the
+/// real macro's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        let mut runs = 0usize;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 3, "closure actually ran: {runs}");
+    }
+}

@@ -1,0 +1,231 @@
+//! A minimal, dependency-free, **offline** drop-in for the subset of the
+//! `proptest` API this workspace uses. The build container has no access
+//! to crates.io, so the workspace vendors this stub instead of the real
+//! crate (see `vendor/README.md`).
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(n))]
+//!   #[test] fn name(x in strategy, ...) { ... } }`
+//! * strategies: integer/float ranges, `any::<T>()`, `Just`, tuples,
+//!   `prop::collection::vec`, `.prop_map`, `prop_oneof!` (weighted and
+//!   unweighted)
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! * `PROPTEST_CASES` environment override
+//! * regression files: on failure the reproducing case seed is appended
+//!   to `<source>.proptest-regressions` (as a `seed 0x…` line) and every
+//!   persisted seed is replayed before fresh cases on later runs. Lines
+//!   in the real crate's opaque `cc …` format are ignored.
+//!
+//! Differences from the real crate: sampling is **deterministic** (case
+//! `i` of test `t` always sees the same inputs, on every machine), and
+//! there is no shrinking — the failing inputs are printed instead.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection::vec`-style strategy factories.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications `vec` accepts — an exact length or a range,
+    /// mirroring the real crate's `Into<SizeRange>` conversions.
+    pub trait IntoSizeRange {
+        /// The equivalent half-open length range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            *self.start()..*self.end() + 1
+        }
+    }
+
+    /// A strategy for `Vec`s of `element` with a length drawn uniformly
+    /// from `size` (an exact `usize` or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into_size_range())
+    }
+}
+
+/// Namespace mirror of the real crate's `prop` re-export, so
+/// `prop::collection::vec(...)` works after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the type's whole domain.
+        fn arbitrary(rng: &mut crate::test_runner::TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut crate::test_runner::TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut crate::test_runner::TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The whole-domain strategy for `T` — `any::<u64>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current case with a message (the stub's analogue of
+/// `TestCaseError::fail`). Prefer the `prop_assert*` macros.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "assertion failed: {} == {}",
+            stringify!($left), stringify!($right))
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("{} (left: {:?}, right: {:?})", format!($($fmt)+), l, r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that fails the case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!($left, $right, "assertion failed: {} != {}",
+            stringify!($left), stringify!($right))
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("{} (both: {:?})", format!($($fmt)+), l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Builds a union strategy: `prop_oneof![a, b]` picks uniformly,
+/// `prop_oneof![3 => a, 1 => b]` picks by weight.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, ::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, ::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>)),+
+        ])
+    };
+}
+
+/// The test-definition macro. Write `#[test]` on each function yourself
+/// (as the workspace's existing suites do); the macro turns the
+/// `arg in strategy` parameters into sampled locals and runs the body
+/// over the configured number of cases, replaying persisted regression
+/// seeds first.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{$cfg; $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{$crate::test_runner::Config::default(); $($rest)*}
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run(file!(), stringify!($name), &config, |rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, rng);)*
+                let shown = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}, ", &$arg));
+                    )*
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (shown, outcome)
+            });
+        }
+    )*};
+}

@@ -1,0 +1,240 @@
+//! The stub's case runner: deterministic per-case seeds, `PROPTEST_CASES`
+//! override, and seed-file regression persistence/replay.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Component, Path, PathBuf};
+
+/// The per-case random source handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for the case with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runner configuration — the `ProptestConfig` of the prelude.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of fresh cases to run (after regression replay). The
+    /// `PROPTEST_CASES` environment variable overrides it.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` fresh cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real crate defaults to 256; the stub keeps CI latency sane.
+        Config { cases: 64 }
+    }
+}
+
+/// A failed case: carries the failure message back to the runner.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic per-case seed: FNV-1a over the test name, mixed with the
+/// case index. Identical on every machine and every run.
+fn case_seed(test_name: &str, index: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1_0000_01b3);
+    }
+    h ^ ((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Resolves `..`/`.` components lexically (without touching the
+/// filesystem), so `a/b/../c` compares equal to `a/c`.
+fn normalize(p: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in p.components() {
+        match c {
+            Component::ParentDir => {
+                out.pop();
+            }
+            Component::CurDir => {}
+            other => out.push(other.as_os_str()),
+        }
+    }
+    out
+}
+
+/// `<source file>.proptest-regressions` for the given `file!()` path.
+///
+/// `file!()` is relative to wherever cargo invoked rustc from, while the
+/// test binary runs with the *package* manifest directory as cwd — and
+/// targets declared with `path = "../../tests/foo.rs"` (the
+/// `mtf-integration` layout) contain `..` components on top. Walk the
+/// cwd's ancestors and take the first base under which the source file's
+/// directory actually exists.
+fn regression_path(source_file: &str) -> PathBuf {
+    let stem = source_file.strip_suffix(".rs").unwrap_or(source_file);
+    let rel = PathBuf::from(format!("{stem}.proptest-regressions"));
+    if rel.is_absolute() {
+        return rel;
+    }
+    let cwd = std::env::current_dir().unwrap_or_default();
+    for base in cwd.ancestors() {
+        let cand = normalize(&base.join(&rel));
+        if cand.parent().is_some_and(Path::is_dir) {
+            return cand;
+        }
+    }
+    normalize(&cwd.join(&rel))
+}
+
+/// Persisted seeds: `seed 0x<hex>` lines. The real crate's opaque
+/// `cc <hash>` lines (present in files carried over from before the stub)
+/// are skipped — they cannot be replayed without the real crate.
+fn persisted_seeds(source_file: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(regression_path(source_file)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("seed ")?;
+            let token = rest.split_whitespace().next()?;
+            match token.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => token.parse().ok(),
+            }
+        })
+        .collect()
+}
+
+fn persist_seed(source_file: &str, test_name: &str, seed: u64, shown: &str) {
+    let path = regression_path(source_file);
+    let header = "\
+# Seeds for failure cases the proptest stub has hit in the past. Lines of
+# the form `seed 0x<hex>` are replayed before any fresh cases; `cc` lines
+# from the real proptest crate are ignored.
+";
+    let mut text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => header.to_string(),
+    };
+    let line = format!("seed {seed:#018x} # {test_name}: {shown}\n");
+    if !text.contains(&format!("seed {seed:#018x}")) {
+        text.push_str(&line);
+        // Best effort: a read-only checkout must not turn a test failure
+        // into a persistence panic.
+        if let Ok(mut f) = fs::File::create(&path) {
+            let _ = f.write_all(text.as_bytes());
+        }
+    }
+}
+
+/// Runs one proptest-style test: replay persisted regression seeds, then
+/// the configured number of fresh deterministic cases. `case` returns the
+/// rendered inputs and the outcome; on failure the seed is persisted and
+/// the test panics with a reproduction message.
+pub fn run<F>(source_file: &str, test_name: &str, config: &Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let mut seeds: Vec<(u64, bool)> = persisted_seeds(source_file)
+        .into_iter()
+        .map(|s| (s, true))
+        .collect();
+    seeds.extend((0..cases).map(|i| (case_seed(test_name, i), false)));
+    for (seed, replayed) in seeds {
+        let mut rng = TestRng::new(seed);
+        let (shown, outcome) = case(&mut rng);
+        if let Err(e) = outcome {
+            if !replayed {
+                persist_seed(source_file, test_name, seed, &shown);
+            }
+            panic!(
+                "proptest case failed{}: {e}\n  inputs: {shown}\n  reproduce: seed {seed:#018x} \
+                 in {}",
+                if replayed {
+                    " (persisted regression)"
+                } else {
+                    ""
+                },
+                regression_path(source_file).display(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_stable_and_distinct() {
+        assert_eq!(case_seed("t", 0), case_seed("t", 0));
+        assert_ne!(case_seed("t", 0), case_seed("t", 1));
+        assert_ne!(case_seed("t", 0), case_seed("u", 0));
+    }
+
+    #[test]
+    fn seed_lines_parse_hex_and_decimal() {
+        // Exercise the parser through a real temp file.
+        let dir = std::env::temp_dir().join("proptest-stub-test");
+        let _ = fs::create_dir_all(&dir);
+        let src = dir.join("fake_test.rs");
+        let reg = dir.join("fake_test.proptest-regressions");
+        let _ = fs::write(
+            &reg,
+            "# comment\ncc deadbeef # ignored\nseed 0x10 # hex\nseed 42 # decimal\n",
+        );
+        let seeds = persisted_seeds(src.to_str().unwrap());
+        assert_eq!(seeds, vec![16, 42]);
+        let _ = fs::remove_file(&reg);
+    }
+
+    #[test]
+    fn runner_replays_then_runs_fresh_cases() {
+        let mut count = 0;
+        run("/nonexistent/x.rs", "demo", &Config::with_cases(5), |rng| {
+            count += 1;
+            let _ = rng.next_u64();
+            (String::new(), Ok(()))
+        });
+        assert_eq!(count, 5);
+    }
+}
