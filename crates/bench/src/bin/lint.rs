@@ -1,0 +1,120 @@
+//! Static netlist lint over the whole design registry.
+//!
+//! Elaborates every registry design at the stock parameters (no clocks
+//! running, nothing simulated) and runs the four `mtf-lint` passes —
+//! CDC synchronizer depth, combinational loops, structural sanity,
+//! glitch-prone cones — then applies each design's waiver table from
+//! `mtf_core::waivers`. Waived findings are *printed*, never hidden;
+//! any unwaived finding makes the process exit non-zero, which is what
+//! the CI job keys off.
+//!
+//! ```text
+//! cargo run --release -p mtf-bench --bin lint [--json] [--capacity N] [--width W]
+//! ```
+//!
+//! `--json` emits one structured `mtf-bench-report-v1` line; CI diffs it
+//! against `golden/lint.json` (via `scripts/golden_diff.py`) so a new or
+//! vanished finding shows up in review even when it is waived.
+
+use mtf_bench::args::Args;
+use mtf_bench::json::Json;
+use mtf_bench::report::{DesignEntry, ExperimentReport};
+use mtf_core::design::DesignRegistry;
+use mtf_core::FifoParams;
+use mtf_lint::{lint_design, LintReport, PASSES};
+
+/// Flags whose value the arg parser must skip over (see
+/// [`Args::positional`] — not used here, but keeps `--capacity 8`
+/// from being misread as a positional).
+fn params_from(args: &Args) -> FifoParams {
+    FifoParams::new(args.usize_of("--capacity", 4), args.usize_of("--width", 8))
+}
+
+/// One design's row for the human-readable table.
+fn print_design(name: &str, report: &LintReport) {
+    println!(
+        "{name:>15}: {:>3} cells {:>3} nets {:>1} domains | {:>2} finding(s), {:>2} waived, {:>2} unwaived",
+        report.cells,
+        report.nets,
+        report.domains,
+        report.findings.len(),
+        report.waived_count(),
+        report.unwaived().count(),
+    );
+    for a in &report.findings {
+        match a.waived_by {
+            Some(w) => println!(
+                "        waived  {}\n                ({})",
+                a.finding, w.reason
+            ),
+            None => println!("        UNWAIVED {}", a.finding),
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let json = args.json();
+    let params = params_from(&args);
+
+    if !json {
+        println!("Static netlist lint over the design registry at {params}");
+        println!("passes: {}", PASSES.join(", "));
+        println!();
+    }
+
+    let mut report = ExperimentReport::new("lint");
+    let mut unwaived_total = 0usize;
+    let mut waived_total = 0usize;
+    for design in DesignRegistry::standard().iter() {
+        let r = match lint_design(design, params) {
+            Ok(r) => r,
+            Err(e) => {
+                // A design that rejects the stock parameters is a harness
+                // bug, not a lint finding.
+                eprintln!("lint: {} rejected {params}: {e}", design.kind().name());
+                std::process::exit(2);
+            }
+        };
+        unwaived_total += r.unwaived().count();
+        waived_total += r.waived_count();
+        if !json {
+            print_design(design.kind().name(), &r);
+        }
+
+        let mut e = DesignEntry::new(design, params)
+            .with("cells", r.cells as f64)
+            .with("nets", r.nets as f64)
+            .with("domains", r.domains as f64)
+            .with("findings", r.findings.len() as f64)
+            .with("waived", r.waived_count() as f64)
+            .with("unwaived", r.unwaived().count() as f64);
+        for pass in PASSES {
+            e = e.with(pass, r.count_for(pass) as f64);
+        }
+        report.entries.push(e);
+    }
+
+    if json {
+        report.note(
+            "passes",
+            Json::Arr(PASSES.iter().map(|p| Json::str(*p)).collect()),
+        );
+        report.note("waived_total", Json::Num(waived_total as f64));
+        report.note("unwaived_total", Json::Num(unwaived_total as f64));
+        report.emit();
+    } else {
+        println!();
+        if unwaived_total == 0 {
+            println!(
+                "Registry clean: 0 unwaived findings ({waived_total} waived — all deliberate, \
+                 see crates/core/src/waivers.rs for the paper citations)."
+            );
+        } else {
+            println!("FAIL: {unwaived_total} unwaived finding(s).");
+        }
+    }
+    if unwaived_total > 0 {
+        std::process::exit(1);
+    }
+}

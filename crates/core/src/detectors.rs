@@ -124,6 +124,12 @@ pub fn build_bimodal_empty(
     // deeper chains the per-stage ORs are required, because otherwise the
     // pipeline keeps serving stale "non-empty" values for `stages − 1`
     // cycles after a get and the receiver underflows.
+    //
+    // The `oe_path` scope exists for the CDC lint: logic between
+    // synchronizer flops is a textbook CDC finding, but here the paper
+    // mandates it, so the per-design waiver tables match on this scope —
+    // and only this scope, keeping the plain `ne` chain checkable.
+    b.push_scope("oe_path");
     let mut oe = b.sync_dff(clk_get, oe_raw, Logic::H);
     for _ in 1..stages {
         let neutralised = b.or2(oe, en_get);
@@ -135,6 +141,7 @@ pub fn build_bimodal_empty(
     } else {
         oe
     };
+    b.pop_scope();
 
     let empty = b.and2(ne_sync, oe_sync);
     b.pop_scope();

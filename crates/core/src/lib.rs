@@ -79,6 +79,7 @@ mod params;
 mod relay;
 mod sync_async;
 mod sync_relay;
+pub mod waivers;
 
 pub use async_async::AsyncAsyncFifo;
 pub use async_sync::AsyncSyncFifo;
@@ -94,3 +95,4 @@ pub use params::FifoParams;
 pub use relay::{AsyncSyncRelayStation, MixedClockRelayStation};
 pub use sync_async::SyncAsyncFifo;
 pub use sync_relay::{RelayPort, SyncRelayStation};
+pub use waivers::{waivers_for, LintWaiver};

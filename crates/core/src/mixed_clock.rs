@@ -138,8 +138,14 @@ pub(crate) fn build_sync_cell_array(
         // the get side into in-flight data. Both are set-dominant (the put
         // must win the reset tail at a window's closing edge) and reset by
         // the mid-cycle dequeue commit of a *delivering* window.
+        // The `dv` scope marks the DV latches for the glitch lint's waiver
+        // table: their set pins are fed by the deliberately hazard-shaped
+        // `commit_pulse` one-shot above, which the reconvergence check
+        // flags by design.
+        b.push_scope("dv");
         let (_claim_q, e_i) = b.sr_latch_qn_set_dominant(set_pulse, do_get_commit, Logic::L);
         let (f_i, _) = b.sr_latch_qn_set_dominant(commit_pulse, do_get_commit, Logic::L);
+        b.pop_scope();
         cell_full.push(f_i);
         cell_empty.push(e_i);
 
@@ -150,7 +156,14 @@ pub(crate) fn build_sync_cell_array(
         // receiver's closing edge. A window that reached a stale or
         // still-in-flight cell therefore delivers invalid, never a
         // duplicate or a phantom.
+        // `at_open` scope: this is a *deliberate* single-flop sample of
+        // the asynchronous DV state (the CDC lint flags it; the waiver
+        // table matches this scope). A metastable sample resolves to
+        // "deliver" or "bubble", both of which the gating below makes
+        // lossless — see the operating-envelope notes on the FIFO type.
+        b.push_scope("at_open");
         let f_at_open = b.dff_opts(clk_get, f_i, None, Logic::L, MetaModel::ideal(), false);
+        b.pop_scope();
         let v_eff = b.and2(f_at_open, reg_q[w]);
         full_at_open.push(f_at_open);
         // Consumption is gated the same way as validity: only a window that

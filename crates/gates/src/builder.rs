@@ -172,6 +172,7 @@ impl<'a> Builder<'a> {
             outputs: vec![out],
             clock: None,
             asym_common: 0,
+            init: None,
         });
         let gate = CombGate::new(
             name,
@@ -289,6 +290,7 @@ impl<'a> Builder<'a> {
             outputs: vec![bus],
             clock: None,
             asym_common: 0,
+            init: None,
         });
         let cell = TriBuf::new(name, en, d, drv, self.netlist.delay_table(), id.index());
         self.sim.add_component(Box::new(cell), &[en, d]);
@@ -308,6 +310,7 @@ impl<'a> Builder<'a> {
             outputs: bus.to_vec(),
             clock: None,
             asym_common: 0,
+            init: None,
         });
         let cell = TriWord::new(
             name,
@@ -377,6 +380,7 @@ impl<'a> Builder<'a> {
             outputs: vec![q],
             clock: Some(clk),
             asym_common: 0,
+            init: Some(init),
         });
         let delays = self.netlist.delay_table();
         let cds = *self.netlist.cell_delays();
@@ -431,6 +435,7 @@ impl<'a> Builder<'a> {
             outputs: vec![q],
             clock: None,
             asym_common: 0,
+            init: Some(init),
         });
         let cell = DLatch::new(
             name,
@@ -481,6 +486,7 @@ impl<'a> Builder<'a> {
             outputs: vec![q, qn],
             clock: None,
             asym_common: 0,
+            init: Some(init),
         });
         let cell = SrLatch::new(
             name,
@@ -524,6 +530,7 @@ impl<'a> Builder<'a> {
             outputs: vec![out],
             clock: None,
             asym_common: 0,
+            init: Some(init),
         });
         let cell = CElement::new(
             name,
@@ -575,6 +582,7 @@ impl<'a> Builder<'a> {
             outputs: vec![out],
             clock: None,
             asym_common: common.len(),
+            init: Some(init),
         });
         let cell = AsymCElement::new(
             name,
@@ -609,6 +617,7 @@ impl<'a> Builder<'a> {
             outputs: q.clone(),
             clock: Some(clk),
             asym_common: 0,
+            init: None,
         });
         let cds = *self.netlist.cell_delays();
         let cell = RegisterWord::new(
@@ -647,6 +656,7 @@ impl<'a> Builder<'a> {
             outputs: q.clone(),
             clock: None,
             asym_common: 0,
+            init: None,
         });
         let cell = LatchWord::new(
             name,

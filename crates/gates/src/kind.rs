@@ -78,6 +78,34 @@ impl CellKind {
                 | CellKind::LatchWord
         ) || self.is_edge_triggered()
     }
+
+    /// True for tri-state drivers — the only cells allowed to share a net
+    /// with other drivers (the [`Netlist`](crate::Netlist) rejects every
+    /// other multi-driver topology at build time).
+    pub fn is_tristate(self) -> bool {
+        matches!(self, CellKind::TriBuf | CellKind::TriWord)
+    }
+
+    /// True for cells whose outputs flow combinationally from their data
+    /// inputs: no state, no clock. Tri-state drivers count (their output
+    /// follows `en`/`d` combinationally); [`CellKind::Macro`] does not —
+    /// behavioural controllers hold state, so static analyses must treat
+    /// them as path-breaking, like latches.
+    pub fn is_combinational(self) -> bool {
+        matches!(
+            self,
+            CellKind::Buf
+                | CellKind::Inv
+                | CellKind::And
+                | CellKind::Or
+                | CellKind::Nand
+                | CellKind::Nor
+                | CellKind::Xor
+                | CellKind::Mux2
+                | CellKind::TriBuf
+                | CellKind::TriWord
+        )
+    }
 }
 
 impl fmt::Display for CellKind {
@@ -119,6 +147,13 @@ mod tests {
         assert!(CellKind::SrLatch.is_state_holding());
         assert!(CellKind::CElement.is_state_holding());
         assert!(!CellKind::Nand.is_state_holding());
+        assert!(CellKind::TriBuf.is_tristate());
+        assert!(CellKind::TriWord.is_tristate());
+        assert!(!CellKind::Buf.is_tristate());
+        assert!(CellKind::Nand.is_combinational());
+        assert!(CellKind::TriWord.is_combinational());
+        assert!(!CellKind::Macro.is_combinational());
+        assert!(!CellKind::DLatch.is_combinational());
     }
 
     #[test]

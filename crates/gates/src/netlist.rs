@@ -1,10 +1,11 @@
 //! The structural netlist and the shared delay table.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use mtf_sim::{NetId, Time};
+use mtf_sim::{Logic, NetId, Time};
 
 use crate::kind::CellKind;
 
@@ -41,6 +42,11 @@ pub struct Instance {
     /// For [`CellKind::AsymCElement`]: how many leading entries of
     /// `data_in` are *common* inputs (the rest are `+`-only).
     pub asym_common: usize,
+    /// Power-on value of a state-holding cell (`None` for combinational
+    /// cells and behavioural macros). `Some(Logic::X)` marks a state bit
+    /// whose reset value was never established — the `mtf-lint`
+    /// un-reset-state pass flags exactly those.
+    pub init: Option<Logic>,
 }
 
 /// The shared per-instance propagation-delay table.
@@ -248,6 +254,9 @@ pub struct Netlist {
     instances: Vec<Instance>,
     delays: DelayTable,
     cell_delays: CellDelays,
+    /// One driving instance per net (the first recorded), plus whether it
+    /// is a tri-state driver — the build-time multi-driver check.
+    driven: HashMap<NetId, (InstanceId, bool)>,
 }
 
 impl fmt::Debug for Netlist {
@@ -264,6 +273,37 @@ impl Netlist {
             instances: Vec::new(),
             delays: Rc::new(RefCell::new(Vec::new())),
             cell_delays,
+            driven: HashMap::new(),
+        }
+    }
+
+    /// Registers `id` as a driver of its output nets, panicking on an
+    /// illegal multi-driver topology. Only tri-state cells may share a net
+    /// (the FIFO cells' broadcast `get_data` buses); a second non-tri-state
+    /// driver — or a tri-state/ordinary mix — is a structural bug that
+    /// would silently resolve to `X` at simulation time, so it is a hard
+    /// error at build time instead.
+    fn record_drivers(&mut self, id: InstanceId, kind: CellKind, outputs: &[NetId]) {
+        let tristate = kind.is_tristate();
+        for &net in outputs {
+            match self.driven.get(&net) {
+                None => {
+                    self.driven.insert(net, (id, tristate));
+                }
+                Some(&(prev, prev_tristate)) => {
+                    if !(tristate && prev_tristate) {
+                        panic!(
+                            "net #{} has multiple drivers: '{}' ({}) and '{}' ({}); \
+                             only tri-state cells may share a net",
+                            net.index(),
+                            self.instances[prev.index()].name,
+                            self.instances[prev.index()].kind,
+                            self.instances[id.index()].name,
+                            kind,
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -285,8 +325,11 @@ impl Netlist {
             outputs,
             clock: None,
             asym_common: 0,
+            init: None,
         });
         self.delays.borrow_mut().push(delay);
+        let outs = self.instances[id.index()].outputs.clone();
+        self.record_drivers(id, CellKind::Macro, &outs);
         id
     }
 
@@ -295,8 +338,11 @@ impl Netlist {
         let d = self
             .cell_delays
             .gate_delay(inst.kind, inst.data_in.len().max(1));
+        let kind = inst.kind;
+        let outs = inst.outputs.clone();
         self.instances.push(inst);
         self.delays.borrow_mut().push(d);
+        self.record_drivers(id, kind, &outs);
         id
     }
 
@@ -356,12 +402,59 @@ impl Netlist {
     /// Merges another netlist into this one (used when a design is composed
     /// of separately built blocks). Returns the id offset applied to the
     /// other netlist's instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a net ends up with an illegal multi-driver topology (the
+    /// blocks were built against the same simulator, so their [`NetId`]s
+    /// share one namespace — two blocks driving the same net with ordinary
+    /// cells is a composition bug).
     pub fn absorb(&mut self, other: Netlist) -> usize {
         let offset = self.instances.len();
         let other_delays = other.delays.borrow().clone();
         self.instances.extend(other.instances);
         self.delays.borrow_mut().extend(other_delays);
+        for i in offset..self.instances.len() {
+            let id = InstanceId(i as u32);
+            let kind = self.instances[i].kind;
+            let outs = self.instances[i].outputs.clone();
+            self.record_drivers(id, kind, &outs);
+        }
         offset
+    }
+
+    /// Per-net driving instances, indexed by [`NetId::index`], for all nets
+    /// below `net_count` (pass [`Simulator::net_count`]). One O(cells)
+    /// sweep instead of an O(cells) scan per [`Netlist::drivers_of`] query —
+    /// what graph passes (`mtf-lint`, `mtf-timing`) should iterate.
+    ///
+    /// [`Simulator::net_count`]: mtf_sim::Simulator::net_count
+    pub fn driver_map(&self, net_count: usize) -> Vec<Vec<InstanceId>> {
+        let mut map = vec![Vec::new(); net_count];
+        for (i, inst) in self.instances.iter().enumerate() {
+            for &net in &inst.outputs {
+                if net.index() < net_count {
+                    map[net.index()].push(InstanceId(i as u32));
+                }
+            }
+        }
+        map
+    }
+
+    /// Per-net loading instances (any input pin, clock included), indexed
+    /// by [`NetId::index`]. The indexed counterpart of
+    /// [`Netlist::loads_of`]; see [`Netlist::driver_map`].
+    pub fn load_map(&self, net_count: usize) -> Vec<Vec<InstanceId>> {
+        let mut map = vec![Vec::new(); net_count];
+        for (i, inst) in self.instances.iter().enumerate() {
+            let id = InstanceId(i as u32);
+            for &net in inst.data_in.iter().chain(inst.clock.iter()) {
+                if net.index() < net_count && map[net.index()].last() != Some(&id) {
+                    map[net.index()].push(id);
+                }
+            }
+        }
+        map
     }
 }
 
@@ -398,25 +491,23 @@ mod tests {
         assert_eq!(d.setup, Time::ZERO);
     }
 
+    fn inst(name: &str, kind: CellKind, data_in: Vec<NetId>, outputs: Vec<NetId>) -> Instance {
+        Instance {
+            name: name.into(),
+            kind,
+            data_in,
+            outputs,
+            clock: None,
+            asym_common: 0,
+            init: None,
+        }
+    }
+
     #[test]
     fn push_assigns_sequential_ids_and_delays() {
         let mut nl = Netlist::new(CellDelays::unit());
-        let a = nl.push(Instance {
-            name: "i0".into(),
-            kind: CellKind::Inv,
-            data_in: vec![],
-            outputs: vec![],
-            clock: None,
-            asym_common: 0,
-        });
-        let b = nl.push(Instance {
-            name: "i1".into(),
-            kind: CellKind::And,
-            data_in: vec![],
-            outputs: vec![],
-            clock: None,
-            asym_common: 0,
-        });
+        let a = nl.push(inst("i0", CellKind::Inv, vec![], vec![]));
+        let b = nl.push(inst("i1", CellKind::And, vec![], vec![]));
         assert_eq!(a.index(), 0);
         assert_eq!(b.index(), 1);
         assert_eq!(nl.len(), 2);
@@ -426,16 +517,63 @@ mod tests {
     #[test]
     fn delay_table_is_shared() {
         let mut nl = Netlist::new(CellDelays::unit());
-        let id = nl.push(Instance {
-            name: "i0".into(),
-            kind: CellKind::Inv,
-            data_in: vec![],
-            outputs: vec![],
-            clock: None,
-            asym_common: 0,
-        });
+        let id = nl.push(inst("i0", CellKind::Inv, vec![], vec![]));
         let table = nl.delay_table();
         table.borrow_mut()[0] = Time::from_ps(777);
         assert_eq!(nl.delay_of(id), Time::from_ps(777));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple drivers")]
+    fn second_ordinary_driver_is_a_build_error() {
+        let mut nl = Netlist::new(CellDelays::unit());
+        let shared = NetId::from_index(7);
+        nl.push(inst("g0", CellKind::Inv, vec![], vec![shared]));
+        nl.push(inst("g1", CellKind::And, vec![], vec![shared]));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple drivers")]
+    fn tristate_plus_ordinary_driver_is_a_build_error() {
+        let mut nl = Netlist::new(CellDelays::unit());
+        let bus = NetId::from_index(3);
+        nl.push(inst("t0", CellKind::TriBuf, vec![], vec![bus]));
+        nl.push(inst("g0", CellKind::Buf, vec![], vec![bus]));
+    }
+
+    #[test]
+    fn tristate_cells_may_share_a_net() {
+        let mut nl = Netlist::new(CellDelays::unit());
+        let bus = NetId::from_index(3);
+        nl.push(inst("t0", CellKind::TriBuf, vec![], vec![bus]));
+        nl.push(inst("t1", CellKind::TriBuf, vec![], vec![bus]));
+        nl.push(inst("t2", CellKind::TriWord, vec![], vec![bus]));
+        assert_eq!(nl.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple drivers")]
+    fn absorb_rechecks_driver_topology() {
+        let shared = NetId::from_index(5);
+        let mut a = Netlist::new(CellDelays::unit());
+        a.push(inst("a0", CellKind::Inv, vec![], vec![shared]));
+        let mut b = Netlist::new(CellDelays::unit());
+        b.push(inst("b0", CellKind::Inv, vec![], vec![shared]));
+        a.absorb(b);
+    }
+
+    #[test]
+    fn driver_and_load_maps_index_the_graph() {
+        let mut nl = Netlist::new(CellDelays::unit());
+        let n0 = NetId::from_index(0);
+        let n1 = NetId::from_index(1);
+        let g0 = nl.push(inst("g0", CellKind::Inv, vec![n0], vec![n1]));
+        let g1 = nl.push(inst("g1", CellKind::Buf, vec![n1], vec![]));
+        let drivers = nl.driver_map(2);
+        let loads = nl.load_map(2);
+        assert_eq!(drivers[0], vec![]);
+        assert_eq!(drivers[1], vec![g0]);
+        assert_eq!(loads[0], vec![g0]);
+        assert_eq!(loads[1], vec![g1]);
     }
 }

@@ -1,0 +1,119 @@
+//! Findings, waiver annotation, and the per-design report.
+
+use std::fmt;
+
+use mtf_core::waivers::LintWaiver;
+
+/// The four lint passes, by stable identifier. Waivers name passes with
+/// these strings (see [`mtf_core::waivers`]).
+pub const PASSES: [&str; 4] = ["cdc", "comb_loop", "structural", "glitch"];
+
+/// One raw lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which pass produced it (one of [`PASSES`]).
+    pub pass: &'static str,
+    /// Finer-grained check identifier within the pass (e.g.
+    /// `"sync_depth"`, `"floating_input"`).
+    pub check: &'static str,
+    /// Where: an instance path or net name — the string waiver patterns
+    /// match against.
+    pub location: String,
+    /// What and why, in one sentence.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}/{}] {}: {}",
+            self.pass, self.check, self.location, self.message
+        )
+    }
+}
+
+/// A finding plus the waiver that covers it, if any. Waived findings stay
+/// in the report — annotated, not silenced — so the `lint` binary can
+/// print them and the golden diff pins their count.
+#[derive(Clone, Debug)]
+pub struct AnnotatedFinding {
+    /// The raw finding.
+    pub finding: Finding,
+    /// The waiver that covers it (`None` = unwaived, a hard failure).
+    pub waived_by: Option<&'static LintWaiver>,
+}
+
+/// Everything the lint found on one netlist.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All findings, waived ones included, in pass order.
+    pub findings: Vec<AnnotatedFinding>,
+    /// Cells analysed.
+    pub cells: usize,
+    /// Nets in the simulator namespace the netlist was built against.
+    pub nets: usize,
+    /// Clock domains inferred by the CDC pass.
+    pub domains: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by any waiver.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|a| a.waived_by.is_none())
+            .map(|a| &a.finding)
+    }
+
+    /// Number of waived findings.
+    pub fn waived_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|a| a.waived_by.is_some())
+            .count()
+    }
+
+    /// Number of findings (waived or not) from one pass.
+    pub fn count_for(&self, pass: &str) -> usize {
+        self.findings
+            .iter()
+            .filter(|a| a.finding.pass == pass)
+            .count()
+    }
+
+    /// True when nothing unwaived was found.
+    pub fn is_clean(&self) -> bool {
+        self.unwaived().next().is_none()
+    }
+
+    /// Annotates `findings` against a waiver table: a waiver covers a
+    /// finding when the pass matches and the waiver pattern occurs in the
+    /// finding's location.
+    pub fn annotate(
+        findings: Vec<Finding>,
+        waivers: &'static [LintWaiver],
+        cells: usize,
+        nets: usize,
+        domains: usize,
+    ) -> Self {
+        let findings = findings
+            .into_iter()
+            .map(|f| {
+                let waived_by = waivers
+                    .iter()
+                    .find(|w| w.pass == f.pass && f.location.contains(w.pattern));
+                AnnotatedFinding {
+                    finding: f,
+                    waived_by,
+                }
+            })
+            .collect();
+        LintReport {
+            findings,
+            cells,
+            nets,
+            domains,
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! # mtf-lint — static netlist analysis for the mixed-timing designs
+//!
+//! The paper's contribution is making clock-domain crossings *robust*:
+//! synchronizer chains on the control signals, glitch-free full/empty
+//! detectors, hazard-free controllers (Chelcea & Nowick, DAC 2001,
+//! Secs. 3–5). The rest of this workspace validates those properties
+//! *dynamically* — by simulating and hoping the stimulus exercises the
+//! bug. This crate checks them *statically*, the way a production CDC /
+//! structural lint flow would, without running the simulator at all:
+//!
+//! 1. [`cdc`] — clock-domain inference plus synchronizer-depth checking
+//!    (every cross-domain control flop must head a chain of depth ≥ 2);
+//! 2. [`loops`] — combinational-loop detection (SCCs over the comb-only
+//!    graph; C-elements and latches are sequential, so legitimate async
+//!    feedback is not a false positive);
+//! 3. [`structural`] — multiple-driver/tri-state misuse, floating
+//!    inputs, unconnected outputs, un-reset state bits;
+//! 4. [`glitch`] — glitch-prone cones (reconvergent fanout or
+//!    non-monotone gates) feeding latch enables, SR/C-element pins and
+//!    token-controller inputs.
+//!
+//! Findings that reflect *deliberate* design properties — above all the
+//! single-flop synchronizers of the related-work baselines the paper
+//! measures against — are annotated by the per-design waiver tables in
+//! [`mtf_core::waivers`]: waived, never silenced.
+//!
+//! The usual entry point is [`lint_design`], which elaborates a registry
+//! design exactly as the bench harness would (same builder, no clock
+//! generators, no environments) and runs all four passes:
+//!
+//! ```
+//! use mtf_core::design::DesignRegistry;
+//! use mtf_core::FifoParams;
+//!
+//! let design = DesignRegistry::get("mixed_clock").unwrap();
+//! let report = mtf_lint::lint_design(design, FifoParams::new(4, 8)).unwrap();
+//! assert!(report.is_clean(), "unwaived findings: {:?}",
+//!         report.unwaived().collect::<Vec<_>>());
+//! ```
+//!
+//! Hand-built netlists (the pass tests, custom compositions) go through
+//! [`LintModel`] directly: build with `mtf_gates::Builder`, declare the
+//! external ports, call [`run_passes`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cdc;
+mod findings;
+pub mod glitch;
+pub mod loops;
+mod model;
+pub mod structural;
+
+pub use findings::{AnnotatedFinding, Finding, LintReport, PASSES};
+pub use model::{Domain, LintModel};
+
+use mtf_core::design::{ClockInputs, MixedTimingDesign};
+use mtf_core::waivers::waivers_for;
+use mtf_core::{DesignPorts, FifoParams};
+use mtf_gates::Builder;
+use mtf_sim::Simulator;
+
+/// Runs all four passes over a prepared model, in pass order. Returns
+/// the raw findings plus the number of inferred clock domains.
+pub fn run_passes(model: &LintModel<'_>) -> (Vec<Finding>, usize) {
+    let (mut findings, domains) = cdc::run(model);
+    findings.extend(loops::run(model));
+    findings.extend(structural::run(model));
+    findings.extend(glitch::run(model));
+    (findings, domains)
+}
+
+/// Declares every external net of `ports` on the model, so port nets are
+/// neither floating inputs nor unconnected outputs.
+pub fn declare_ports(model: &mut LintModel<'_>, ports: &DesignPorts) {
+    let inputs = [
+        ports.clk_put,
+        ports.clk_get,
+        ports.req_put,
+        ports.put_req,
+        ports.valid_in,
+        ports.req_get,
+        ports.stop_in,
+        ports.get_req,
+    ];
+    for net in inputs.into_iter().flatten() {
+        model.declare_input(net);
+    }
+    for &net in &ports.data_put {
+        model.declare_input(net);
+    }
+    let outputs = [
+        ports.full,
+        ports.put_ack,
+        ports.stop_out,
+        ports.valid_get,
+        ports.empty,
+        ports.get_ack,
+        ports.nclk_get,
+    ];
+    for net in outputs.into_iter().flatten() {
+        model.declare_output(net);
+    }
+    for &net in &ports.data_get {
+        model.declare_output(net);
+    }
+}
+
+/// Statically lints one registry design at `params`: elaborates it the
+/// way the bench harness would (same builder; *no* clock generators or
+/// test environments — nothing runs), then applies all four passes and
+/// the design's waiver table. `Err` if the design does not support
+/// `params` (see [`MixedTimingDesign::supports`]).
+pub fn lint_design(
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+) -> Result<LintReport, String> {
+    design.supports(params)?;
+    let mut sim = Simulator::new(0);
+    let clocking = design.clocking();
+    let clk_put = clocking.needs_put().then(|| sim.net("clk_put"));
+    let clk_get = clocking.needs_get().then(|| sim.net("clk_get"));
+    let clocks = ClockInputs { clk_put, clk_get };
+    let mut b = Builder::new(&mut sim);
+    let ports = design.build(&mut b, params, clocks);
+    let netlist = b.finish();
+
+    let mut model = LintModel::new(&netlist, &sim);
+    for clk in [clk_put, clk_get].into_iter().flatten() {
+        model.declare_input(clk);
+    }
+    declare_ports(&mut model, &ports);
+    let (findings, domains) = run_passes(&model);
+    Ok(LintReport::annotate(
+        findings,
+        waivers_for(design.kind()),
+        netlist.len(),
+        sim.net_count(),
+        domains,
+    ))
+}

@@ -1,0 +1,146 @@
+//! Pass 2 — combinational loop detection.
+//!
+//! Tarjan's SCC algorithm (iterative) over the *combinational-only*
+//! instance graph: an edge runs from cell `u` to cell `v` when an output
+//! net of `u` is a data input of `v` and both are combinational. Every
+//! state-holding cell breaks paths — C-elements, SR latches and latches
+//! are modelled as sequential precisely so the async designs' legitimate
+//! feedback (a C-element holding via its own output) is not a false
+//! positive; only feedback composed *entirely* of stateless gates is
+//! reported, because its simulated behaviour (oscillation or a frozen
+//! `X`) depends on delay ordering rather than design intent.
+
+use mtf_gates::InstanceId;
+
+use crate::findings::Finding;
+use crate::model::LintModel;
+
+/// Successors of `u` in the comb-only graph.
+fn comb_successors(model: &LintModel<'_>, u: InstanceId) -> Vec<InstanceId> {
+    let mut out = Vec::new();
+    for &net in &model.inst(u).outputs {
+        for &v in &model.loads[net.index()] {
+            if model.inst(v).kind.is_combinational() && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Iterative Tarjan SCC. Returns every SCC that is an actual cycle: more
+/// than one member, or a single self-looping cell.
+fn cyclic_sccs(model: &LintModel<'_>) -> Vec<Vec<InstanceId>> {
+    let n = model.netlist.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED
+            || !model
+                .inst(InstanceId::from_index(root))
+                .kind
+                .is_combinational()
+        {
+            continue;
+        }
+        // Explicit DFS frame: (node, successor list, cursor).
+        let mut frames: Vec<(usize, Vec<InstanceId>, usize)> = Vec::new();
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((
+            root,
+            comb_successors(model, InstanceId::from_index(root)),
+            0,
+        ));
+        while !frames.is_empty() {
+            let (u, next) = {
+                let frame = frames.last_mut().expect("frames nonempty");
+                let u = frame.0;
+                if frame.2 < frame.1.len() {
+                    let v = frame.1[frame.2].index();
+                    frame.2 += 1;
+                    (u, Some(v))
+                } else {
+                    (u, None)
+                }
+            };
+            match next {
+                Some(v) if index[v] == UNVISITED => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push((v, comb_successors(model, InstanceId::from_index(v)), 0));
+                }
+                Some(v) => {
+                    if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                }
+                None => {
+                    frames.pop();
+                    if let Some(parent) = frames.last() {
+                        let p = parent.0;
+                        low[p] = low[p].min(low[u]);
+                    }
+                    if low[u] == index[u] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            scc.push(InstanceId::from_index(w));
+                            if w == u {
+                                break;
+                            }
+                        }
+                        let is_cycle = scc.len() > 1 || {
+                            let only = scc[0];
+                            comb_successors(model, only).contains(&only)
+                        };
+                        if is_cycle {
+                            scc.reverse();
+                            sccs.push(scc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Runs the pass: one finding per cyclic SCC, anchored at its
+/// first-placed member and listing up to eight members.
+pub fn run(model: &LintModel<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for scc in cyclic_sccs(model) {
+        let mut names: Vec<&str> = scc.iter().map(|&i| model.inst(i).name.as_str()).collect();
+        names.sort_unstable();
+        let shown = names.len().min(8);
+        let mut list = names[..shown].join(", ");
+        if names.len() > shown {
+            list.push_str(&format!(", … ({} total)", names.len()));
+        }
+        findings.push(Finding {
+            pass: "comb_loop",
+            check: "scc",
+            location: names[0].to_string(),
+            message: format!(
+                "combinational feedback with no state-holding cell in the \
+                 cycle: {{{list}}} — behaviour depends on delay ordering, \
+                 not design intent"
+            ),
+        });
+    }
+    findings
+}

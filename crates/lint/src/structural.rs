@@ -1,0 +1,117 @@
+//! Pass 3 — structural sanity.
+//!
+//! Four checks over the elaborated graph, each consulting both the
+//! netlist *and* the simulator's behavioural topology (driver/watcher
+//! counts), so constant nets, clock generators and macro engines — which
+//! the netlist cannot see — do not produce false reports:
+//!
+//! * **tri-state misuse** — a net driven by tri-state cells *and* by a
+//!   behavioural driver the netlist cannot account for (the build-time
+//!   check in `mtf-gates` already rejects every ordinary multi-driver
+//!   topology, so only this simulator-level mixing remains detectable);
+//! * **floating input** — a net read by some cell but driven by nothing:
+//!   no instance, no behavioural driver, not a declared input port;
+//! * **unconnected output** — a cell none of whose outputs is read by
+//!   any instance, any behavioural watcher, or a declared output port
+//!   (dead logic, or a missed connection);
+//! * **un-reset state** — a state-holding cell built with `Logic::X` as
+//!   its power-on value: it will wake undefined and stay undefined until
+//!   first written, which the protocol checkers only catch dynamically.
+
+use mtf_sim::Logic;
+
+use crate::findings::Finding;
+use crate::model::LintModel;
+
+/// Runs the pass.
+pub fn run(model: &LintModel<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Tri-state misuse and floating inputs are per-net checks.
+    for net in 0..model.net_count {
+        let inst_drivers = &model.drivers[net];
+        let tristate_drivers = inst_drivers
+            .iter()
+            .filter(|&&d| model.inst(d).kind.is_tristate())
+            .count();
+        if tristate_drivers > 0 && model.sim_drivers[net] > inst_drivers.len() {
+            findings.push(Finding {
+                pass: "structural",
+                check: "tristate_mix",
+                location: model.net_name(net).to_string(),
+                message: format!(
+                    "tri-state bus with {} cell driver(s) but {} simulator \
+                     driver(s): a behavioural driver shares the bus outside \
+                     the netlist's enable discipline",
+                    inst_drivers.len(),
+                    model.sim_drivers[net]
+                ),
+            });
+        }
+
+        if !model.loads[net].is_empty()
+            && inst_drivers.is_empty()
+            && model.sim_drivers[net] == 0
+            && !model.inputs.contains(&net)
+        {
+            let readers: Vec<&str> = model.loads[net]
+                .iter()
+                .take(3)
+                .map(|&l| model.inst(l).name.as_str())
+                .collect();
+            findings.push(Finding {
+                pass: "structural",
+                check: "floating_input",
+                location: model.net_name(net).to_string(),
+                message: format!(
+                    "read by {} cell(s) (e.g. {}) but driven by nothing — \
+                     not a cell, not a behavioural driver, not a declared \
+                     input port",
+                    model.loads[net].len(),
+                    readers.join(", ")
+                ),
+            });
+        }
+    }
+
+    // Unconnected outputs and un-reset state are per-instance checks.
+    for (idx, inst) in model.netlist.instances().iter().enumerate() {
+        let _ = idx;
+        if !inst.outputs.is_empty() {
+            let consumed = inst.outputs.iter().any(|&o| {
+                let n = o.index();
+                !model.loads[n].is_empty()
+                    || model.sim_watchers[n] > 0
+                    || model.outputs.contains(&n)
+            });
+            if !consumed {
+                findings.push(Finding {
+                    pass: "structural",
+                    check: "unconnected_output",
+                    location: inst.name.clone(),
+                    message: format!(
+                        "{} cell: no output is read by any cell, behavioural \
+                         watcher or declared port — dead logic or a missed \
+                         connection",
+                        inst.kind
+                    ),
+                });
+            }
+        }
+
+        if inst.init == Some(Logic::X) {
+            findings.push(Finding {
+                pass: "structural",
+                check: "unreset_state",
+                location: inst.name.clone(),
+                message: format!(
+                    "{} state cell powers on at X and has no reset path in \
+                     the netlist; its first sampled value is undefined",
+                    inst.kind
+                ),
+            });
+        }
+    }
+
+    findings
+}

@@ -1,0 +1,54 @@
+//! Registry-wide lint: every design must be clean (no unwaived
+//! findings) at the stock parameters, and an injected CDC regression —
+//! synchronizer depth forced to one — must be *caught*, proving the CI
+//! golden gate would actually fail on a depth regression.
+
+use mtf_core::design::{DesignRegistry, MIXED_CLOCK};
+use mtf_core::FifoParams;
+use mtf_lint::lint_design;
+
+#[test]
+fn every_registry_design_is_clean_at_stock_params() {
+    let params = FifoParams::new(4, 8);
+    for design in DesignRegistry::standard().iter() {
+        let report = lint_design(design, params)
+            .unwrap_or_else(|e| panic!("{} rejected {params}: {e}", design.kind().name()));
+        let unwaived: Vec<String> = report.unwaived().map(|f| f.to_string()).collect();
+        assert!(
+            unwaived.is_empty(),
+            "{} has {} unwaived finding(s):\n  {}",
+            design.kind().name(),
+            unwaived.len(),
+            unwaived.join("\n  ")
+        );
+    }
+}
+
+#[test]
+fn larger_capacity_stays_clean() {
+    let params = FifoParams::new(8, 8);
+    for design in DesignRegistry::standard().iter() {
+        let report = lint_design(design, params).expect("supported params");
+        let unwaived: Vec<String> = report.unwaived().map(|f| f.to_string()).collect();
+        assert!(
+            unwaived.is_empty(),
+            "{} at {params}: {}",
+            design.kind().name(),
+            unwaived.join("; ")
+        );
+    }
+}
+
+#[test]
+fn injected_single_flop_regression_is_caught() {
+    // Force the mixed-clock FIFO's synchronizers down to one flop — the
+    // exact regression the CI golden diff exists to catch — and require
+    // the CDC pass to flag it *unwaived*.
+    let report =
+        lint_design(&MIXED_CLOCK, FifoParams::with_sync_stages(8, 8, 1)).expect("params supported");
+    let cdc: Vec<_> = report.unwaived().filter(|f| f.pass == "cdc").collect();
+    assert!(
+        !cdc.is_empty(),
+        "a single-flop synchronizer must produce unwaived CDC findings"
+    );
+}

@@ -52,12 +52,21 @@ impl<'a> Ctx<'a> {
     }
 
     /// The resolved value of `net` at this instant.
+    ///
+    /// When the delta-race sanitizer is enabled
+    /// ([`Simulator::enable_race_sanitizer`]), reads through here are
+    /// recorded so a later same-instant change of the net can be flagged
+    /// as an ordering hazard.
     pub fn get(&self, net: NetId) -> Logic {
+        self.sim.note_read(self.me, net);
         self.sim.value(net)
     }
 
     /// Reads a multi-bit bus (`nets[0]` = LSB).
     pub fn get_vec(&self, nets: &[NetId]) -> LogicVec {
+        for &n in nets {
+            self.sim.note_read(self.me, n);
+        }
         self.sim.value_vec(nets)
     }
 

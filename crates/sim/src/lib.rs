@@ -67,6 +67,7 @@ mod net;
 mod probe;
 #[cfg(test)]
 mod queue_props;
+pub mod race;
 mod sim;
 mod time;
 pub mod vcd;
@@ -78,6 +79,7 @@ pub use logic::{Logic, LogicVec};
 pub use metastable::{mtbf_seconds, MetaModel};
 pub use net::{DriverId, NetId};
 pub use probe::{Edge, Probe, Waveform};
+pub use race::{RaceHazard, RaceHazardKind};
 pub use sim::{SimStats, Simulator, Violation, ViolationKind};
 pub use time::Time;
 

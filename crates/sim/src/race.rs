@@ -1,0 +1,282 @@
+//! Delta-race sanitizer — opt-in detection of same-instant ordering
+//! hazards.
+//!
+//! The kernel is deterministic: events at one timestamp pop in insertion
+//! order, so any given binary replays bit-identically. But determinism of
+//! *one* ordering does not mean the modelled circuit is insensitive to
+//! ordering. Two classes of same-instant conflict make a model's outcome
+//! depend on event sequence rather than on circuit semantics:
+//!
+//! * **read-then-write** — a component reads a net it does *not* watch,
+//!   and later in the same instant the net's resolved value changes. The
+//!   reader is never re-evaluated, so it acted on a value that a different
+//!   (equally legal) event ordering would not have shown it.
+//! * **write/write** — two distinct drivers change their contribution to
+//!   one net within the same instant. The final resolved value is
+//!   order-independent (resolution is commutative), but watchers wake per
+//!   intermediate change, so downstream zero-delay logic can observe an
+//!   ordering-dependent intermediate value.
+//!
+//! Enable with [`Simulator::enable_race_sanitizer`]; collect findings with
+//! [`Simulator::race_hazards`]. The sanitizer is entirely passive — it
+//! never alters scheduling — so an enabled run produces the same waveforms
+//! as a plain run. The determinism test (`tests/determinism.rs` at the
+//! workspace root) runs a full mixed-clock transfer under the sanitizer
+//! and asserts zero read-then-write hazards: every gate in `mtf-gates`
+//! has a nonzero propagation delay, so legitimate gate-level activity
+//! never races within one delta cycle.
+//!
+//! [`Simulator::enable_race_sanitizer`]: crate::Simulator::enable_race_sanitizer
+//! [`Simulator::race_hazards`]: crate::Simulator::race_hazards
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::component::ComponentId;
+use crate::net::DriverId;
+use crate::time::Time;
+
+/// The class of a same-instant conflict. See the [module docs](self).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RaceHazardKind {
+    /// A non-watching component read the net before a same-instant
+    /// resolved-value change — it acted on ordering-dependent data.
+    ReadThenWrite,
+    /// Two distinct drivers changed their contribution to the net within
+    /// one instant.
+    WriteWrite,
+}
+
+impl fmt::Display for RaceHazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaceHazardKind::ReadThenWrite => "read-then-write",
+            RaceHazardKind::WriteWrite => "write/write",
+        })
+    }
+}
+
+/// One recorded same-instant conflict.
+#[derive(Clone, Debug)]
+pub struct RaceHazard {
+    /// Conflict class.
+    pub kind: RaceHazardKind,
+    /// The instant at which the conflicting accesses collided.
+    pub time: Time,
+    /// Name of the contested net.
+    pub net: String,
+    /// Who collided (reader component / driver pair).
+    pub detail: String,
+}
+
+impl fmt::Display for RaceHazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] net '{}' at {}: {}",
+            self.kind, self.net, self.time, self.detail
+        )
+    }
+}
+
+/// Per-instant bookkeeping. All maps are keyed by raw net index and
+/// cleared lazily when the recorded instant falls behind simulator time,
+/// so the event loop needs no explicit per-instant reset hook.
+#[derive(Debug, Default)]
+pub(crate) struct RaceState {
+    /// The instant the maps describe.
+    instant: Time,
+    /// Net → components that read it this instant *without* watching it
+    /// (watching readers are re-evaluated on change, so they never act on
+    /// stale data).
+    reads: HashMap<u32, Vec<ComponentId>>,
+    /// Net → first driver whose contribution changed this instant.
+    wrote: HashMap<u32, DriverId>,
+    hazards: Vec<RaceHazard>,
+}
+
+impl RaceState {
+    /// Discards the per-instant maps if `now` has moved past the instant
+    /// they describe (recorded hazards are kept — they are cumulative).
+    fn roll(&mut self, now: Time) {
+        if now != self.instant {
+            self.instant = now;
+            self.reads.clear();
+            self.wrote.clear();
+        }
+    }
+
+    /// Records a non-watching read of net `net` by `comp`.
+    pub(crate) fn note_read(&mut self, now: Time, net: u32, comp: ComponentId) {
+        self.roll(now);
+        let readers = self.reads.entry(net).or_default();
+        if !readers.contains(&comp) {
+            readers.push(comp);
+        }
+    }
+
+    /// Records a contribution change by `driver` on `net`; returns the
+    /// earlier same-instant writer if this is a write/write conflict.
+    pub(crate) fn note_write(&mut self, now: Time, net: u32, driver: DriverId) -> Option<DriverId> {
+        self.roll(now);
+        match self.wrote.get(&net) {
+            None => {
+                self.wrote.insert(net, driver);
+                None
+            }
+            Some(&prev) if prev != driver => Some(prev),
+            Some(_) => None,
+        }
+    }
+
+    /// Takes (and clears) the non-watching readers recorded for `net` this
+    /// instant. Called when the net's resolved value changes: each taken
+    /// reader is a read-then-write hazard. Clearing means one stale read is
+    /// reported once, not once per subsequent change.
+    pub(crate) fn take_stale_readers(&mut self, now: Time, net: u32) -> Vec<ComponentId> {
+        self.roll(now);
+        self.reads.remove(&net).unwrap_or_default()
+    }
+
+    pub(crate) fn push(&mut self, hazard: RaceHazard) {
+        self.hazards.push(hazard);
+    }
+
+    pub(crate) fn hazards(&self) -> &[RaceHazard] {
+        &self.hazards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RaceHazardKind;
+    use crate::prelude::*;
+
+    /// Reads a net exactly once, on its initial wake — without watching it.
+    struct OneShotReader {
+        net: NetId,
+        done: bool,
+    }
+
+    impl Component for OneShotReader {
+        fn name(&self) -> &str {
+            "one_shot_reader"
+        }
+        fn eval(&mut self, ctx: &mut Ctx<'_>) {
+            if !self.done {
+                let _ = ctx.get(self.net);
+                self.done = true;
+            }
+        }
+    }
+
+    #[test]
+    fn read_then_write_is_flagged() {
+        let mut sim = Simulator::new(0);
+        sim.enable_race_sanitizer();
+        let n = sim.net("victim");
+        let d = sim.driver(n);
+        // Initial wake fires at t=0, before the same-instant drive below.
+        sim.add_component(
+            Box::new(OneShotReader {
+                net: n,
+                done: false,
+            }),
+            &[],
+        );
+        sim.drive_at(d, n, Logic::H, Time::ZERO);
+        sim.run_until(Time::from_ns(1)).unwrap();
+        let hazards = sim.race_hazards();
+        assert_eq!(hazards.len(), 1, "hazards: {hazards:?}");
+        assert_eq!(hazards[0].kind, RaceHazardKind::ReadThenWrite);
+        assert_eq!(hazards[0].net, "victim");
+        assert!(hazards[0].detail.contains("one_shot_reader"));
+    }
+
+    #[test]
+    fn watching_reader_is_clean() {
+        let mut sim = Simulator::new(0);
+        sim.enable_race_sanitizer();
+        let n = sim.net("victim");
+        let d = sim.driver(n);
+        // Same shape, but the reader *watches* the net — it is re-woken on
+        // the change, so the stale first read is not a hazard.
+        sim.add_component(
+            Box::new(OneShotReader {
+                net: n,
+                done: false,
+            }),
+            &[n],
+        );
+        sim.drive_at(d, n, Logic::H, Time::ZERO);
+        sim.run_until(Time::from_ns(1)).unwrap();
+        assert!(sim.race_hazards().is_empty());
+    }
+
+    #[test]
+    fn read_and_write_in_different_instants_are_clean() {
+        let mut sim = Simulator::new(0);
+        sim.enable_race_sanitizer();
+        let n = sim.net("victim");
+        let d = sim.driver(n);
+        sim.add_component(
+            Box::new(OneShotReader {
+                net: n,
+                done: false,
+            }),
+            &[],
+        );
+        // The write lands a full nanosecond after the read.
+        sim.drive_at(d, n, Logic::H, Time::from_ns(1));
+        sim.run_until(Time::from_ns(2)).unwrap();
+        assert!(sim.race_hazards().is_empty());
+    }
+
+    #[test]
+    fn write_write_is_flagged() {
+        let mut sim = Simulator::new(0);
+        sim.enable_race_sanitizer();
+        let n = sim.net("bus");
+        let d1 = sim.driver(n);
+        let d2 = sim.driver(n);
+        sim.drive_at(d1, n, Logic::L, Time::from_ns(1));
+        sim.drive_at(d2, n, Logic::L, Time::from_ns(1));
+        sim.run_until(Time::from_ns(2)).unwrap();
+        let hazards = sim.race_hazards();
+        assert_eq!(hazards.len(), 1, "hazards: {hazards:?}");
+        assert_eq!(hazards[0].kind, RaceHazardKind::WriteWrite);
+        assert_eq!(hazards[0].net, "bus");
+        assert_eq!(sim.race_hazard_count(RaceHazardKind::WriteWrite), 1);
+        assert_eq!(sim.race_hazard_count(RaceHazardKind::ReadThenWrite), 0);
+    }
+
+    #[test]
+    fn staggered_writes_are_clean() {
+        let mut sim = Simulator::new(0);
+        sim.enable_race_sanitizer();
+        let n = sim.net("bus");
+        let d1 = sim.driver(n);
+        let d2 = sim.driver(n);
+        sim.drive_at(d1, n, Logic::L, Time::from_ns(1));
+        sim.drive_at(d2, n, Logic::L, Time::from_ns(2));
+        sim.run_until(Time::from_ns(3)).unwrap();
+        assert!(sim.race_hazards().is_empty());
+    }
+
+    #[test]
+    fn sanitizer_is_off_by_default() {
+        let mut sim = Simulator::new(0);
+        let n = sim.net("victim");
+        let d = sim.driver(n);
+        sim.add_component(
+            Box::new(OneShotReader {
+                net: n,
+                done: false,
+            }),
+            &[],
+        );
+        sim.drive_at(d, n, Logic::H, Time::ZERO);
+        sim.run_until(Time::from_ns(1)).unwrap();
+        assert!(sim.race_hazards().is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
@@ -11,6 +12,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::logic::{Logic, LogicVec};
 use crate::net::{Driver, DriverId, Net, NetId, NetLabel};
 use crate::probe::Waveform;
+use crate::race::{RaceHazard, RaceHazardKind, RaceState};
 use crate::time::Time;
 
 /// What kind of timing rule was broken.
@@ -118,6 +120,10 @@ pub struct Simulator {
     /// already covers it.
     wake_pending: Vec<Time>,
     coalesced_wakes: u64,
+    /// Delta-race sanitizer state; `None` (the default) costs one branch
+    /// per read/drive. `RefCell` because reads are recorded from
+    /// [`Ctx::get`], which takes `&self`.
+    race: Option<RefCell<RaceState>>,
 }
 
 impl fmt::Debug for Simulator {
@@ -153,6 +159,7 @@ impl Simulator {
             events_processed: 0,
             wake_pending: Vec::new(),
             coalesced_wakes: 0,
+            race: None,
         }
     }
 
@@ -338,6 +345,67 @@ impl Simulator {
         }
     }
 
+    /// Number of drivers attached to `net`, behavioural testbench drivers
+    /// included. The static lint (`mtf-lint`) uses this to tell a genuinely
+    /// floating input apart from a port driven by a behavioural component
+    /// the netlist cannot see.
+    pub fn driver_count(&self, net: NetId) -> usize {
+        self.nets[net.0 as usize].drivers.len()
+    }
+
+    /// Number of components watching `net` (see [`Simulator::watch`]).
+    /// `mtf-lint` uses this so an output consumed only behaviourally is
+    /// not reported as unconnected.
+    pub fn watcher_count(&self, net: NetId) -> usize {
+        self.nets[net.0 as usize].watchers.len()
+    }
+
+    // ---- delta-race sanitizer ---------------------------------------------
+
+    /// Turns on the delta-race sanitizer (see [`crate::race`]). Purely
+    /// passive: scheduling and waveforms are identical to a plain run.
+    /// Idempotent; recorded hazards survive repeated calls.
+    pub fn enable_race_sanitizer(&mut self) {
+        if self.race.is_none() {
+            self.race = Some(RefCell::new(RaceState::default()));
+        }
+    }
+
+    /// All same-instant conflicts recorded so far (always empty unless
+    /// [`Simulator::enable_race_sanitizer`] was called).
+    pub fn race_hazards(&self) -> Vec<RaceHazard> {
+        self.race
+            .as_ref()
+            .map(|r| r.borrow().hazards().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Number of recorded hazards of one kind.
+    pub fn race_hazard_count(&self, kind: RaceHazardKind) -> usize {
+        self.race
+            .as_ref()
+            .map(|r| {
+                r.borrow()
+                    .hazards()
+                    .iter()
+                    .filter(|h| h.kind == kind)
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Records a component-level net read (called by [`Ctx::get`], hence
+    /// `&self`). Only non-watching reads are kept: a watcher is re-woken
+    /// when the net changes, so it can never act on a stale value.
+    pub(crate) fn note_read(&self, comp: ComponentId, net: NetId) {
+        if let Some(race) = &self.race {
+            if self.nets[net.0 as usize].watchers.contains(&comp) {
+                return;
+            }
+            race.borrow_mut().note_read(self.time, net.0, comp);
+        }
+    }
+
     // ---- scheduling (also used by `Ctx`) ----------------------------------
 
     /// Schedules `driver` to contribute `value` after `delay`, cancelling
@@ -473,6 +541,22 @@ impl Simulator {
         }
         d.value = value;
         let net = d.net;
+        if let Some(race) = &self.race {
+            let mut st = race.borrow_mut();
+            if let Some(prev) = st.note_write(self.time, net.0, driver) {
+                let h = RaceHazard {
+                    kind: RaceHazardKind::WriteWrite,
+                    time: self.time,
+                    net: self.nets[net.0 as usize].name().to_owned(),
+                    detail: format!(
+                        "drivers #{} and #{} both changed their contribution \
+                         within one delta cycle",
+                        prev.0, driver.0
+                    ),
+                };
+                st.push(h);
+            }
+        }
         self.recompute_net(net);
     }
 
@@ -498,6 +582,25 @@ impl Simulator {
         if n.traced {
             if let Some(wf) = self.waveforms[idx].as_mut() {
                 wf.record(now, resolved);
+            }
+        }
+        if let Some(race) = &self.race {
+            let mut st = race.borrow_mut();
+            for c in st.take_stale_readers(now, net.0) {
+                let who = self.components[c.0 as usize]
+                    .as_ref()
+                    .map(|b| b.name().to_owned())
+                    .unwrap_or_else(|| format!("component#{}", c.0));
+                let h = RaceHazard {
+                    kind: RaceHazardKind::ReadThenWrite,
+                    time: now,
+                    net: self.nets[idx].name().to_owned(),
+                    detail: format!(
+                        "'{who}' read the net earlier this instant without \
+                         watching it, then the resolved value changed to {resolved:?}"
+                    ),
+                };
+                st.push(h);
             }
         }
         // Notify watchers via wake events at the current instant. Borrowing

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Structural golden diff for mtf-bench-report-v1 JSON files.
+
+Byte-comparing report JSON makes every harmless float-formatting change
+a CI failure; this script compares structure exactly (same keys, same
+array lengths, same strings) and numbers to a relative tolerance
+instead.
+
+    python3 scripts/golden_diff.py golden/lint.json /tmp/lint.json
+    python3 scripts/golden_diff.py --rtol 1e-3 golden/chains.json /tmp/chains.json
+
+Exits 0 when the files match, 1 with one line per mismatch otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def diff(golden, actual, rtol, path, out):
+    """Appends a message to `out` for every mismatch under `path`."""
+    if isinstance(golden, dict) and isinstance(actual, dict):
+        for key in golden:
+            if key not in actual:
+                out.append(f"{path}: key '{key}' missing from actual")
+            else:
+                diff(golden[key], actual[key], rtol, f"{path}.{key}", out)
+        for key in actual:
+            if key not in golden:
+                out.append(f"{path}: unexpected key '{key}'")
+    elif isinstance(golden, list) and isinstance(actual, list):
+        if len(golden) != len(actual):
+            out.append(f"{path}: length {len(golden)} != {len(actual)}")
+        for i, (g, a) in enumerate(zip(golden, actual)):
+            diff(g, a, rtol, f"{path}[{i}]", out)
+    elif isinstance(golden, bool) or isinstance(actual, bool):
+        # bool is an int subclass; compare exactly and before the
+        # numeric branch so True never matches 1.0.
+        if golden is not actual:
+            out.append(f"{path}: {golden!r} != {actual!r}")
+    elif isinstance(golden, (int, float)) and isinstance(actual, (int, float)):
+        if not math.isclose(golden, actual, rel_tol=rtol, abs_tol=rtol):
+            out.append(f"{path}: {golden} != {actual} (rtol {rtol})")
+    elif golden != actual:
+        out.append(f"{path}: {golden!r} != {actual!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("golden", help="committed golden report")
+    ap.add_argument("actual", help="freshly generated report")
+    ap.add_argument(
+        "--rtol",
+        type=float,
+        default=1e-6,
+        help="relative (and absolute) tolerance for numeric leaves",
+    )
+    args = ap.parse_args()
+
+    with open(args.golden) as f:
+        golden = json.load(f)
+    with open(args.actual) as f:
+        actual = json.load(f)
+
+    out = []
+    diff(golden, actual, args.rtol, "$", out)
+    if out:
+        print(f"golden_diff: {args.actual} drifted from {args.golden}:")
+        for line in out:
+            print(f"  {line}")
+        sys.exit(1)
+    print(f"golden_diff: {args.actual} matches {args.golden} (rtol {args.rtol})")
+
+
+if __name__ == "__main__":
+    main()

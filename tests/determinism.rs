@@ -11,7 +11,7 @@
 use mtf_core::env::{SyncConsumer, SyncProducer};
 use mtf_core::{FifoParams, MixedClockFifo};
 use mtf_gates::{Builder, CellDelays};
-use mtf_sim::{ClockGen, MetaModel, Simulator, Time};
+use mtf_sim::{ClockGen, MetaModel, RaceHazard, RaceHazardKind, Simulator, Time};
 
 /// Everything observable about one run, for whole-value comparison.
 #[derive(Debug, PartialEq, Eq)]
@@ -26,12 +26,21 @@ struct Fingerprint {
 /// model (so the RNG actually gets consulted), summarised as a comparable
 /// fingerprint.
 fn fingerprint(seed: u64) -> Fingerprint {
+    fingerprint_opts(seed, false).0
+}
+
+/// As [`fingerprint`], optionally with the delta-race sanitizer enabled;
+/// also returns the hazards the sanitizer recorded.
+fn fingerprint_opts(seed: u64, sanitize: bool) -> (Fingerprint, Vec<RaceHazard>) {
     let harsh = MetaModel {
         window: Time::from_ps(400),
         tau: Time::from_ps(2_500),
         max_settle: Time::from_ps(25_000),
     };
     let mut sim = Simulator::new(seed);
+    if sanitize {
+        sim.enable_race_sanitizer();
+    }
     let clk_put = sim.net("clk_put");
     let clk_get = sim.net("clk_get");
     ClockGen::spawn_simple(&mut sim, clk_put, Time::from_ps(9_973));
@@ -74,12 +83,13 @@ fn fingerprint(seed: u64) -> Fingerprint {
         })
         .collect();
     let violations: Vec<String> = sim.violations().iter().map(|v| v.to_string()).collect();
-    Fingerprint {
+    let fp = Fingerprint {
         delivered: cj.values(),
         toggles,
         violations,
         events: sim.stats().events_processed,
-    }
+    };
+    (fp, sim.race_hazards())
 }
 
 #[test]
@@ -101,6 +111,30 @@ fn identical_seeds_reproduce_bit_for_bit() {
     assert_eq!(
         a.events, b.events,
         "event counts differ between identical runs"
+    );
+}
+
+#[test]
+fn sanitized_run_is_passive_and_race_free() {
+    // The delta-race sanitizer must be purely observational: a sanitized
+    // run fingerprints identically to a plain run, and the gate-level
+    // mixed-clock transfer — where every cell has a nonzero propagation
+    // delay — must show no stale same-instant reads. (Write/write records
+    // are tolerated: a tri-state handoff on the shared get-data bus may
+    // legitimately land two contribution changes in one instant.)
+    let plain = fingerprint(11);
+    let (sanitized, hazards) = fingerprint_opts(11, true);
+    assert_eq!(
+        plain, sanitized,
+        "enabling the sanitizer changed observable behaviour"
+    );
+    let stale: Vec<&RaceHazard> = hazards
+        .iter()
+        .filter(|h| h.kind == RaceHazardKind::ReadThenWrite)
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale same-instant reads in the mixed-clock transfer: {stale:#?}"
     );
 }
 
