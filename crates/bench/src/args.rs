@@ -9,7 +9,7 @@ use crate::sweep;
 
 /// Flags that consume the following argument as their value. Positional
 /// arguments are whatever remains after removing flags and these values.
-const VALUE_FLAGS: &[&str] = &["--jobs", "--latency-steps", "--runs", "--cell"];
+const VALUE_FLAGS: &[&str] = &["--jobs", "--latency-steps", "--runs", "--cell", "--shards"];
 
 /// The parsed command line of an experiment binary.
 #[derive(Clone, Debug)]
@@ -70,6 +70,15 @@ impl Args {
         sweep::parse_jobs(&self.raw)
     }
 
+    /// `--shards N` (default 1 = the plain single-simulator path): how
+    /// many worker shards chain simulations may split across. Registry
+    /// designs are gate-level-inseparable (see
+    /// `mtf_core::partition_design`), so `table1`/`robustness` report
+    /// the partition verdict instead of pretending to parallelise.
+    pub fn shards(&self) -> usize {
+        self.usize_of("--shards", 1).max(1)
+    }
+
     /// The `i`-th positional argument (flags and their values skipped).
     pub fn positional(&self, i: usize) -> Option<&str> {
         let mut skip_next = false;
@@ -98,13 +107,17 @@ mod tests {
 
     #[test]
     fn flags_values_and_positionals() {
-        let a = Args::from(&["8", "--jobs", "3", "--json", "16", "--quick"]);
+        let a = Args::from(&[
+            "8", "--jobs", "3", "--json", "--shards", "4", "16", "--quick",
+        ]);
         assert!(a.json());
         assert!(a.flag("--quick"));
         assert!(!a.flag("--stats"));
         assert_eq!(a.value_of("--jobs"), Some("3"));
         assert_eq!(a.usize_of("--jobs", 1), 3);
         assert_eq!(a.usize_of("--latency-steps", 10), 10);
+        assert_eq!(a.shards(), 4);
+        assert_eq!(Args::from(&[]).shards(), 1);
         assert_eq!(a.positional(0), Some("8"));
         assert_eq!(a.positional(1), Some("16"));
         assert_eq!(a.positional(2), None);

@@ -35,7 +35,7 @@ use mtf_bench::json::Json;
 use mtf_bench::report::{DesignEntry, ExperimentReport};
 use mtf_core::design::{ASYNC_SYNC_RS, MIXED_CLOCK_RS, SYNC_RS};
 use mtf_core::MixedTimingDesign;
-use mtf_lis::{verify_chain, ChainSpec, ChainVerification};
+use mtf_lis::{run_chain_sharded, verify_chain, ChainDrive, ChainSpec, ChainVerification};
 
 /// The swept boundary FIFO capacities.
 const CAPACITIES: &[usize] = &[4, 8, 16];
@@ -123,9 +123,16 @@ fn main() {
     let args = Args::parse();
     let json = args.json();
     let items = args.usize_of("--items", 60);
+    let shards = args.shards();
 
     if !json {
         println!("E9 — heterogeneous LIS chains vs. per-boundary predictions (paper Sec. 5)");
+        if shards > 1 {
+            println!(
+                "     (--shards {shards}: each point also re-run domain-sharded and \
+                 fingerprint-checked against the single-shard run)"
+            );
+        }
         println!();
     }
 
@@ -172,6 +179,51 @@ fn main() {
             // Scenario is part of the identity: the same design appears at
             // several points, so prefix the registry name.
             e.design = format!("{name}/{}", e.design);
+
+            // `--shards N`: re-run the point domain-sharded and require the
+            // merged fingerprint to be byte-identical to one shard.
+            if shards > 1 {
+                let drive = ChainDrive::clean(1, items, spec.width);
+                let (one, many) = match (
+                    run_chain_sharded(&spec, &drive, 1),
+                    run_chain_sharded(&spec, &drive, shards),
+                ) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (Err(e), _) | (_, Err(e)) => {
+                        eprintln!("chains: {name} capacity {capacity} sharded run failed: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                if one.fingerprint != many.fingerprint {
+                    eprintln!(
+                        "chains: {name} capacity {capacity}: {} shard(s) diverged from 1 \
+                         (digest {:#x} vs {:#x})",
+                        many.shards,
+                        many.fingerprint.digest(),
+                        one.fingerprint.digest()
+                    );
+                    std::process::exit(1);
+                }
+                let nulls: u64 = many.shard_stats.iter().map(|s| s.null_messages).sum();
+                let xevents: u64 = many.shard_stats.iter().map(|s| s.events_sent).sum();
+                let rounds: u64 = many.shard_stats.iter().map(|s| s.rounds).max().unwrap_or(0);
+                e = e
+                    .with("shards", many.shards as f64)
+                    .with("xshard_events", xevents as f64)
+                    .with("null_messages", nulls as f64)
+                    .with("lockstep_rounds", rounds as f64);
+                if !json {
+                    println!(
+                        "            sharded x{}: fingerprint ok ({:#x}), {} cross-shard \
+                         events, {} null messages, {} rounds",
+                        many.shards,
+                        many.fingerprint.digest(),
+                        xevents,
+                        nulls,
+                        rounds
+                    );
+                }
+            }
             report.entries.push(e);
         }
     }
@@ -179,6 +231,9 @@ fn main() {
     if json {
         report.note("items_per_run", Json::Num(items as f64));
         report.note("verified_points", Json::Num(verified as f64));
+        if shards > 1 {
+            report.note("requested_shards", Json::Num(shards as f64));
+        }
         report.note(
             "scenarios",
             Json::Arr(

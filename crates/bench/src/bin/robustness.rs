@@ -71,11 +71,24 @@ fn main() {
     let args = Args::parse();
     let json = args.json();
     let runs = args.usize_of("--runs", 30) as u64;
+    let shards = args.shards();
     let runner = SweepRunner::new(args.jobs());
 
     if !json {
         println!("E8 — synchronizer robustness (paper Secs. 1, 3.2: \"arbitrarily robust\")");
         println!();
+    }
+
+    // `--shards N`: the swept design is a single gate-level FIFO — report
+    // the partition verdict instead of pretending to split it.
+    let verdicts = (shards > 1).then(|| {
+        mtf_bench::shards::shard_verdicts(
+            &[&MIXED_CLOCK as &dyn mtf_core::MixedTimingDesign],
+            FifoParams::new(8, 8),
+        )
+    });
+    if let (Some(v), false) = (&verdicts, json) {
+        mtf_bench::shards::print_verdicts(shards, v);
     }
 
     // ---- analytical MTBF ---------------------------------------------------
@@ -173,6 +186,10 @@ fn main() {
         }
         r.note("harsh_window_ps", Json::Num(400.0));
         r.note("harsh_tau_ps", Json::Num(2_500.0));
+        if let Some(v) = &verdicts {
+            r.note("requested_shards", Json::Num(shards as f64));
+            r.note("sharding", mtf_bench::shards::verdicts_json(v));
+        }
         r.emit();
     }
 }

@@ -37,9 +37,18 @@ fn main() {
     let stats = args.flag("--stats");
     let json = args.json();
     let steps = args.usize_of("--latency-steps", if quick { 4 } else { 10 });
+    let shards = args.shards();
     let runner = SweepRunner::new(args.jobs());
     let registry = DesignRegistry::table1();
     let designs: Vec<&'static dyn MixedTimingDesign> = registry.iter().collect();
+
+    // `--shards N`: single FIFO designs are gate-level inseparable —
+    // report the partition pass's verdict instead of pretending to split.
+    let verdicts =
+        (shards > 1).then(|| mtf_bench::shards::shard_verdicts(&designs, FifoParams::new(4, 8)));
+    if let (Some(v), false) = (&verdicts, json) {
+        mtf_bench::shards::print_verdicts(shards, v);
+    }
 
     // `--json --cell NAME[:CAPxWIDTH]`: one cell only, for the schema
     // smoke test (fast enough for CI).
@@ -238,6 +247,13 @@ fn main() {
             "shape_checks_failed",
             mtf_bench::json::Json::Num(fail as f64),
         );
+        if let Some(v) = &verdicts {
+            r.note(
+                "requested_shards",
+                mtf_bench::json::Json::Num(shards as f64),
+            );
+            r.note("sharding", mtf_bench::shards::verdicts_json(v));
+        }
         r.emit();
     }
 

@@ -36,4 +36,5 @@ pub mod json;
 pub mod measure;
 pub mod paper;
 pub mod report;
+pub mod shards;
 pub mod sweep;

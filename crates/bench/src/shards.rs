@@ -1,0 +1,111 @@
+//! `--shards` support shared by the experiment binaries.
+//!
+//! The flag means two different things depending on what a binary
+//! simulates:
+//!
+//! * **Single FIFO designs** (`table1`, `robustness`) are gate-level
+//!   inseparable — the whole point of a mixed-timing FIFO is a dense
+//!   weave of synchronized cross-domain control, so
+//!   [`mtf_core::partition_design`] always reports one effective shard.
+//!   These binaries *say so* (text and JSON) instead of silently
+//!   pretending to parallelise.
+//! * **Chains** (`chains`, the `sharded` scaling bench) genuinely cut at
+//!   their latency-insensitive stream boundaries via
+//!   [`mtf_lis::run_chain_sharded`].
+
+use mtf_core::design::MixedTimingDesign;
+use mtf_core::{partition_design, FifoParams};
+
+use crate::json::Json;
+
+/// The partition pass's answer for one registry design.
+#[derive(Clone, Debug)]
+pub struct ShardVerdict {
+    /// Registry name.
+    pub design: String,
+    /// Inferred clock domains in the elaborated netlist.
+    pub domains: usize,
+    /// Cross-domain nets coupling them.
+    pub cross_nets: usize,
+    /// Shards the netlist honestly supports.
+    pub effective_shards: usize,
+}
+
+/// Runs the shared domain-partition pass over `designs` at `params`.
+/// Designs that reject `params` are skipped.
+pub fn shard_verdicts(
+    designs: &[&'static dyn MixedTimingDesign],
+    params: FifoParams,
+) -> Vec<ShardVerdict> {
+    designs
+        .iter()
+        .filter_map(|d| {
+            let report = partition_design(*d, params).ok()?;
+            Some(ShardVerdict {
+                design: d.kind().name().to_string(),
+                domains: report.domains.len(),
+                cross_nets: report.cross_nets.len(),
+                effective_shards: report.effective_shards,
+            })
+        })
+        .collect()
+}
+
+/// The verdicts as a JSON array, for an [`ExperimentReport`] note.
+///
+/// [`ExperimentReport`]: crate::report::ExperimentReport
+pub fn verdicts_json(verdicts: &[ShardVerdict]) -> Json {
+    Json::Arr(
+        verdicts
+            .iter()
+            .map(|v| {
+                Json::obj([
+                    ("design", Json::str(v.design.clone())),
+                    ("domains", Json::Num(v.domains as f64)),
+                    ("cross_domain_nets", Json::Num(v.cross_nets as f64)),
+                    ("effective_shards", Json::Num(v.effective_shards as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Prints the verdicts for a human, explaining why `requested` shards
+/// collapse to one for gate-level FIFO designs.
+pub fn print_verdicts(requested: usize, verdicts: &[ShardVerdict]) {
+    println!("--shards {requested}: gate-level clock-domain partition verdicts:");
+    for v in verdicts {
+        println!(
+            "  {:<16} {} domain(s), {} cross-domain net(s) -> {} effective shard(s)",
+            v.design, v.domains, v.cross_nets, v.effective_shards
+        );
+    }
+    println!(
+        "  (FIFO designs are inseparable at gate level; chains shard at their\n   \
+         latency-insensitive stream boundaries instead — see `chains --shards N`\n   \
+         and the `sharded` scaling bench.)"
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtf_core::design::DesignRegistry;
+
+    #[test]
+    fn table1_designs_all_report_one_effective_shard() {
+        let designs: Vec<_> = DesignRegistry::table1().iter().collect();
+        let verdicts = shard_verdicts(&designs, FifoParams::new(4, 8));
+        assert!(!verdicts.is_empty());
+        for v in &verdicts {
+            assert_eq!(
+                v.effective_shards, 1,
+                "{}: a mixed-timing FIFO should be inseparable",
+                v.design
+            );
+        }
+        // And the JSON note renders without panicking.
+        let _ = verdicts_json(&verdicts).render();
+    }
+}

@@ -1,0 +1,98 @@
+//! Clock-domain partitioning of registry designs.
+//!
+//! A thin front-end over the shared [`mtf_gates::domains`] pass (the same
+//! inference `mtf-lint`'s CDC pass runs): elaborate a registry design
+//! exactly the way the lint and bench harnesses do — same builder, no
+//! clock generators, no environments, nothing simulated — and ask the
+//! pass how many independent shards the resulting gate-level netlist
+//! honestly supports.
+//!
+//! For the paper's FIFO designs the answer is always **one**: the entire
+//! point of a mixed-timing FIFO is a dense weave of synchronized
+//! cross-domain control, so its domains are inseparable at gate level.
+//! The `--shards` flag on the experiment binaries uses this report to
+//! *say so* instead of silently pretending to parallelise; chains of
+//! designs shard at their latency-insensitive stream boundaries instead
+//! (see `mtf-lis`).
+
+use mtf_gates::{Builder, DomainIndex, PartitionReport};
+use mtf_sim::Simulator;
+
+use crate::design::{ClockInputs, MixedTimingDesign};
+use crate::FifoParams;
+
+/// Elaborates `design` at `params` (no clocks running, nothing
+/// simulated) and partitions the netlist by inferred clock domain.
+/// `Err` if the design does not support `params`.
+pub fn partition_design(
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+) -> Result<PartitionReport, String> {
+    design.supports(params)?;
+    let mut sim = Simulator::new(0);
+    let clocking = design.clocking();
+    let clk_put = clocking.needs_put().then(|| sim.net("clk_put"));
+    let clk_get = clocking.needs_get().then(|| sim.net("clk_get"));
+    let clocks = ClockInputs { clk_put, clk_get };
+    let mut b = Builder::new(&mut sim);
+    let ports = design.build(&mut b, params, clocks);
+    let netlist = b.finish();
+
+    let mut index = DomainIndex::new(&netlist, &sim);
+    for clk in [clk_put, clk_get].into_iter().flatten() {
+        index.declare_input(clk);
+    }
+    for net in [
+        ports.req_put,
+        ports.put_req,
+        ports.valid_in,
+        ports.req_get,
+        ports.stop_in,
+        ports.get_req,
+    ]
+    .into_iter()
+    .flatten()
+    {
+        index.declare_input(net);
+    }
+    for &net in &ports.data_put {
+        index.declare_input(net);
+    }
+    Ok(index.graph().partition())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignRegistry;
+
+    #[test]
+    fn mixed_clock_fifo_is_one_effective_shard() {
+        // Two clock domains, tightly coupled through the synchronized
+        // full/empty control plane: the partitioner must refuse to split.
+        let design = DesignRegistry::get("mixed_clock").expect("registry design");
+        let report = partition_design(design, FifoParams::new(4, 8)).expect("partition");
+        assert!(report.domains.len() >= 2, "expected put+get domains");
+        assert!(
+            !report.cross_nets.is_empty(),
+            "mixed-clock FIFO with no cross-domain nets — inference broke"
+        );
+        assert_eq!(report.effective_shards, 1);
+    }
+
+    #[test]
+    fn every_registry_design_partitions_without_panicking() {
+        for design in DesignRegistry::standard().iter() {
+            let name = design.kind().name();
+            let params = FifoParams::new(4, 8);
+            if design.supports(params).is_err() {
+                continue;
+            }
+            let report = partition_design(design, params).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                report.effective_shards >= 1,
+                "{name}: nonsensical shard count"
+            );
+        }
+    }
+}

@@ -73,6 +73,7 @@ mod async_sync;
 pub mod baseline;
 pub mod design;
 mod detectors;
+pub mod domains;
 pub mod env;
 mod mixed_clock;
 mod params;
@@ -90,9 +91,10 @@ pub use design::{
 pub use detectors::{
     build_bimodal_empty, build_full_detector, build_ne_detector, build_oe_detector,
 };
+pub use domains::partition_design;
 pub use mixed_clock::MixedClockFifo;
 pub use params::FifoParams;
 pub use relay::{AsyncSyncRelayStation, MixedClockRelayStation};
 pub use sync_async::SyncAsyncFifo;
-pub use sync_relay::{RelayPort, SyncRelayStation};
+pub use sync_relay::{RelayPort, SyncRelayStation, RS_CQ};
 pub use waivers::{waivers_for, LintWaiver};

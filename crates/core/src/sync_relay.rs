@@ -12,7 +12,13 @@ use std::collections::VecDeque;
 use mtf_sim::{Component, Ctx, DriverId, Logic, LogicVec, NetId, Simulator, Time};
 
 /// How soon after a clock edge a relay station's registered outputs settle.
-pub(crate) const RS_CQ: Time = Time::from_ps(400);
+///
+/// Public because the sharded chain runner (`mtf-lis`) uses it as the
+/// launch delay when bounding when a behavioural station's stream outputs
+/// can next change: every [`SyncRelayStation`] output drive is scheduled
+/// exactly `RS_CQ` after a rising clock edge (plus the power-on drive at
+/// t = 0).
+pub const RS_CQ: Time = Time::from_ps(400);
 
 /// Carloni's synchronous relay station (paper Fig. 11b): a clocked
 /// 2-place packet buffer.

@@ -63,6 +63,7 @@
 mod builder;
 mod celement;
 mod comb;
+pub mod domains;
 mod kind;
 mod netlist;
 mod seq;
@@ -73,6 +74,7 @@ mod word;
 pub use builder::Builder;
 pub use celement::{AsymCElement, CElement};
 pub use comb::{CombGate, GateFunc};
+pub use domains::{CrossDomainNet, Domain, DomainGraph, DomainIndex, PartitionReport};
 pub use kind::CellKind;
 pub use netlist::{CellDelays, DelayTable, Instance, InstanceId, Netlist};
 pub use seq::{DLatch, Dff, SrLatch};

@@ -29,36 +29,6 @@ use crate::model::{Domain, LintModel};
 /// Minimum synchronizer chain depth for a crossing destination.
 pub const MIN_SYNC_DEPTH: usize = 2;
 
-/// The sequential sources reachable backwards from `net` through
-/// combinational cells only. State-holding cells, macros and clocked
-/// cells terminate the walk (they launch; their own inputs belong to
-/// *their* crossing analysis).
-fn sequential_sources(model: &LintModel<'_>, net: usize, out: &mut Vec<(InstanceId, Domain)>) {
-    let mut stack = vec![net];
-    let mut seen_nets = HashSet::new();
-    let mut seen_sources = HashSet::new();
-    while let Some(n) = stack.pop() {
-        if !seen_nets.insert(n) {
-            continue;
-        }
-        for &d in &model.drivers[n] {
-            match model.launch_domain(d) {
-                Some(domain) => {
-                    if seen_sources.insert(d) {
-                        out.push((d, domain));
-                    }
-                }
-                None => {
-                    // Combinational: keep walking its inputs.
-                    for &i in &model.inst(d).data_in {
-                        stack.push(i.index());
-                    }
-                }
-            }
-        }
-    }
-}
-
 /// The synchronizer chain depth headed by `first`: how many single-bit
 /// same-domain flops are chained output-to-data-pin starting at `first`,
 /// each link's output loading *only* the next flop (a tap off the middle
@@ -117,9 +87,12 @@ pub fn run(model: &LintModel<'_>) -> (Vec<Finding>, usize) {
         let Some(dest) = model.launch_domain(id) else {
             continue;
         };
+        // The backward cone walk is the shared pass's: the same traversal
+        // the sharded-simulation partitioner runs, so lint's idea of "what
+        // launches into this flop" can never drift from the simulator's.
         let mut sources = Vec::new();
         for &pin in &inst.data_in {
-            sequential_sources(model, pin.index(), &mut sources);
+            model.graph().sequential_sources(pin.index(), &mut sources);
         }
         let mut crossing_domains: Vec<Domain> = Vec::new();
         let mut example: Vec<String> = Vec::new();

@@ -7,21 +7,14 @@
 
 use std::collections::HashSet;
 
-use mtf_gates::{CellKind, Instance, InstanceId, Netlist};
+use mtf_gates::{DomainGraph, Instance, InstanceId, Netlist};
 use mtf_sim::{NetId, Simulator};
 
-/// The clock domain of a sequential element.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum Domain {
-    /// Rooted at a clock net (by raw net index): every element whose
-    /// clock pin traces back through buffers/inverters to this net.
-    Clock(usize),
-    /// No clock: level-sensitive latches, C-elements, SR latches and
-    /// behavioural macro controllers. Their outputs move whenever their
-    /// environment does, so for CDC purposes they are a domain of their
-    /// own that every synchronous consumer must synchronize against.
-    Async,
-}
+// Clock-domain inference lives in the shared `mtf_gates::domains` pass
+// (the sharded simulation planner uses the same one, so lint and sim
+// cannot drift apart); re-exported here so lint's public API is
+// unchanged.
+pub use mtf_gates::Domain;
 
 /// An indexed view of one elaborated design, shared by the lint passes.
 #[derive(Debug)]
@@ -97,48 +90,30 @@ impl<'n> LintModel<'n> {
         self.netlist.instance(id)
     }
 
-    /// Follows a clock pin backwards through single-input buffer and
-    /// inverter instances to the root net of its clock tree. Externally
-    /// driven nets (ports, behavioural clock generators) terminate the
-    /// walk, as does anything that is not a plain Buf/Inv.
-    pub fn clock_root(&self, net: NetId) -> usize {
-        let mut cur = net.index();
-        let mut hops = 0;
-        loop {
-            // A behavioural driver (clock generator / port) roots here even
-            // if an instance also drives the net (never the case today).
-            if self.sim_drivers[cur] > self.drivers[cur].len() || self.inputs.contains(&cur) {
-                return cur;
-            }
-            match self.drivers[cur].as_slice() {
-                [one] => {
-                    let i = self.inst(*one);
-                    let through =
-                        matches!(i.kind, CellKind::Buf | CellKind::Inv) && i.data_in.len() == 1;
-                    if !through || hops > 64 {
-                        return cur;
-                    }
-                    cur = i.data_in[0].index();
-                    hops += 1;
-                }
-                _ => return cur,
-            }
+    /// The shared domain-inference view over this model's indexes. All
+    /// domain queries ([`LintModel::clock_root`],
+    /// [`LintModel::launch_domain`], the CDC pass's cone walk) go through
+    /// this graph — the same code the sharded simulation planner uses.
+    pub fn graph(&self) -> DomainGraph<'_> {
+        DomainGraph {
+            netlist: self.netlist,
+            drivers: &self.drivers,
+            sim_drivers: &self.sim_drivers,
+            inputs: &self.inputs,
         }
     }
 
-    /// The clock domain an instance *launches* from: its clock root for
-    /// edge-triggered cells, [`Domain::Async`] for every other sequential
-    /// cell and for behavioural macros. `None` for combinational cells.
+    /// Follows a clock pin backwards through single-input buffer and
+    /// inverter instances to the root net of its clock tree. Delegates to
+    /// the shared [`DomainGraph::clock_root`].
+    pub fn clock_root(&self, net: NetId) -> usize {
+        self.graph().clock_root(net)
+    }
+
+    /// The clock domain an instance *launches* from. Delegates to the
+    /// shared [`DomainGraph::launch_domain`].
     pub fn launch_domain(&self, id: InstanceId) -> Option<Domain> {
-        let i = self.inst(id);
-        if i.kind.is_edge_triggered() {
-            let clk = i.clock?;
-            Some(Domain::Clock(self.clock_root(clk)))
-        } else if i.kind.is_state_holding() || i.kind == CellKind::Macro {
-            Some(Domain::Async)
-        } else {
-            None
-        }
+        self.graph().launch_domain(id)
     }
 
     /// Renders a domain for reports.

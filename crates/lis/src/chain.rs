@@ -356,13 +356,13 @@ impl Component for BoundaryProbe {
 
 /// A handle onto one boundary's probe counters, kept by [`BuiltChain`].
 #[derive(Clone, Debug)]
-struct ProbeHandle {
+pub(crate) struct ProbeHandle {
     design: String,
     counters: Rc<RefCell<Counters>>,
 }
 
 impl ProbeHandle {
-    fn report(&self) -> BoundaryReport {
+    pub(crate) fn report(&self) -> BoundaryReport {
         let c = *self.counters.borrow();
         BoundaryReport {
             design: self.design.clone(),
@@ -376,7 +376,7 @@ impl ProbeHandle {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn spawn_stream_probe(
+pub(crate) fn spawn_stream_probe(
     sim: &mut Simulator,
     design: &str,
     clk_put: NetId,
@@ -413,7 +413,7 @@ fn spawn_stream_probe(
     }
 }
 
-fn spawn_async_probe(
+pub(crate) fn spawn_async_probe(
     sim: &mut Simulator,
     design: &str,
     put_ack: NetId,
@@ -670,11 +670,48 @@ pub struct ChainRun {
     pub report: ChainReport,
 }
 
+/// The simulation horizon [`run_chain`] (and the sharded runner) sizes
+/// from a spec and drive: every packet gets several slow-domain cycles,
+/// plus the full stall schedule twice over, plus pipeline fill and a
+/// fixed floor.
+pub fn chain_horizon(spec: &ChainSpec, drive: &ChainDrive) -> Time {
+    let slowest_ps = spec.slowest_period().as_ps();
+    let stall_cycles: u64 = drive.stalls.iter().map(|&(a, b)| b.saturating_sub(a)).sum();
+    let fill: u64 = spec.segments.iter().map(|s| s.stations as u64).sum::<u64>()
+        + 16 * spec.boundary_count() as u64;
+    let cycles = drive.items.len() as u64 * 6 + stall_cycles * 2 + fill * 8 + 256;
+    Time::from_ps(slowest_ps * cycles)
+}
+
 /// Elaborates `spec`, drives it with the golden-queue source/sink per
 /// `drive`, runs to a horizon sized from the spec, and reports.
 pub fn run_chain(spec: &ChainSpec, drive: &ChainDrive) -> Result<ChainRun, String> {
+    run_chain_impl(spec, drive, false).map(|(run, _)| run)
+}
+
+/// [`run_chain`] with the kernel's delta-race sanitizer enabled: also
+/// returns every same-instant read-then-write / write-write hazard the
+/// run exercised. The sanitizer is passive — the [`ChainRun`] is
+/// identical to [`run_chain`]'s. The chain property suites keep this as
+/// a standing check that no chain topology hides an evaluation-order
+/// race.
+pub fn run_chain_sanitized(
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+) -> Result<(ChainRun, Vec<mtf_sim::RaceHazard>), String> {
+    run_chain_impl(spec, drive, true)
+}
+
+fn run_chain_impl(
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+    sanitize: bool,
+) -> Result<(ChainRun, Vec<mtf_sim::RaceHazard>), String> {
     spec.validate()?;
     let mut sim = Simulator::new(drive.seed);
+    if sanitize {
+        sim.enable_race_sanitizer();
+    }
     let built = ChainBuilder::build(&mut sim, spec)?;
 
     let src_journal: OpJournal = match &built.async_in {
@@ -711,14 +748,7 @@ pub fn run_chain(spec: &ChainSpec, drive: &ChainDrive) -> Result<ChainRun, Strin
         drive.stalls.clone(),
     );
 
-    // Horizon: every packet gets several slow-domain cycles, plus the full
-    // stall schedule twice over, plus pipeline fill and a fixed floor.
-    let slowest_ps = spec.slowest_period().as_ps();
-    let stall_cycles: u64 = drive.stalls.iter().map(|&(a, b)| b.saturating_sub(a)).sum();
-    let fill: u64 = spec.segments.iter().map(|s| s.stations as u64).sum::<u64>()
-        + 16 * spec.boundary_count() as u64;
-    let cycles = drive.items.len() as u64 * 6 + stall_cycles * 2 + fill * 8 + 256;
-    let horizon = Time::from_ps(slowest_ps * cycles);
+    let horizon = chain_horizon(spec, drive);
     sim.run_until(horizon).map_err(|e| format!("{e:?}"))?;
 
     let sent = src_journal.values();
@@ -744,11 +774,15 @@ pub fn run_chain(spec: &ChainSpec, drive: &ChainDrive) -> Result<ChainRun, Strin
         throughput_hz,
         boundaries: built.boundary_reports(),
     };
-    Ok(ChainRun {
-        sent,
-        delivered,
-        report,
-    })
+    let hazards = sim.race_hazards();
+    Ok((
+        ChainRun {
+            sent,
+            delivered,
+            report,
+        },
+        hazards,
+    ))
 }
 
 /// The analytically predicted end-to-end latency band for an uncontended

@@ -44,16 +44,19 @@
 #![warn(missing_debug_implementations)]
 
 use mtf_core::{ClockInputs, DesignPorts, FifoParams, InterfaceSpec, MixedTimingDesign};
-use mtf_gates::Builder;
-use mtf_sim::{Component, Ctx, DriverId, NetId, Simulator, Time};
+use mtf_gates::{Builder, CellDelays, Netlist};
+use mtf_sim::{Component, Ctx, DriverId, MetaModel, NetId, Simulator, Time};
 
 pub mod chain;
+pub mod shard;
 
 pub use chain::{
-    predict_latency, predict_throughput, run_chain, verification_stalls, verify_chain, AsyncPort,
-    BoundaryReport, BuiltChain, ChainBuilder, ChainDrive, ChainReport, ChainRun, ChainSpec,
-    ChainVerification, DomainSpec, LatencyEnvelope, SegmentSpec, ThroughputPrediction,
+    chain_horizon, predict_latency, predict_throughput, run_chain, run_chain_sanitized,
+    verification_stalls, verify_chain, AsyncPort, BoundaryReport, BuiltChain, ChainBuilder,
+    ChainDrive, ChainReport, ChainRun, ChainSpec, ChainVerification, DomainSpec, LatencyEnvelope,
+    SegmentSpec, ThroughputPrediction,
 };
+pub use shard::{plan_chain_shards, run_chain_sharded, ChainFingerprint, ShardedChainRun};
 // The behavioural station itself now lives in `mtf-core` (so the design
 // registry can name it); these re-exports keep the original paths alive.
 pub use mtf_core::{RelayPort, SyncRelayStation};
@@ -196,6 +199,46 @@ pub fn splice_stream_design(
     upstream: &RelayPort,
     downstream: &RelayPort,
 ) -> Result<DesignPorts, String> {
+    let (ports, _netlist) = build_stream_design(
+        sim,
+        design,
+        params,
+        clk_put,
+        clk_get,
+        CellDelays::hp06(),
+        MetaModel::hp06(),
+    )?;
+    // Upstream chain output → design put interface.
+    connect(sim, upstream.out_valid, ports.valid_in.expect("stream put"));
+    connect_bus(sim, &upstream.out_data, &ports.data_put);
+    connect(sim, ports.stop_out.expect("stream put"), upstream.stop_in);
+    // Design get interface → downstream chain input.
+    connect(
+        sim,
+        ports.valid_get.expect("stream get"),
+        downstream.in_valid,
+    );
+    connect_bus(sim, &ports.data_get, &downstream.in_data);
+    connect(sim, downstream.stop_out, ports.stop_in.expect("stream get"));
+    Ok(ports)
+}
+
+/// Elaborates a stream-protocol registry design between two clock nets
+/// with an explicit delay calibration and metastability model, **without**
+/// wiring it to anything — the caller owns the connects. Returns the
+/// design's ports together with its gate-level [`Netlist`] (the sharded
+/// runner reads launch delays of boundary-crossing output registers from
+/// it). [`splice_stream_design`] is this plus the six standard 1 ps
+/// repeater connects, at the default `hp06` calibration.
+pub fn build_stream_design(
+    sim: &mut Simulator,
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+    clk_put: NetId,
+    clk_get: NetId,
+    delays: CellDelays,
+    meta: MetaModel,
+) -> Result<(DesignPorts, Netlist), String> {
     let name = design.kind().name();
     match design.put_interface(params) {
         InterfaceSpec::SyncStream { .. } => {}
@@ -216,7 +259,7 @@ pub fn splice_stream_design(
         }
     }
     design.supports(params)?;
-    let mut b = Builder::new(sim);
+    let mut b = Builder::with_delays(sim, delays, meta);
     let ports = design.build(
         &mut b,
         params,
@@ -225,20 +268,8 @@ pub fn splice_stream_design(
             clk_get: Some(clk_get),
         },
     );
-    drop(b.finish());
-    // Upstream chain output → design put interface.
-    connect(sim, upstream.out_valid, ports.valid_in.expect("stream put"));
-    connect_bus(sim, &upstream.out_data, &ports.data_put);
-    connect(sim, ports.stop_out.expect("stream put"), upstream.stop_in);
-    // Design get interface → downstream chain input.
-    connect(
-        sim,
-        ports.valid_get.expect("stream get"),
-        downstream.in_valid,
-    );
-    connect_bus(sim, &ports.data_get, &downstream.in_data);
-    connect(sim, downstream.stop_out, ports.stop_in.expect("stream get"));
-    Ok(ports)
+    let netlist = b.finish();
+    Ok((ports, netlist))
 }
 
 /// Shorts net `from` onto net `to` with a negligible (1 ps) repeater —

@@ -1,0 +1,687 @@
+//! Domain-sharded parallel chain simulation.
+//!
+//! [`run_chain`](crate::run_chain) elaborates a whole [`ChainSpec`] into
+//! one simulator. This module cuts the same chain at its relay-station
+//! boundaries into contiguous **shards**, runs each shard on its own
+//! worker thread with its own timing wheel (via
+//! [`mtf_sim::run_sharded`]), and exchanges only the boundary stream
+//! nets (`valid`/`data` forward, `stop` back) over bounded channels with
+//! conservative null-message lookahead.
+//!
+//! ## Where the cuts go
+//!
+//! A chain is `segment₀ | design₀ | segment₁ | design₁ | …` — every
+//! boundary design couples two relay segments through registered stream
+//! signals only:
+//!
+//! * forward, the upstream segment's tail-station `out_valid`/`out_data`
+//!   (driven `RS_CQ` after a rising edge of the upstream clock),
+//! * backward, the design's `stop_out` (a flop output clocked by the
+//!   upstream-domain clock — gate-level designs register it through the
+//!   synchronizer chain, the behavioural `sync_rs` drives it `RS_CQ`
+//!   after its clock edge).
+//!
+//! Because both directions are *registered* and every cut signal passes
+//! through a 1 ps repeater before anything samples it, the cut is a
+//! legal conservative boundary: a shard granted "no more events with
+//! `t < G`" can safely simulate to `G` (see `mtf_sim::shard` for the
+//! frontier-instant argument). The lookahead each shard extends is the
+//! time to the *next clock-edge launch landing* on the cut — never less
+//! than the remaining fraction of the upstream clock period plus the
+//! register's clock-to-Q delay. The protocol's tolerance budget is much
+//! larger (the paper's relay stations absorb `sync_stages` cycles of
+//! stale `stop` information by construction), but the exact next-landing
+//! bound is what makes the merge *byte-identical*, not merely correct.
+//!
+//! ## Determinism
+//!
+//! The sharded run must reproduce the single-shard run exactly, for any
+//! shard count. Three mechanisms make that hold:
+//!
+//! * **Lockstep rounds** — each shard consumes exactly one message per
+//!   in-link per round, so the sequence of targets, the batches of
+//!   boundary events, and their `(time, link, pin)` application order
+//!   are pure functions of the shard graph — wall-clock arrival order
+//!   never matters.
+//! * **Replicated clocks** — a shard that needs a remote domain's clock
+//!   instantiates its own [`ClockGen`] copy (deterministic schedule,
+//!   identical edges) instead of importing edges as events.
+//! * **RNG-free elaboration** — gate-level boundary designs are built
+//!   with [`MetaModel::ideal`] at *every* shard count (including one),
+//!   so no shard ever consults its seeded RNG and per-shard RNG state
+//!   cannot diverge from the single-simulator state.
+//!
+//! The merged observable state is captured as a [`ChainFingerprint`]:
+//! per-net toggle counts (cut-mirror nets and replicated clocks
+//! excluded; each real net counted exactly once across shards), timing
+//! violations, the source/sink journals with timestamps, and the
+//! per-boundary probe reports. `tests/sharded_determinism.rs` gates that
+//! fingerprints at `--shards {2,4,8}` equal `--shards 1` byte for byte.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use mtf_async::{micropipeline, FourPhaseProducer, OpJournal};
+use mtf_core::design::DesignRegistry;
+use mtf_core::env::{PacketSink, PacketSource};
+use mtf_core::{AsyncSyncRelayStation, FifoParams, MixedTimingDesign, RS_CQ};
+use mtf_gates::CellDelays;
+use mtf_sim::{
+    run_sharded, ClockGen, ClockSchedule, ExportSpec, ImportSpec, LinkDef, LinkLaunch, MetaModel,
+    NetId, ShardIo, ShardPlan, ShardSpec, ShardStats, Simulator, Time,
+};
+
+use crate::chain::{
+    chain_horizon, spawn_async_probe, spawn_stream_probe, BoundaryReport, ChainDrive, ChainReport,
+    ChainRun, ChainSpec, DomainSpec, ProbeHandle,
+};
+use mtf_gates::Builder;
+
+use crate::{build_stream_design, connect, connect_bus, RelayChain};
+
+/// Everything observable about a chain run, in canonical order, for
+/// byte-for-byte comparison across shard counts.
+///
+/// Cut-mirror nets and replicated remote-domain clocks (all named with
+/// an `xlink.` prefix) are excluded; every real net's toggle count
+/// appears exactly once. Kernel event counts are deliberately *not*
+/// part of the fingerprint — splitting one wheel into `N` changes how
+/// many queue entries exist without changing a single signal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainFingerprint {
+    /// `(net name, toggle count)` for every non-`xlink.` net, sorted.
+    pub toggles: Vec<(String, u64)>,
+    /// Rendered timing violations, sorted.
+    pub violations: Vec<String>,
+    /// Source journal: `(value, time in ps)` per accepted item.
+    pub sent: Vec<(u64, u64)>,
+    /// Sink journal: `(value, time in ps)` per delivered item.
+    pub delivered: Vec<(u64, u64)>,
+    /// Per-boundary probe reports, in flow order.
+    pub boundaries: Vec<BoundaryReport>,
+}
+
+impl ChainFingerprint {
+    /// FNV-1a digest of the canonical rendering — a compact equality
+    /// witness for JSON reports.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for (name, t) in &self.toggles {
+            eat(name.as_bytes());
+            eat(&t.to_le_bytes());
+        }
+        for v in &self.violations {
+            eat(v.as_bytes());
+        }
+        for &(v, t) in self.sent.iter().chain(&self.delivered) {
+            eat(&v.to_le_bytes());
+            eat(&t.to_le_bytes());
+        }
+        for b in &self.boundaries {
+            eat(b.design.as_bytes());
+            for c in [
+                b.put_accepts,
+                b.put_stall_cycles,
+                b.get_delivers,
+                b.get_stall_cycles,
+                b.max_occupancy,
+            ] {
+                eat(&c.to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+/// The outcome of [`run_chain_sharded`].
+#[derive(Clone, Debug)]
+pub struct ShardedChainRun {
+    /// The merged run, identical in shape to [`run_chain`](crate::run_chain)'s.
+    pub run: ChainRun,
+    /// The canonical observable state (compare across shard counts).
+    pub fingerprint: ChainFingerprint,
+    /// Per-shard engine statistics, in shard order.
+    pub shard_stats: Vec<ShardStats>,
+    /// How many shards actually ran (`min(requested, segments)`).
+    pub shards: usize,
+}
+
+/// Partitions a chain's segments into `requested` contiguous groups,
+/// cutting only at boundary designs. Returns one segment range per
+/// shard; the effective shard count is `min(requested.max(1), segments)`.
+pub fn plan_chain_shards(spec: &ChainSpec, requested: usize) -> Vec<Range<usize>> {
+    let s = spec.segments.len();
+    let e = requested.max(1).min(s.max(1));
+    (0..e)
+        .map(|g| (g * s / e)..((g + 1) * s / e))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// What one shard reports back from its worker thread.
+struct Outcome {
+    toggles: Vec<(String, u64)>,
+    violations: Vec<String>,
+    /// `(value, time in ps)` pairs, present on the shard owning the source.
+    sent: Option<Vec<(u64, u64)>>,
+    /// Same, for the shard owning the sink.
+    delivered: Option<Vec<(u64, u64)>>,
+    /// `(flow-order key, report)` — async head is key 0, boundary `i` is `i + 1`.
+    boundaries: Vec<(usize, BoundaryReport)>,
+}
+
+fn schedule_of(dom: DomainSpec) -> ClockSchedule {
+    ClockSchedule {
+        phase: dom.phase,
+        period: dom.period,
+    }
+}
+
+/// Creates (or returns) this shard's net for `dom`'s clock. The shard
+/// containing the domain's first *global* segment owns the canonical
+/// `chain.clk{i}` net; every other shard runs an `xlink.clk{i}` replica
+/// with the identical schedule, excluded from the fingerprint.
+fn clock_for(
+    sim: &mut Simulator,
+    clks: &mut HashMap<DomainSpec, NetId>,
+    first_seg: &HashMap<DomainSpec, usize>,
+    range: &Range<usize>,
+    dom: DomainSpec,
+) -> NetId {
+    if let Some(&n) = clks.get(&dom) {
+        return n;
+    }
+    let f = first_seg[&dom];
+    let name = if range.contains(&f) {
+        format!("chain.clk{f}")
+    } else {
+        format!("xlink.clk{f}")
+    };
+    let n = sim.net(name);
+    ClockGen::builder(dom.period).phase(dom.phase).spawn(sim, n);
+    clks.insert(dom, n);
+    n
+}
+
+/// Elaborates shard `g` (segments `range`) of `spec` into `sim` and
+/// describes its cut I/O. Mirrors `ChainBuilder::build`'s naming and
+/// ordering exactly, except that gate-level boundary designs use
+/// [`MetaModel::ideal`] (see module docs) and cut boundaries exchange
+/// their stream nets through the shard engine instead of local wires.
+#[allow(clippy::too_many_arguments)]
+fn build_shard(
+    sim: &mut Simulator,
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+    g: usize,
+    range: Range<usize>,
+    is_last: bool,
+) -> ShardPlan<Outcome> {
+    let params: FifoParams = spec.params();
+    let delays = CellDelays::hp06();
+    let meta = MetaModel::ideal();
+
+    let mut first_seg: HashMap<DomainSpec, usize> = HashMap::new();
+    for (i, seg) in spec.segments.iter().enumerate() {
+        first_seg.entry(seg.domain).or_insert(i);
+    }
+    let mut clks: HashMap<DomainSpec, NetId> = HashMap::new();
+
+    // Clocks first, then segments — same order as ChainBuilder::build.
+    let seg_clks: Vec<NetId> = range
+        .clone()
+        .map(|i| clock_for(sim, &mut clks, &first_seg, &range, spec.segments[i].domain))
+        .collect();
+    let chains: Vec<RelayChain> = range
+        .clone()
+        .map(|i| {
+            let seg = &spec.segments[i];
+            RelayChain::spawn(
+                sim,
+                &format!("chain.seg{i}"),
+                seg_clks[i - range.start],
+                spec.width,
+                seg.stations,
+                seg.wire_delay,
+            )
+        })
+        .collect();
+
+    let mut probes: Vec<(usize, ProbeHandle)> = Vec::new();
+    let mut io = ShardIo::default();
+
+    // Optional async head, only ever in shard 0.
+    let mut async_in = None;
+    if g == 0 {
+        if let Some(stages) = spec.async_head {
+            let mut b = Builder::with_delays(sim, delays, meta);
+            let ars = micropipeline(&mut b, stages, spec.width);
+            let asrs = AsyncSyncRelayStation::build(&mut b, params, seg_clks[0]);
+            drop(b.finish());
+            connect(sim, ars.req_out, asrs.put_req);
+            connect_bus(sim, &ars.data_out, &asrs.put_data);
+            connect(sim, asrs.put_ack, ars.ack_out);
+            connect(sim, asrs.valid_get, chains[0].port.in_valid);
+            connect_bus(sim, &asrs.data_get, &chains[0].port.in_data);
+            connect(sim, chains[0].port.stop_out, asrs.stop_in);
+            probes.push((
+                0,
+                spawn_async_probe(
+                    sim,
+                    "async_sync_rs",
+                    asrs.put_ack,
+                    seg_clks[0],
+                    asrs.valid_get,
+                    asrs.stop_in,
+                ),
+            ));
+            async_in = Some((ars.req_in, ars.ack_in, ars.data_in.clone()));
+        }
+    }
+
+    // Incoming cut boundary: design `range.start - 1` lives here, fed by
+    // mirror nets that replay the upstream tail station's outputs.
+    if range.start > 0 {
+        let bd = range.start - 1;
+        let up_dom = spec.segments[bd].domain;
+        let clk_put = clock_for(sim, &mut clks, &first_seg, &range, up_dom);
+        let clk_get = seg_clks[0];
+        let name = &spec.boundaries[bd];
+        let design: &'static dyn MixedTimingDesign = DesignRegistry::get(name).expect("validated");
+        let (ports, netlist) =
+            build_stream_design(sim, design, params, clk_put, clk_get, delays, meta)
+                .expect("validated");
+
+        let mv = sim.net(format!("xlink.b{bd}.valid"));
+        let md = sim.bus(&format!("xlink.b{bd}.data"), spec.width);
+        let mv_drv = sim.driver(mv);
+        let md_drvs: Vec<_> = md.iter().map(|&n| sim.driver(n)).collect();
+        connect(sim, mv, ports.valid_in.expect("stream put"));
+        connect_bus(sim, &md, &ports.data_put);
+        connect(
+            sim,
+            ports.valid_get.expect("stream get"),
+            chains[0].port.in_valid,
+        );
+        connect_bus(sim, &ports.data_get, &chains[0].port.in_data);
+        connect(
+            sim,
+            chains[0].port.stop_out,
+            ports.stop_in.expect("stream get"),
+        );
+        probes.push((
+            bd + 1,
+            spawn_stream_probe(
+                sim,
+                name,
+                clk_put,
+                ports.valid_in.expect("stream put"),
+                ports.stop_out.expect("stream put"),
+                clk_get,
+                ports.valid_get.expect("stream get"),
+                ports.stop_in.expect("stream get"),
+            ),
+        ));
+
+        // Backward cut: the design's stop_out, registered on the upstream
+        // clock. Gate-level designs put a synchronizer flop there — read
+        // its exact clock-to-Q from the netlist; the behavioural sync_rs
+        // has no netlist driver and launches RS_CQ after its edge.
+        let stop = ports.stop_out.expect("stream put");
+        let stop_delay = netlist
+            .drivers_of(stop)
+            .next()
+            .map(|(id, _)| netlist.delay_of(id))
+            .unwrap_or(RS_CQ);
+        io.exports.push(ExportSpec {
+            link: 2 * (g - 1) + 1,
+            nets: vec![stop],
+            launches: vec![LinkLaunch {
+                schedule: schedule_of(up_dom),
+                delay: stop_delay,
+            }],
+        });
+        let mut pins = vec![(mv_drv, mv)];
+        pins.extend(md_drvs.iter().copied().zip(md.iter().copied()));
+        io.imports.push(ImportSpec {
+            link: 2 * (g - 1),
+            pins,
+        });
+    }
+
+    // Boundaries wholly inside this shard: the ordinary splice, with the
+    // ideal metastability model.
+    for bd in range.start..range.end.saturating_sub(1) {
+        let li = bd - range.start;
+        let name = &spec.boundaries[bd];
+        let design: &'static dyn MixedTimingDesign = DesignRegistry::get(name).expect("validated");
+        let (ports, _netlist) = build_stream_design(
+            sim,
+            design,
+            params,
+            seg_clks[li],
+            seg_clks[li + 1],
+            delays,
+            meta,
+        )
+        .expect("validated");
+        connect(
+            sim,
+            chains[li].port.out_valid,
+            ports.valid_in.expect("stream put"),
+        );
+        connect_bus(sim, &chains[li].port.out_data, &ports.data_put);
+        connect(
+            sim,
+            ports.stop_out.expect("stream put"),
+            chains[li].port.stop_in,
+        );
+        connect(
+            sim,
+            ports.valid_get.expect("stream get"),
+            chains[li + 1].port.in_valid,
+        );
+        connect_bus(sim, &ports.data_get, &chains[li + 1].port.in_data);
+        connect(
+            sim,
+            chains[li + 1].port.stop_out,
+            ports.stop_in.expect("stream get"),
+        );
+        probes.push((
+            bd + 1,
+            spawn_stream_probe(
+                sim,
+                name,
+                seg_clks[li],
+                ports.valid_in.expect("stream put"),
+                ports.stop_out.expect("stream put"),
+                seg_clks[li + 1],
+                ports.valid_get.expect("stream get"),
+                ports.stop_in.expect("stream get"),
+            ),
+        ));
+    }
+
+    // Outgoing cut: export the tail station's stream outputs, import the
+    // next shard's stop through a mirror net.
+    if !is_last {
+        let bd = range.end - 1;
+        let tail = chains.last().expect("non-empty").port.clone();
+        let ms = sim.net(format!("xlink.b{bd}.stop"));
+        let ms_drv = sim.driver(ms);
+        connect(sim, ms, tail.stop_in);
+        let mut nets = vec![tail.out_valid];
+        nets.extend(tail.out_data.iter().copied());
+        let dom = spec.segments[range.end - 1].domain;
+        io.exports.push(ExportSpec {
+            link: 2 * g,
+            nets,
+            launches: vec![LinkLaunch {
+                schedule: schedule_of(dom),
+                delay: RS_CQ,
+            }],
+        });
+        io.imports.push(ImportSpec {
+            link: 2 * g + 1,
+            pins: vec![(ms_drv, ms)],
+        });
+    }
+
+    // Source on the first shard, sink on the last — same spawns as
+    // run_chain.
+    let src_journal: Option<OpJournal> = if g == 0 {
+        Some(match &async_in {
+            Some((req, ack, data)) => FourPhaseProducer::spawn(
+                sim,
+                "chain.src",
+                *req,
+                *ack,
+                data,
+                drive.items.clone(),
+                Time::from_ps(400),
+                Time::ZERO,
+            )
+            .journal()
+            .clone(),
+            None => PacketSource::spawn(
+                sim,
+                "chain.src",
+                seg_clks[0],
+                chains[0].port.in_valid,
+                &chains[0].port.in_data,
+                chains[0].port.stop_out,
+                drive.items.iter().map(|&v| Some(v)).collect(),
+            ),
+        })
+    } else {
+        None
+    };
+    let sink_journal: Option<OpJournal> = if is_last {
+        let tail = &chains.last().expect("non-empty").port;
+        Some(PacketSink::spawn(
+            sim,
+            "chain.sink",
+            *seg_clks.last().expect("non-empty"),
+            &tail.out_data,
+            tail.out_valid,
+            tail.stop_in,
+            drive.stalls.clone(),
+        ))
+    } else {
+        None
+    };
+
+    ShardPlan {
+        io,
+        finish: Box::new(move |sim| {
+            let journal_pairs = |j: &OpJournal| -> Vec<(u64, u64)> {
+                j.values()
+                    .into_iter()
+                    .zip(j.times())
+                    .map(|(v, t)| (v, t.as_ps()))
+                    .collect()
+            };
+            let mut toggles = Vec::with_capacity(sim.net_count());
+            for i in 0..sim.net_count() {
+                let net = NetId::from_index(i);
+                let name = sim.net_name(net);
+                if name.starts_with("xlink.") {
+                    continue;
+                }
+                toggles.push((name.to_string(), sim.toggles(net)));
+            }
+            Outcome {
+                toggles,
+                violations: sim.violations().iter().map(|v| v.to_string()).collect(),
+                sent: src_journal.as_ref().map(&journal_pairs),
+                delivered: sink_journal.as_ref().map(&journal_pairs),
+                boundaries: probes.iter().map(|(k, p)| (*k, p.report())).collect(),
+            }
+        }),
+    }
+}
+
+/// Runs `spec` under `drive` split across up to `shards` worker threads,
+/// one per contiguous segment group, and merges the results. The merged
+/// [`ChainFingerprint`] is byte-identical for every shard count
+/// (`run_chain_sharded(spec, drive, 1)` is the reference; the engine
+/// runs a single unlinked shard on the plain `run_until` path in that
+/// case, so kernel statistics also match a dedicated simulator).
+///
+/// Note this entry point is *not* [`run_chain`](crate::run_chain):
+/// boundary designs are elaborated with [`MetaModel::ideal`] so that no
+/// random metastability resolution occurs (see module docs) — the
+/// single-threaded baseline to compare against is this function at
+/// `shards == 1`.
+pub fn run_chain_sharded(
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+    shards: usize,
+) -> Result<ShardedChainRun, String> {
+    spec.validate()?;
+    let groups = plan_chain_shards(spec, shards);
+    let e = groups.len();
+
+    let mut links = Vec::new();
+    for g in 1..e {
+        // Forward link 2(g-1): upstream tail valid/data. Backward link
+        // 2(g-1)+1: the boundary design's stop_out.
+        links.push(LinkDef { from: g - 1, to: g });
+        links.push(LinkDef { from: g, to: g - 1 });
+    }
+
+    let horizon = chain_horizon(spec, drive);
+    let mut shard_specs = Vec::with_capacity(e);
+    for (g, range) in groups.iter().enumerate() {
+        let spec = spec.clone();
+        let drive = drive.clone();
+        let range = range.clone();
+        let is_last = g == e - 1;
+        shard_specs.push(ShardSpec {
+            seed: drive.seed,
+            setup: Box::new(move |sim| build_shard(sim, &spec, &drive, g, range, is_last)),
+        });
+    }
+
+    let results = run_sharded(shard_specs, &links, horizon).map_err(|err| format!("{err:?}"))?;
+
+    let mut toggles = Vec::new();
+    let mut violations = Vec::new();
+    let mut sent_pairs = Vec::new();
+    let mut delivered_pairs = Vec::new();
+    let mut keyed_boundaries = Vec::new();
+    let mut shard_stats = Vec::with_capacity(e);
+    for (outcome, stats) in results {
+        toggles.extend(outcome.toggles);
+        violations.extend(outcome.violations);
+        if let Some(s) = outcome.sent {
+            sent_pairs = s;
+        }
+        if let Some(d) = outcome.delivered {
+            delivered_pairs = d;
+        }
+        keyed_boundaries.extend(outcome.boundaries);
+        shard_stats.push(stats);
+    }
+    toggles.sort();
+    violations.sort();
+    keyed_boundaries.sort_by_key(|&(k, _)| k);
+    let boundaries: Vec<BoundaryReport> = keyed_boundaries.into_iter().map(|(_, b)| b).collect();
+
+    let sent: Vec<u64> = sent_pairs.iter().map(|&(v, _)| v).collect();
+    let delivered: Vec<u64> = delivered_pairs.iter().map(|&(v, _)| v).collect();
+    let pairs = sent.len().min(delivered.len());
+    let mut min_latency = Time::ZERO;
+    let mut max_latency = Time::ZERO;
+    for i in 0..pairs {
+        let dt = Time::from_ps(delivered_pairs[i].1) - Time::from_ps(sent_pairs[i].1);
+        if i == 0 || dt < min_latency {
+            min_latency = dt;
+        }
+        if dt > max_latency {
+            max_latency = dt;
+        }
+    }
+    // Rebuild the sink journal so throughput uses the same estimator as
+    // run_chain.
+    let sink_journal = OpJournal::new();
+    for &(v, t) in &delivered_pairs {
+        sink_journal.push(Time::from_ps(t), v);
+    }
+    let throughput_hz = sink_journal.ops_per_second(delivered.len() / 4);
+
+    let report = ChainReport {
+        sent: sent.len() as u64,
+        delivered: delivered.len() as u64,
+        min_latency,
+        max_latency,
+        throughput_hz,
+        boundaries: boundaries.clone(),
+    };
+    Ok(ShardedChainRun {
+        run: ChainRun {
+            sent,
+            delivered,
+            report,
+        },
+        fingerprint: ChainFingerprint {
+            toggles,
+            violations,
+            sent: sent_pairs,
+            delivered: delivered_pairs,
+            boundaries,
+        },
+        shard_stats,
+        shards: e,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::verification_stalls;
+
+    fn two_domain_spec() -> ChainSpec {
+        ChainSpec::new(8, 4)
+            .segment(9973, 0, 2)
+            .boundary("mixed_clock_rs")
+            .segment(10_007, 450, 2)
+    }
+
+    #[test]
+    fn plan_covers_all_segments_contiguously() {
+        let mut spec = ChainSpec::new(8, 4);
+        for i in 0..5u64 {
+            if i > 0 {
+                spec = spec.boundary("mixed_clock_rs");
+            }
+            spec = spec.segment(10_000 + 13 * i, 0, 1);
+        }
+        for req in [0, 1, 2, 3, 5, 9] {
+            let groups = plan_chain_shards(&spec, req);
+            assert_eq!(groups.first().map(|r| r.start), Some(0));
+            assert_eq!(groups.last().map(|r| r.end), Some(5));
+            for w in groups.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap or overlap in {groups:?}");
+            }
+            assert!(groups.len() <= req.max(1));
+        }
+    }
+
+    #[test]
+    fn two_shards_reproduce_single_shard_fingerprint() {
+        let spec = two_domain_spec();
+        let drive = ChainDrive::clean(11, 12, 8);
+        let one = run_chain_sharded(&spec, &drive, 1).expect("1 shard");
+        let two = run_chain_sharded(&spec, &drive, 2).expect("2 shards");
+        assert_eq!(two.shards, 2);
+        assert_eq!(one.run.delivered, drive.items, "chain must be lossless");
+        assert_eq!(one.fingerprint, two.fingerprint);
+        assert_eq!(one.fingerprint.digest(), two.fingerprint.digest());
+        let s = &two.shard_stats;
+        assert!(
+            s.iter().all(|st| st.rounds > 1),
+            "cut shards must round-trip"
+        );
+        assert!(
+            s.iter().any(|st| st.null_messages > 0),
+            "lookahead must flow"
+        );
+    }
+
+    #[test]
+    fn stalled_sink_keeps_fingerprints_identical() {
+        let spec = two_domain_spec();
+        let drive = ChainDrive::with_stalls(7, 10, 8, verification_stalls());
+        let one = run_chain_sharded(&spec, &drive, 1).expect("1 shard");
+        let two = run_chain_sharded(&spec, &drive, 2).expect("2 shards");
+        assert_eq!(one.fingerprint, two.fingerprint);
+        assert_eq!(one.run.delivered, drive.items);
+    }
+}

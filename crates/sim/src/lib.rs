@@ -68,6 +68,7 @@ mod probe;
 #[cfg(test)]
 mod queue_props;
 pub mod race;
+pub mod shard;
 mod sim;
 mod time;
 pub mod vcd;
@@ -80,6 +81,10 @@ pub use metastable::{mtbf_seconds, MetaModel};
 pub use net::{DriverId, NetId};
 pub use probe::{Edge, Probe, Waveform};
 pub use race::{RaceHazard, RaceHazardKind};
+pub use shard::{
+    run_sharded, ClockSchedule, ExportSpec, ImportSpec, LinkDef, LinkLaunch, ShardIo, ShardPlan,
+    ShardSpec, ShardStats,
+};
 pub use sim::{SimStats, Simulator, Violation, ViolationKind};
 pub use time::Time;
 

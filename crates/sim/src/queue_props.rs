@@ -10,8 +10,13 @@
 use proptest::prelude::*;
 use std::collections::BinaryHeap;
 
-use crate::component::ComponentId;
+use crate::clock::ClockGen;
+use crate::component::{Component, ComponentId, Ctx};
 use crate::event::{Event, EventKind, EventQueue};
+use crate::logic::Logic;
+use crate::net::{DriverId, NetId};
+use crate::race::RaceHazardKind;
+use crate::sim::Simulator;
 use crate::time::Time;
 
 #[derive(Debug, Clone, Copy)]
@@ -114,5 +119,72 @@ proptest! {
             prop_assert_eq!(e.time, Time::from_ps(at));
             prop_assert_eq!(e.seq, want_seq);
         }
+    }
+
+    /// The delta-race sanitizer is *passive*: enabling it must not change
+    /// one event of the run. Random inverter chains behind a random clock
+    /// produce identical toggle counts, final values, and kernel stats
+    /// with the sanitizer on and off — and, because every stage watches
+    /// its input and each net has one driver, zero hazards of any kind.
+    #[test]
+    fn race_sanitizer_is_passive(
+        period_ps in 500u64..4_000,
+        delays in prop::collection::vec(1u64..300, 1..8),
+    ) {
+        let run = |sanitize: bool| {
+            let mut sim = Simulator::new(42);
+            if sanitize {
+                sim.enable_race_sanitizer();
+            }
+            let mut nets = vec![sim.net("clk")];
+            ClockGen::spawn_simple(&mut sim, nets[0], Time::from_ps(period_ps));
+            for (i, &d) in delays.iter().enumerate() {
+                let next = sim.net(format!("stage{i}"));
+                let drv = sim.driver(next);
+                let input = nets[i];
+                sim.add_component(
+                    Box::new(Inverter { input, drv, delay: Time::from_ps(d) }),
+                    &[input],
+                );
+                nets.push(next);
+            }
+            sim.run_until(Time::from_ns(50)).expect("chain runs");
+            let toggles: Vec<u64> = nets.iter().map(|&n| sim.toggles(n)).collect();
+            let finals: Vec<Logic> = nets.iter().map(|&n| sim.value(n)).collect();
+            (toggles, finals, sim.stats().events_processed, sim.race_hazards())
+        };
+        let (t0, f0, e0, h0) = run(false);
+        let (t1, f1, e1, h1) = run(true);
+        prop_assert_eq!(t0, t1, "sanitizer changed toggle counts");
+        prop_assert_eq!(f0, f1, "sanitizer changed final values");
+        prop_assert_eq!(e0, e1, "sanitizer changed the event schedule");
+        prop_assert!(h0.is_empty(), "sanitizer off must record nothing");
+        prop_assert!(
+            !h1.iter().any(|h| h.kind == RaceHazardKind::ReadThenWrite),
+            "watching single-driver chain flagged read-then-write: {:?}",
+            h1
+        );
+    }
+}
+
+/// Forwards the inverted input after a fixed delay; watches its input, so
+/// a correct kernel never hands it stale data.
+struct Inverter {
+    input: NetId,
+    drv: DriverId,
+    delay: Time,
+}
+
+impl Component for Inverter {
+    fn name(&self) -> &str {
+        "prop_inverter"
+    }
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let v = match ctx.get(self.input) {
+            Logic::H => Logic::L,
+            Logic::L => Logic::H,
+            other => other,
+        };
+        ctx.drive(self.drv, v, self.delay);
     }
 }

@@ -74,16 +74,31 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Kernel counters, taken with [`Simulator::stats`]. Cheap to copy; all
-/// values are cumulative since construction.
+/// Kernel counters, taken with [`Simulator::stats`]. Cheap to copy.
+///
+/// All values are cumulative since the simulator was constructed, and
+/// they depend only on the *sequence* of pushes and pops — splitting one
+/// `run_until(h)` into `run_until(t); run_until(h)` leaves every counter
+/// unchanged. The sharded execution mode
+/// ([`run_sharded`](crate::shard::run_sharded)) relies on exactly this:
+/// its lockstep rounds slice a shard's run into many `run_until` windows,
+/// and a shard with no cross-shard links reports counters identical to
+/// the plain single-call path (pinned by `tests/sharded_determinism.rs`).
+/// Per-shard totals plus the protocol's own counters (events exchanged,
+/// null messages, blocked time) live in
+/// [`ShardStats`](crate::shard::ShardStats).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
-    /// Events popped and dispatched by [`Simulator::run_until`].
+    /// Events popped and dispatched by [`Simulator::run_until`] — both
+    /// net-drive events and component wakes, across all calls.
     pub events_processed: u64,
-    /// Highest number of events pending in the queue at once.
+    /// Highest number of events pending in the timing wheel (including
+    /// its sorted overflow map) at once. The same-instant delta ring is
+    /// *not* included — its high-water mark is `peak_delta_depth`.
     pub peak_queue_depth: usize,
-    /// Wake requests absorbed into an already-queued wake for the same
-    /// component at the same instant (each one is a queue entry saved).
+    /// Wake requests absorbed into an already-queued, not-yet-delivered
+    /// wake for the same component at the same instant (each one is a
+    /// queue entry saved, not a lost evaluation).
     pub coalesced_wakes: u64,
     /// Events that entered the same-instant delta ring (as opposed to a
     /// future wheel slot).
@@ -94,7 +109,8 @@ pub struct SimStats {
     /// Coarse-level timing-wheel slot refills (each re-places one slot's
     /// events into finer levels).
     pub wheel_cascades: u64,
-    /// Events that landed beyond the wheel span in the sorted overflow map.
+    /// Events that landed beyond the wheel span and were parked in the
+    /// sorted overflow map until the wheel rotated far enough.
     pub overflow_events: u64,
 }
 

@@ -6,8 +6,17 @@
 //! Failures persist their case seed to
 //! `tests/chain_properties.proptest-regressions`; CI replays the
 //! persisted seeds with `PROPTEST_CASES=1`.
+//!
+//! Every run goes through [`run_chain_sanitized`], so the kernel's
+//! delta-race sanitizer rides along as a standing check: a chain draw
+//! whose evaluation order reads a net in the same delta it is written
+//! (read-then-write) fails the property even if the values happen to
+//! come out right. Write-write hazards are tolerated — gate fan-in
+//! legitimately drives one net twice per delta with the same resolved
+//! value (same policy as `tests/determinism.rs`).
 
-use mtf_lis::{run_chain, ChainDrive, ChainSpec};
+use mtf_lis::{run_chain_sanitized, ChainDrive, ChainRun, ChainSpec};
+use mtf_sim::RaceHazardKind;
 use proptest::prelude::*;
 
 /// One boundary draw: clock ratio of the *next* segment in per-mille of
@@ -63,15 +72,13 @@ proptest! {
         let spec = assemble(base_period_ps, capacity, head_stations, &boundaries);
         prop_assert!(spec.validate().is_ok(), "draw must be valid: {:?}", spec.validate());
 
-        let clean = run_chain(&spec, &ChainDrive::clean(seed, 20, spec.width))
-            .map_err(chain_err)?;
+        let clean = sanitized(&spec, &ChainDrive::clean(seed, 20, spec.width))?;
         prop_assert_eq!(&clean.sent.len(), &20usize, "source wedged");
         prop_assert_eq!(&clean.delivered, &clean.sent, "clean run not lossless FIFO");
 
         // The same chain under adversarial sink back-pressure.
         let stalls = vec![(3, 11), (14, 15), (19, 40)];
-        let stalled = run_chain(&spec, &ChainDrive::with_stalls(seed ^ 0x5a5a, 20, spec.width, stalls))
-            .map_err(chain_err)?;
+        let stalled = sanitized(&spec, &ChainDrive::with_stalls(seed ^ 0x5a5a, 20, spec.width, stalls))?;
         prop_assert_eq!(&stalled.sent.len(), &20usize, "source wedged under stalls");
         prop_assert_eq!(&stalled.delivered, &stalled.sent, "stalled run not lossless FIFO");
     }
@@ -93,14 +100,31 @@ proptest! {
             .with_async_head(head_stages);
         prop_assert!(spec.validate().is_ok(), "draw must be valid: {:?}", spec.validate());
 
-        let run = run_chain(&spec, &ChainDrive::clean(seed, 15, spec.width))
-            .map_err(chain_err)?;
+        let run = sanitized(&spec, &ChainDrive::clean(seed, 15, spec.width))?;
         prop_assert_eq!(&run.sent.len(), &15usize, "producer wedged");
         prop_assert_eq!(&run.delivered, &run.sent, "async-headed run not lossless FIFO");
     }
 }
 
-/// Adapts a `run_chain` error into a failed proptest case.
-fn chain_err(e: String) -> proptest::test_runner::TestCaseError {
-    proptest::test_runner::TestCaseError::fail(format!("run_chain failed: {e}"))
+/// Runs the chain with the delta-race sanitizer on; fails the case on a
+/// build/run error or on any read-then-write hazard.
+fn sanitized(
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+) -> Result<ChainRun, proptest::test_runner::TestCaseError> {
+    let (run, hazards) = run_chain_sanitized(spec, drive).map_err(|e| {
+        proptest::test_runner::TestCaseError::fail(format!("run_chain failed: {e}"))
+    })?;
+    let rtw: Vec<_> = hazards
+        .iter()
+        .filter(|h| h.kind == RaceHazardKind::ReadThenWrite)
+        .collect();
+    if !rtw.is_empty() {
+        return Err(proptest::test_runner::TestCaseError::fail(format!(
+            "delta-race sanitizer flagged {} read-then-write hazard(s): {:?}",
+            rtw.len(),
+            &rtw[..rtw.len().min(4)]
+        )));
+    }
+    Ok(run)
 }
