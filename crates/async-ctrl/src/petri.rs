@@ -50,6 +50,73 @@ pub struct StgSpec {
 }
 
 impl StgSpec {
+    /// The initial marking as a place-indexed boolean vector — the form
+    /// the pure firing API ([`StgSpec::enabled_transitions`],
+    /// [`StgSpec::fire`]) operates on.
+    pub fn marking_vec(&self) -> Vec<bool> {
+        let mut m = vec![false; self.places];
+        for &p in &self.initial_marking {
+            m[p] = true;
+        }
+        m
+    }
+
+    /// Is transition `t` enabled at `marking` (all preset places marked)?
+    pub fn is_enabled(&self, marking: &[bool], t: usize) -> bool {
+        self.transitions[t].consume.iter().all(|&p| marking[p])
+    }
+
+    /// Indices of every transition enabled at `marking`, in specification
+    /// order. Pure: the model checker enumerates markings through this
+    /// query without instantiating (or cloning) an executor, and the
+    /// event-driven [`StgMachine`] answers its edge dispatch with the same
+    /// code. The order is deterministic — no randomization, no clock —
+    /// so search order (and therefore every counterexample) is
+    /// reproducible.
+    pub fn enabled_transitions<'a>(
+        &'a self,
+        marking: &'a [bool],
+    ) -> impl Iterator<Item = usize> + 'a {
+        (0..self.transitions.len()).filter(move |&t| self.is_enabled(marking, t))
+    }
+
+    /// Fires transition `t` at `marking` in place: consumes the preset,
+    /// produces into the postset.
+    ///
+    /// # Errors
+    ///
+    /// `Err` if `t` is not enabled or if producing would violate
+    /// 1-safety (a token into an already-marked place); `marking` is left
+    /// unchanged on error.
+    pub fn fire(&self, marking: &mut [bool], t: usize) -> Result<(), String> {
+        if !self.is_enabled(marking, t) {
+            return Err(format!("{}: transition {t} is not enabled", self.name));
+        }
+        let tr = &self.transitions[t];
+        for &p in &tr.produce {
+            if marking[p] && !tr.consume.contains(&p) {
+                return Err(format!("{}: net is not 1-safe at place {p}", self.name));
+            }
+        }
+        for &p in &tr.consume {
+            marking[p] = false;
+        }
+        for &p in &tr.produce {
+            marking[p] = true;
+        }
+        Ok(())
+    }
+
+    /// Human-readable label for transition `t`, e.g. `we+` / `re−`.
+    pub fn transition_label(&self, t: usize) -> String {
+        let tr = &self.transitions[t];
+        format!(
+            "{}{}",
+            self.signals[tr.signal].name,
+            if tr.rising { "+" } else { "−" }
+        )
+    }
+
     /// Checks index ranges and that the initial marking is 1-safe.
     ///
     /// # Errors
@@ -151,10 +218,7 @@ impl StgMachine {
                 out_drivers.push(Some(d));
             }
         }
-        let mut marking = vec![false; spec.places];
-        for &p in &spec.initial_marking {
-            marking[p] = true;
-        }
+        let marking = spec.marking_vec();
         let name = spec.name.clone();
         let prev = vec![Logic::Z; spec.signals.len()];
         let watch: Vec<NetId> = nets
@@ -178,23 +242,11 @@ impl StgMachine {
         all_nets
     }
 
-    fn enabled(&self, t: &StgTransition) -> bool {
-        t.consume.iter().all(|&p| self.marking[p])
-    }
-
     fn fire(&mut self, idx: usize, ctx: &mut Ctx<'_>) {
-        let t = self.spec.transitions[idx].clone();
-        for &p in &t.consume {
-            self.marking[p] = false;
-        }
-        for &p in &t.produce {
-            assert!(
-                !self.marking[p],
-                "{}: net is not 1-safe at place {p}",
-                self.name
-            );
-            self.marking[p] = true;
-        }
+        self.spec
+            .fire(&mut self.marking, idx)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let t = &self.spec.transitions[idx];
         if let Some(d) = self.out_drivers[t.signal] {
             ctx.drive(d, Logic::from_bool(t.rising), self.delay);
         }
@@ -203,10 +255,10 @@ impl StgMachine {
     /// Fires enabled *output* transitions until quiescent.
     fn run_outputs(&mut self, ctx: &mut Ctx<'_>) {
         loop {
-            let next = (0..self.spec.transitions.len()).find(|&i| {
-                let t = &self.spec.transitions[i];
-                !self.spec.signals[t.signal].is_input && self.enabled(t)
-            });
+            let next = self
+                .spec
+                .enabled_transitions(&self.marking)
+                .find(|&i| !self.spec.signals[self.spec.transitions[i].signal].is_input);
             match next {
                 Some(i) => self.fire(i, ctx),
                 None => break,
@@ -252,9 +304,9 @@ impl Component for StgMachine {
                 continue;
             }
             let rising = cur == Logic::H;
-            let candidate = (0..self.spec.transitions.len()).find(|&ti| {
+            let candidate = self.spec.enabled_transitions(&self.marking).find(|&ti| {
                 let t = &self.spec.transitions[ti];
-                t.signal == i && t.rising == rising && self.enabled(t)
+                t.signal == i && t.rising == rising
             });
             match candidate {
                 Some(ti) => {
@@ -542,6 +594,37 @@ mod tests {
     #[test]
     fn dv_as_validates() {
         assert!(dv_as_spec(0).validate().is_ok());
+    }
+
+    #[test]
+    fn pure_firing_api_walks_a_cycle() {
+        let spec = dv_as_spec(0);
+        let mut m = spec.marking_vec();
+        // Initially we+ (t0) and the spurious re+ absorber (t8) are enabled.
+        let enabled: Vec<usize> = spec.enabled_transitions(&m).collect();
+        assert_eq!(enabled, vec![0, 8]);
+        // we+, ei−, fi+, we−, re+, fi−, re−, ei+ returns to the start.
+        for t in [0, 1, 2, 3, 4, 5, 6, 7] {
+            spec.fire(&mut m, t).expect("trace fires");
+        }
+        assert_eq!(m, spec.marking_vec(), "full cycle returns home");
+        assert!(spec.fire(&mut m, 1).is_err(), "ei− not enabled at rest");
+        assert_eq!(spec.transition_label(0), "we+");
+        assert_eq!(spec.transition_label(1), "ei−");
+    }
+
+    #[test]
+    fn pure_fire_rejects_unsafe_production() {
+        let mut spec = dv_as_spec(0);
+        // we+ also re-produces into place 0; the later we− (produce [0])
+        // then lands a second token there.
+        spec.transitions[0].produce.push(0);
+        let mut m = spec.marking_vec();
+        spec.fire(&mut m, 0)
+            .expect("we+ itself is a legal self-loop");
+        let before = m.clone();
+        assert!(spec.fire(&mut m, 3).is_err(), "we− over-marks place 0");
+        assert_eq!(m, before, "marking untouched on error");
     }
 
     #[test]

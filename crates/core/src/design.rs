@@ -233,6 +233,64 @@ impl DesignKind {
                 | DesignKind::SyncRs
         )
     }
+
+    /// How the put interface learns it may proceed (its view of *full*).
+    pub fn put_discipline(self) -> FlagDiscipline {
+        match self {
+            DesignKind::MixedClock | DesignKind::MixedClockRs | DesignKind::SyncAsync => {
+                FlagDiscipline::Anticipating
+            }
+            DesignKind::AsyncSync
+            | DesignKind::AsyncSyncRs
+            | DesignKind::AsyncAsync
+            | DesignKind::Seizovic => FlagDiscipline::Direct,
+            DesignKind::GrayPointer | DesignKind::PerCellSync => FlagDiscipline::Exact,
+            DesignKind::ShiftRegister | DesignKind::SyncRs => FlagDiscipline::SameCycle,
+        }
+    }
+
+    /// How the get interface learns it may proceed (its view of *empty*).
+    pub fn get_discipline(self) -> FlagDiscipline {
+        match self {
+            DesignKind::MixedClock
+            | DesignKind::MixedClockRs
+            | DesignKind::AsyncSync
+            | DesignKind::AsyncSyncRs => FlagDiscipline::Bimodal,
+            DesignKind::SyncAsync | DesignKind::AsyncAsync => FlagDiscipline::Direct,
+            DesignKind::GrayPointer | DesignKind::PerCellSync | DesignKind::Seizovic => {
+                FlagDiscipline::Exact
+            }
+            DesignKind::ShiftRegister | DesignKind::SyncRs => FlagDiscipline::SameCycle,
+        }
+    }
+}
+
+/// How an interface's full/empty flag relates to the true cell occupancy —
+/// the per-design hook the `mtf-mc` model checker keys its abstract
+/// protocol models off. The paper's robustness argument (Secs. 3.2, 4.2)
+/// is exactly that the *combination* of discipline and synchronizer lag
+/// never permits overflow/underflow; each variant names one combination.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FlagDiscipline {
+    /// Anticipating detector (full asserted while `window − 1` free cells
+    /// remain, window = sync depth), observed through a synchronizer
+    /// chain — the paper's Fig. 6 full detector.
+    Anticipating,
+    /// The bi-modal `ne`/`oe` empty detector of paper Sec. 3.2: an
+    /// anticipating new-empty flag AND a true once-empty flag whose sync
+    /// chain is refreshed by `en_get` (the deadlock-avoidance OR).
+    Bimodal,
+    /// An exact flag computed from occupancy counts that cross domains
+    /// through a synchronized pointer/counter (Gray-code pointers,
+    /// per-cell synchronizers, Seizovic's counted handshakes): stale but
+    /// never optimistic.
+    Exact,
+    /// The asynchronous side of a half-async design observes the true
+    /// cell state directly (token ring `ei`/`fi` — no clock, no lag).
+    Direct,
+    /// Single-clock design: the flag is computed and consumed in the same
+    /// cycle, with no staleness at all.
+    SameCycle,
 }
 
 /// Every external net of a built design, under one naming scheme.

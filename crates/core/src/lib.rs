@@ -85,7 +85,7 @@ pub mod waivers;
 pub use async_async::AsyncAsyncFifo;
 pub use async_sync::AsyncSyncFifo;
 pub use design::{
-    ClockInputs, Clocking, DesignKind, DesignPorts, DesignRegistry, InterfaceSpec,
+    ClockInputs, Clocking, DesignKind, DesignPorts, DesignRegistry, FlagDiscipline, InterfaceSpec,
     MixedTimingDesign,
 };
 pub use detectors::{

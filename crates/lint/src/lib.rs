@@ -50,10 +50,12 @@ mod findings;
 pub mod glitch;
 pub mod loops;
 mod model;
+pub mod state;
 pub mod structural;
 
 pub use findings::{AnnotatedFinding, Finding, LintReport, PASSES};
 pub use model::{Domain, LintModel};
+pub use state::{state_elements, StateElements};
 
 use mtf_core::design::{ClockInputs, MixedTimingDesign};
 use mtf_core::waivers::waivers_for;
@@ -139,4 +141,26 @@ pub fn lint_design(
         sim.net_count(),
         domains,
     ))
+}
+
+/// Elaborates one registry design at `params` (exactly as [`lint_design`]
+/// would — nothing runs) and returns its sequential-cell census. The
+/// `formal` binary uses this to cross-check the model checker's abstract
+/// FIFO dimensions against the concrete netlist. `Err` if the design does
+/// not support `params`.
+pub fn extract_state_elements(
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+) -> Result<StateElements, String> {
+    design.supports(params)?;
+    let mut sim = Simulator::new(0);
+    let clocking = design.clocking();
+    let clk_put = clocking.needs_put().then(|| sim.net("clk_put"));
+    let clk_get = clocking.needs_get().then(|| sim.net("clk_get"));
+    let clocks = ClockInputs { clk_put, clk_get };
+    let mut b = Builder::new(&mut sim);
+    let _ports = design.build(&mut b, params, clocks);
+    let netlist = b.finish();
+    let model = LintModel::new(&netlist, &sim);
+    Ok(state_elements(&model))
 }

@@ -1,0 +1,335 @@
+//! Exhaustive checking of burst-mode machines.
+//!
+//! A burst-mode state is (specification state, current input/output
+//! levels, levels on state entry). The environment is the *safe* one the
+//! burst-mode contract assumes: it may issue any input edge that is part
+//! of an outgoing burst of the current state and has not arrived yet —
+//! in any order, which is exactly the freedom the paper's Minimalist
+//! controllers must tolerate. When a full input burst is in, the machine
+//! fires the output burst and advances atomically (the interpreter in
+//! `mtf_async::BmMachine` does the same).
+//!
+//! Checked: deadlock-freedom (some input edge is always expected),
+//! consistency (no output burst drives a signal to the level it already
+//! has), and convergence (the arrival order of a burst's edges cannot
+//! change the destination state or output levels).
+
+use mtf_async::BmSpec;
+
+use crate::space::{Counterexample, Property, StateSpace, TransitionSystem, Verdict};
+
+/// One explored burst-mode state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BmState {
+    /// Specification state index.
+    pub state: usize,
+    /// Current input levels, bit-packed.
+    pub inputs: u64,
+    /// Input levels on entry to `state`.
+    pub entry: u64,
+    /// Current output levels, bit-packed.
+    pub outputs: u64,
+}
+
+struct BmSystem<'a> {
+    spec: &'a BmSpec,
+}
+
+impl BmSystem<'_> {
+    /// Has transition `t` of state `s.state`'s full input burst arrived?
+    fn burst_done(&self, s: BmState, t: usize) -> bool {
+        self.spec.states[s.state][t].inputs.iter().all(|&(i, lvl)| {
+            let cur = s.inputs & (1 << i) != 0;
+            let entry = s.entry & (1 << i) != 0;
+            cur == lvl && entry != lvl
+        })
+    }
+
+    /// Fires completed bursts until quiescent (mirrors the interpreter's
+    /// loop). Returns the settled state; `Err` with the offending output
+    /// if an output burst is inconsistent.
+    fn settle(&self, mut s: BmState) -> Result<BmState, (BmState, usize)> {
+        loop {
+            let fired = (0..self.spec.states[s.state].len()).find(|&t| self.burst_done(s, t));
+            let Some(t) = fired else { return Ok(s) };
+            let tr = &self.spec.states[s.state][t];
+            for &(o, lvl) in &tr.outputs {
+                let cur = s.outputs & (1 << o) != 0;
+                if cur == lvl {
+                    return Err((s, o));
+                }
+                s.outputs = if lvl {
+                    s.outputs | (1 << o)
+                } else {
+                    s.outputs & !(1 << o)
+                };
+            }
+            s.state = tr.next;
+            s.entry = s.inputs;
+        }
+    }
+
+    /// The input edges the safe environment may issue at `s`: any burst
+    /// member not yet arrived (relative to entry).
+    fn env_edges(&self, s: BmState) -> Vec<(usize, bool)> {
+        let mut edges = Vec::new();
+        for t in &self.spec.states[s.state] {
+            for &(i, lvl) in &t.inputs {
+                let cur = s.inputs & (1 << i) != 0;
+                if cur != lvl && !edges.contains(&(i, lvl)) {
+                    edges.push((i, lvl));
+                }
+            }
+        }
+        edges
+    }
+}
+
+impl TransitionSystem for BmSystem<'_> {
+    type State = BmState;
+
+    fn initial(&self) -> BmState {
+        let outputs = self
+            .spec
+            .initial_outputs
+            .iter()
+            .enumerate()
+            .fold(0u64, |o, (i, &b)| if b { o | (1 << i) } else { o });
+        // Inputs power on at the level opposite the first edge expected of
+        // them is unknowable in general; the interpreter samples the real
+        // nets. Here every input starts low, matching the spawn rigs.
+        BmState {
+            state: self.spec.initial_state,
+            inputs: 0,
+            entry: 0,
+            outputs,
+        }
+    }
+
+    fn successors(&self, s: &BmState) -> Vec<(String, BmState)> {
+        self.env_edges(*s)
+            .into_iter()
+            .filter_map(|(i, lvl)| {
+                let mut n = *s;
+                n.inputs = if lvl {
+                    n.inputs | (1 << i)
+                } else {
+                    n.inputs & !(1 << i)
+                };
+                let label = format!(
+                    "{}{}",
+                    self.spec.input_names[i],
+                    if lvl { "+" } else { "−" }
+                );
+                // Inconsistent output bursts surface in the property pass;
+                // the successor relation stops at them.
+                self.settle(n).ok().map(|settled| (label, settled))
+            })
+            .collect()
+    }
+}
+
+/// Per-property verdicts for one burst-mode machine.
+#[derive(Debug)]
+pub struct BmCheck {
+    /// The machine's name.
+    pub name: String,
+    /// (property, verdict) in a fixed order.
+    pub verdicts: Vec<(Property, Verdict)>,
+    /// The explored space.
+    pub space: StateSpace<BmState>,
+}
+
+impl BmCheck {
+    /// The verdict for `p`, if checked.
+    pub fn verdict(&self, p: Property) -> Option<&Verdict> {
+        self.verdicts.iter().find(|(q, _)| *q == p).map(|(_, v)| v)
+    }
+
+    /// All properties proven.
+    pub fn is_clean(&self) -> bool {
+        self.verdicts.iter().all(|(_, v)| v.holds())
+    }
+}
+
+/// Exhaustively checks `spec` under the safe burst-mode environment.
+///
+/// # Errors
+///
+/// `Err` if the spec fails `validate` or has more than 64 inputs/outputs.
+pub fn check_bm(spec: &BmSpec) -> Result<BmCheck, String> {
+    spec.validate()?;
+    if spec.input_names.len() > 64 || spec.output_names.len() > 64 {
+        return Err("model checking supports at most 64 signals".into());
+    }
+    let sys = BmSystem { spec };
+    let space = StateSpace::explore(&sys, 1 << 16);
+    if space.truncated {
+        return Err(format!("{}: state budget exhausted", spec.name));
+    }
+
+    let mut deadlock: Option<Counterexample> = None;
+    let mut consistency: Option<Counterexample> = None;
+    let mut convergence: Option<Counterexample> = None;
+
+    for (i, &s) in space.states.iter().enumerate() {
+        let edges = sys.env_edges(s);
+        if edges.is_empty() && deadlock.is_none() {
+            deadlock = Some(Counterexample {
+                property: Property::DeadlockFree,
+                trace: space.trace_to(i),
+                lasso: vec![],
+                reason: format!("state {} expects no further input edge", s.state),
+            });
+        }
+        for &(a, la) in &edges {
+            let mut n = s;
+            n.inputs = if la {
+                n.inputs | (1 << a)
+            } else {
+                n.inputs & !(1 << a)
+            };
+            match sys.settle(n) {
+                Err((bad, o)) => {
+                    if consistency.is_none() {
+                        let mut trace = space.trace_to(i);
+                        trace.push(format!(
+                            "{}{}",
+                            spec.input_names[a],
+                            if la { "+" } else { "−" }
+                        ));
+                        consistency = Some(Counterexample {
+                            property: Property::Consistent,
+                            trace,
+                            lasso: vec![],
+                            reason: format!(
+                                "state {}: output burst re-drives '{}' to its current level",
+                                bad.state, spec.output_names[o]
+                            ),
+                        });
+                    }
+                }
+                Ok(after_a) => {
+                    // Convergence: for any other pending edge b, a;b and
+                    // b;a must settle to the same state.
+                    for &(b, lb) in &edges {
+                        if (b, lb) == (a, la) || convergence.is_some() {
+                            continue;
+                        }
+                        let apply = |mut st: BmState, i: usize, lvl: bool| {
+                            st.inputs = if lvl {
+                                st.inputs | (1 << i)
+                            } else {
+                                st.inputs & !(1 << i)
+                            };
+                            st
+                        };
+                        // b may have been consumed by a's burst firing; it
+                        // is only still issuable if some burst of the new
+                        // state wants it.
+                        let ab = sys
+                            .env_edges(after_a)
+                            .contains(&(b, lb))
+                            .then(|| sys.settle(apply(after_a, b, lb)).ok())
+                            .flatten();
+                        let ba = sys
+                            .settle(apply(s, b, lb))
+                            .ok()
+                            .filter(|st| sys.env_edges(*st).contains(&(a, la)))
+                            .and_then(|st| sys.settle(apply(st, a, la)).ok());
+                        if let (Some(x), Some(y)) = (ab, ba) {
+                            if x != y {
+                                convergence = Some(Counterexample {
+                                    property: Property::Convergent,
+                                    trace: space.trace_to(i),
+                                    lasso: vec![],
+                                    reason: format!(
+                                        "edge orders {}/{} then {}/{} settle differently",
+                                        spec.input_names[a], la, spec.input_names[b], lb
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let to_verdict = |cx: Option<Counterexample>| match cx {
+        None => Verdict::Proven,
+        Some(cx) => Verdict::Disproven(cx),
+    };
+    Ok(BmCheck {
+        name: spec.name.clone(),
+        verdicts: vec![
+            (Property::DeadlockFree, to_verdict(deadlock)),
+            (Property::Convergent, to_verdict(convergence)),
+            (Property::Consistent, to_verdict(consistency)),
+        ],
+        space,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtf_async::{ogt_spec, opt_spec, BmSpec, BmTransition};
+
+    #[test]
+    fn token_controllers_are_clean() {
+        for spec in [opt_spec(0, false), opt_spec(0, true), ogt_spec(1, false)] {
+            let c = check_bm(&spec).expect("checkable");
+            assert!(c.is_clean(), "{}: {:?}", c.name, c.verdicts);
+            assert!(c.space.len() < 32, "{}", c.space.len());
+        }
+    }
+
+    #[test]
+    fn inconsistent_output_burst_is_caught() {
+        // A machine whose second transition re-raises an already-high
+        // output.
+        let spec = BmSpec {
+            name: "bad".into(),
+            input_names: vec!["a".into()],
+            output_names: vec!["y".into()],
+            states: vec![
+                vec![BmTransition {
+                    inputs: vec![(0, true)],
+                    outputs: vec![(0, true)],
+                    next: 1,
+                }],
+                vec![BmTransition {
+                    inputs: vec![(0, false)],
+                    outputs: vec![(0, true)],
+                    next: 0,
+                }],
+            ],
+            initial_state: 0,
+            initial_outputs: vec![false],
+        };
+        let c = check_bm(&spec).expect("checkable");
+        assert!(!c.verdict(Property::Consistent).unwrap().holds());
+    }
+
+    #[test]
+    fn dead_end_state_is_caught() {
+        let spec = BmSpec {
+            name: "dead".into(),
+            input_names: vec!["a".into()],
+            output_names: vec![],
+            states: vec![
+                vec![BmTransition {
+                    inputs: vec![(0, true)],
+                    outputs: vec![],
+                    next: 1,
+                }],
+                vec![], // no way out
+            ],
+            initial_state: 0,
+            initial_outputs: vec![],
+        };
+        let c = check_bm(&spec).expect("checkable");
+        assert!(!c.verdict(Property::DeadlockFree).unwrap().holds());
+    }
+}

@@ -1,0 +1,153 @@
+//! Mapping the design registry onto the abstract models: which
+//! capacities each design is checked at, which flag disciplines its
+//! interfaces use (via [`DesignKind::put_discipline`] /
+//! [`DesignKind::get_discipline`]), and the controller specifications
+//! behind the asynchronous designs.
+
+use mtf_async::{dv_as_spec, dv_sa_spec, ogt_spec, opt_spec};
+use mtf_core::DesignKind;
+
+use crate::bm::{check_bm, BmCheck};
+use crate::fifo::{check_fifo, FifoCheck, FifoModel};
+use crate::stg::{check_stg, StgCheck};
+
+/// Synchronizer depth of the formal models — the netlists' default.
+pub const SYNC_STAGES: usize = 2;
+
+/// The per-configuration state budget (a blowup fuse; the registry
+/// models stay far below it — the `formal` bench asserts so).
+pub const BUDGET: usize = 1 << 21;
+
+/// Every registered design, in registry order.
+pub const ALL_DESIGNS: [DesignKind; 11] = [
+    DesignKind::MixedClock,
+    DesignKind::AsyncSync,
+    DesignKind::SyncAsync,
+    DesignKind::AsyncAsync,
+    DesignKind::MixedClockRs,
+    DesignKind::AsyncSyncRs,
+    DesignKind::GrayPointer,
+    DesignKind::PerCellSync,
+    DesignKind::ShiftRegister,
+    DesignKind::Seizovic,
+    DesignKind::SyncRs,
+];
+
+/// The capacities at which `kind` is checked exhaustively: the smallest
+/// configurations that exercise wrap-around, a full window and a drain.
+pub fn formal_capacities(kind: DesignKind) -> &'static [usize] {
+    match kind {
+        // Pointer comparison needs a power-of-two depth.
+        DesignKind::GrayPointer => &[4],
+        // Carloni's relay station is a fixed two-place.
+        DesignKind::SyncRs => &[2],
+        _ => &[3, 4],
+    }
+}
+
+/// The abstract protocol model of `kind` at `capacity`.
+pub fn fifo_model(kind: DesignKind, capacity: usize) -> FifoModel {
+    FifoModel::new(
+        format!("{}·c{capacity}", kind.name()),
+        capacity,
+        kind.put_discipline(),
+        kind.get_discipline(),
+        SYNC_STAGES,
+    )
+}
+
+/// One design exhaustively checked at one capacity.
+#[derive(Debug)]
+pub struct DesignCheck {
+    /// The design.
+    pub kind: DesignKind,
+    /// The checked capacity.
+    pub capacity: usize,
+    /// The verdicts and explored space.
+    pub check: FifoCheck,
+}
+
+/// Exhaustively checks `kind` at `capacity`.
+///
+/// # Errors
+///
+/// `Err` if the state budget is exhausted (never for registry models).
+pub fn check_design(kind: DesignKind, capacity: usize) -> Result<DesignCheck, String> {
+    let model = fifo_model(kind, capacity);
+    let check = check_fifo(&model, BUDGET)?;
+    Ok(DesignCheck {
+        kind,
+        capacity,
+        check,
+    })
+}
+
+/// Checks every registry design at each of its formal capacities.
+///
+/// # Errors
+///
+/// `Err` if any configuration exhausts the state budget.
+pub fn check_all() -> Result<Vec<DesignCheck>, String> {
+    let mut out = Vec::new();
+    for kind in ALL_DESIGNS {
+        for &cap in formal_capacities(kind) {
+            out.push(check_design(kind, cap)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Exhaustively checks the controller specifications behind the
+/// asynchronous designs: the two Petri-net DV controllers (async-sync
+/// and sync-async cells) and the three burst-mode token controllers.
+///
+/// # Errors
+///
+/// `Err` if a spec fails validation or exhausts its budget.
+pub fn check_controllers() -> Result<(Vec<StgCheck>, Vec<BmCheck>), String> {
+    let stg = vec![check_stg(&dv_as_spec(0))?, check_stg(&dv_sa_spec(0))?];
+    let mut opt_plain = check_bm(&opt_spec(0, false))?;
+    opt_plain.name.push_str("·notok");
+    let mut opt_tok = check_bm(&opt_spec(0, true))?;
+    opt_tok.name.push_str("·tok");
+    let bm = vec![opt_plain, opt_tok, check_bm(&ogt_spec(1, false))?];
+    Ok((stg, bm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registry_design_is_clean_at_its_formal_capacities() {
+        for dc in check_all().expect("in budget") {
+            assert!(
+                dc.check.is_clean(),
+                "{} at capacity {}: {}",
+                dc.kind.name(),
+                dc.capacity,
+                dc.check.first_counterexample().unwrap()
+            );
+            assert!(!dc.check.space.is_empty());
+        }
+    }
+
+    #[test]
+    fn controllers_are_clean() {
+        let (stg, bm) = check_controllers().expect("checkable");
+        for c in &stg {
+            assert!(c.is_clean(), "{}: {:?}", c.name, c.verdicts);
+            assert!(c.dead_transitions.is_empty(), "{}", c.name);
+        }
+        for c in &bm {
+            assert!(c.is_clean(), "{}: {:?}", c.name, c.verdicts);
+        }
+    }
+
+    #[test]
+    fn capacities_cover_the_registry() {
+        for kind in ALL_DESIGNS {
+            assert!(!formal_capacities(kind).is_empty(), "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,810 @@
+//! Abstract FIFO protocol models: exhaustive checking of deadlock-freedom,
+//! losslessness, and the bi-modal empty detector's liveness.
+//!
+//! ## The abstraction
+//!
+//! Every registry FIFO keeps its items in a contiguous occupancy window
+//! (a ring with in-order puts and gets), so each design's gate-level
+//! full/empty detectors are functions of the occupancy *count* alone:
+//!
+//! * anticipating full (paper Fig. 6, window `w = sync_stages.max(2)`)
+//!   raises while `w − 1` or fewer cells are free: `len ≥ C − w + 1`;
+//! * anticipating new-empty raises while `w − 1` or fewer items remain:
+//!   `len ≤ w − 1`;
+//! * once-empty raises only at `len = 0`.
+//!
+//! The model is therefore a token queue (consecutively numbered by issue
+//! order — the in-order losslessness automaton) plus the per-interface
+//! flag pipelines: bool synchronizer chains for the anticipating/bi-modal
+//! disciplines (the last stage is what the interface observes), count
+//! pipelines for the exact pointer-based baselines (the other side's
+//! stale occupancy counter), nothing for the direct/asynchronous and
+//! single-clock disciplines. Clock edges of the two interfaces interleave
+//! arbitrarily — the nondeterministic abstract environment — and a
+//! put/get is attempted or not, nondeterministically, at each edge.
+//!
+//! Two sampling details carry the netlists' correctness argument and are
+//! reproduced exactly:
+//!
+//! * **The put's claim precedes its latching edge.** The cell DV claim
+//!   (`e_i`) falls combinationally as soon as `en_put` rises, so the full
+//!   chain's sample at a put edge already counts that edge's own put.
+//!   Stage 0 therefore samples the *post-edge* occupancy on the put side.
+//!   Without this early warning the `w = max(2, stages)` anticipation
+//!   margin would be one slip short and the model would overflow.
+//! * **The dequeue commits mid-cycle, after the window's opening edge.**
+//!   A get edge's sample counts only *earlier* windows' dequeues: stage 0
+//!   samples the pre-edge occupancy on the get side. The one-window
+//!   staleness this leaves is what `f_at_open` absorbs: a window granted
+//!   on a stale "non-empty" opens on an uncommitted cell and delivers an
+//!   explicit *bubble* — the model treats an enabled get on an empty
+//!   queue as that absorbed no-op, not as underflow.
+//!
+//! The bi-modal `oe` pipeline refreshes exactly as the netlist does
+//! (`build_bimodal_empty`): stage 0 samples the raw once-empty flag,
+//! every later stage ORs the current cycle's `en_get` into what it
+//! shifts — the deadlock-avoidance re-arm of paper Sec. 3.2. The
+//! [`FifoModel::anticipating_only`] knob severs that `oe` path and
+//! reproduces the Sec. 3.2 motivating wedge: the anticipating `ne` flag
+//! alone declares "empty" while up to `w − 1` items remain, nothing
+//! re-arms it, and the liveness check refutes with a lasso.
+//!
+//! ## Liveness under fairness
+//!
+//! Empty-detector liveness ("a persistent consumer eventually drains the
+//! queue") is a fairness-qualified property: the full interleaving graph
+//! contains trivial starvation cycles (the consumer idling forever, one
+//! clock never ticking) that refute nothing. The checker therefore
+//! reduces to the *round* system: each round is one put-interface edge
+//! (any of its nondeterministic choices) followed by one get-interface
+//! edge with the consumer requesting. Token counters are monotone, so
+//! every cycle of the round graph is put-free and delivery-free; a cycle
+//! through a state whose queue holds a token is a genuine wedge — a fair
+//! schedule on which the consumer requests every round and is never
+//! served. Proving the absence of such cycles proves liveness for the
+//! round-robin family of fair schedules (one edge per interface per
+//! round), which is the schedule class the paper's Sec. 3.2 argument is
+//! about.
+//!
+//! ## The metastability hazard
+//!
+//! With `sync_stages < 2` the put-side flag crosses domains through a
+//! single flop — the PR-4 injected regression. Protocol-wise the
+//! anticipation window still covers the one-edge lag; what breaks is
+//! robustness: the flop can sample the flag mid-flight and go metastable,
+//! and the put logic can half-commit (the source believes the token was
+//! accepted, the array never latched it). The model makes that explicit:
+//! when the observed flag disagrees with the raw flag (in flight) and the
+//! chain is shorter than two stages, a `put·meta` action may consume the
+//! token without enqueuing it. The checker then refutes losslessness with
+//! a trace; `replay` drives the same configuration in the event simulator
+//! under a hostile metastability model to confirm the violation is real.
+
+use mtf_core::FlagDiscipline;
+
+use crate::space::{Counterexample, Property, StateSpace, TransitionSystem, Verdict};
+
+/// A small-capacity FIFO configuration to check exhaustively.
+#[derive(Clone, Debug)]
+pub struct FifoModel {
+    /// Report name.
+    pub name: String,
+    /// Cell capacity `C` of the abstract queue.
+    pub capacity: usize,
+    /// How the put interface observes *full*.
+    pub put: FlagDiscipline,
+    /// How the get interface observes *empty*.
+    pub get: FlagDiscipline,
+    /// Synchronizer depth of the flag chains (ignored by the
+    /// direct/same-cycle disciplines).
+    pub sync_stages: usize,
+    /// How many tokens the abstract source offers (≥ capacity + 2, so
+    /// full-window and drain behaviour are both exercised).
+    pub max_tokens: u8,
+    /// Sever the bi-modal detector's once-empty path: the get side
+    /// observes the anticipating `ne` flag alone — the paper's Sec. 3.2
+    /// broken detector, kept as an injectable regression.
+    pub ne_only: bool,
+}
+
+impl FifoModel {
+    /// A model with the standard token budget for `capacity`.
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        put: FlagDiscipline,
+        get: FlagDiscipline,
+        sync_stages: usize,
+    ) -> Self {
+        FifoModel {
+            name: name.into(),
+            capacity,
+            put,
+            get,
+            sync_stages,
+            max_tokens: capacity as u8 + 3,
+            ne_only: false,
+        }
+    }
+
+    /// The Sec. 3.2 regression: replace the bi-modal empty detector with
+    /// the anticipating `ne` flag alone (no once-empty re-arm path).
+    pub fn anticipating_only(mut self) -> Self {
+        self.name.push_str("·ne_only");
+        self.ne_only = true;
+        self
+    }
+
+    /// Anticipation window of the occupancy detectors (mirrors the
+    /// netlists' `sync_stages.max(2)`).
+    fn window(&self) -> usize {
+        self.sync_stages.max(2)
+    }
+
+    fn full_raw(&self, len: usize) -> bool {
+        len + self.window() > self.capacity
+    }
+
+    fn ne_raw(&self, len: usize) -> bool {
+        len < self.window()
+    }
+}
+
+/// A protocol violation — absorbing once reached.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Fault {
+    /// A put proceeded into a full queue.
+    Overflow,
+    /// A get proceeded on an empty queue.
+    Underflow,
+    /// A token left out of issue order (something was dropped).
+    Loss,
+}
+
+/// One abstract FIFO state. Tokens are numbered in issue order; `q` is
+/// the queue content, oldest first.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FifoState {
+    /// Queue content, oldest first.
+    pub q: Vec<u8>,
+    /// Tokens the source has committed (enqueued or — under the hazard —
+    /// believed enqueued).
+    pub issued: u8,
+    /// Tokens the sink has received.
+    pub delivered: u8,
+    /// Put-side view of *full* (anticipating): stage 0 newest.
+    pub full_pipe: Vec<bool>,
+    /// Get-side anticipating new-empty chain.
+    pub ne_pipe: Vec<bool>,
+    /// Get-side once-empty chain (with the `en_get` re-arm OR).
+    pub oe_pipe: Vec<bool>,
+    /// Put-side stale copy pipeline of `delivered` (exact discipline).
+    pub rd_pipe: Vec<u8>,
+    /// Get-side stale copy pipeline of the enqueued count (exact).
+    pub wr_pipe: Vec<u8>,
+    /// Set when a safety property has been violated; absorbing.
+    pub fault: Option<Fault>,
+}
+
+impl FifoState {
+    fn enqueued(&self) -> u8 {
+        self.delivered + self.q.len() as u8
+    }
+}
+
+impl TransitionSystem for FifoModel {
+    type State = FifoState;
+
+    fn initial(&self) -> FifoState {
+        let k = self.sync_stages;
+        FifoState {
+            // Power-on: flags read "empty", matching the netlists' flop
+            // initialisation (full chain L, ne/oe chains H).
+            full_pipe: if self.put == FlagDiscipline::Anticipating {
+                vec![false; k]
+            } else {
+                vec![]
+            },
+            ne_pipe: if self.get == FlagDiscipline::Bimodal {
+                vec![true; k]
+            } else {
+                vec![]
+            },
+            oe_pipe: if self.get == FlagDiscipline::Bimodal {
+                vec![true; k]
+            } else {
+                vec![]
+            },
+            rd_pipe: if self.put == FlagDiscipline::Exact {
+                vec![0; k]
+            } else {
+                vec![]
+            },
+            wr_pipe: if self.get == FlagDiscipline::Exact {
+                vec![0; k]
+            } else {
+                vec![]
+            },
+            ..FifoState::default()
+        }
+    }
+
+    /// Labels: `put`/`get` carry `·idle` when the side does not attempt,
+    /// `?g` when the consumer requests, `!d` when a token is delivered,
+    /// `·meta` for the metastable half-commit. The liveness pass keys off
+    /// the `?g`/`!d` markers.
+    fn successors(&self, s: &FifoState) -> Vec<(String, FifoState)> {
+        if s.fault.is_some() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match self.put {
+            FlagDiscipline::Anticipating | FlagDiscipline::Exact => {
+                if s.issued < self.max_tokens {
+                    out.push(("put".into(), self.put_edge(s, true, false)));
+                    // Single-flop chain with a get-side transition in
+                    // flight: the sample can go metastable, and whichever
+                    // way it resolves, part of the put logic can read the
+                    // *other* value — the not-full reading half-commits.
+                    if self.sync_stages < 2 && self.put_flag_in_flight(s) {
+                        out.push(("put·meta".into(), self.put_edge(s, true, true)));
+                    }
+                }
+                out.push(("put·idle".into(), self.put_edge(s, false, false)));
+            }
+            FlagDiscipline::Direct => {
+                if s.issued < self.max_tokens && s.q.len() < self.capacity {
+                    let mut n = s.clone();
+                    n.q.push(n.issued);
+                    n.issued += 1;
+                    out.push(("aput".into(), n));
+                }
+            }
+            FlagDiscipline::SameCycle => {}
+            FlagDiscipline::Bimodal => unreachable!("bimodal is a get discipline"),
+        }
+        match self.get {
+            FlagDiscipline::Bimodal | FlagDiscipline::Exact => {
+                let (label, n) = self.get_edge(s, true);
+                out.push((label, n));
+                let (_, n) = self.get_edge(s, false);
+                out.push(("get·idle".into(), n));
+            }
+            FlagDiscipline::Direct => {
+                if !s.q.is_empty() {
+                    let mut n = s.clone();
+                    let tok = n.q.remove(0);
+                    if tok != n.delivered {
+                        n.fault = Some(Fault::Loss);
+                        out.push(("aget?g".into(), n));
+                    } else {
+                        n.delivered += 1;
+                        out.push(("aget?g!d".into(), n));
+                    }
+                }
+            }
+            FlagDiscipline::SameCycle => {}
+            FlagDiscipline::Anticipating => unreachable!("anticipating is a put discipline"),
+        }
+        if self.put == FlagDiscipline::SameCycle {
+            // One shared clock: both sides act on the same edge, each
+            // decision taken on the pre-edge state.
+            for pa in [true, false] {
+                for ga in [true, false] {
+                    let pa = pa && s.issued < self.max_tokens;
+                    let len = s.q.len();
+                    let mut n = s.clone();
+                    let mut label = String::from("clk");
+                    if ga {
+                        label.push_str("?g");
+                    }
+                    if ga && len > 0 {
+                        let tok = n.q.remove(0);
+                        if tok != n.delivered {
+                            n.fault = Some(Fault::Loss);
+                        } else {
+                            n.delivered += 1;
+                            label.push_str("!d");
+                        }
+                    }
+                    if n.fault.is_none() && pa && len < self.capacity {
+                        n.q.push(n.issued);
+                        n.issued += 1;
+                        label.push_str("·p");
+                    }
+                    out.push((label, n));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FifoModel {
+    fn observed_full(&self, s: &FifoState) -> bool {
+        match self.put {
+            FlagDiscipline::Anticipating => *s.full_pipe.last().expect("put pipe"),
+            FlagDiscipline::Exact => {
+                s.enqueued() - s.rd_pipe.last().expect("rd pipe") >= self.capacity as u8
+            }
+            _ => unreachable!("unclocked put has no observed flag"),
+        }
+    }
+
+    /// Is the put-side flag different from its latest sample (a change is
+    /// crossing the synchronizer right now)?
+    fn put_flag_in_flight(&self, s: &FifoState) -> bool {
+        match self.put {
+            FlagDiscipline::Anticipating => self.full_raw(s.q.len()) != s.full_pipe[0],
+            FlagDiscipline::Exact => s.delivered != s.rd_pipe[0],
+            _ => false,
+        }
+    }
+
+    /// A put-domain clock edge. `attempt`: the source offers a token.
+    /// `meta`: the half-commit hazard (token consumed, never enqueued).
+    fn put_edge(&self, s: &FifoState, attempt: bool, meta: bool) -> FifoState {
+        let mut n = s.clone();
+        let len = s.q.len();
+        if attempt && meta {
+            n.issued += 1; // believed enqueued, actually dropped
+        } else if attempt && !self.observed_full(s) {
+            if len == self.capacity {
+                n.fault = Some(Fault::Overflow);
+            } else {
+                n.q.push(n.issued);
+                n.issued += 1;
+            }
+        }
+        // Shift the put-side pipes. Stage 0 samples the *post-edge*
+        // occupancy: the cell's claim (`e_i`) falls combinationally as
+        // `en_put` rises, ahead of the latching edge, so the chain's
+        // sample at this edge already counts this edge's put (the early
+        // warning the anticipation margin needs — see module docs).
+        match self.put {
+            FlagDiscipline::Anticipating => {
+                n.full_pipe.rotate_right(1);
+                n.full_pipe[0] = self.full_raw(n.q.len());
+            }
+            FlagDiscipline::Exact => {
+                n.rd_pipe.rotate_right(1);
+                n.rd_pipe[0] = s.delivered;
+            }
+            _ => {}
+        }
+        n
+    }
+
+    /// A get-domain clock edge. `attempt`: the consumer requests.
+    fn get_edge(&self, s: &FifoState, attempt: bool) -> (String, FifoState) {
+        let mut n = s.clone();
+        let len = s.q.len();
+        let empty_obs = match self.get {
+            FlagDiscipline::Bimodal => {
+                let ne = *s.ne_pipe.last().expect("ne pipe");
+                ne && (self.ne_only || *s.oe_pipe.last().expect("oe pipe"))
+            }
+            FlagDiscipline::Exact => *s.wr_pipe.last().expect("wr pipe") == s.delivered,
+            _ => unreachable!("unclocked get has no observed flag"),
+        };
+        let en_get = attempt && !empty_obs;
+        let mut label = String::from("get");
+        if attempt {
+            label.push_str("?g");
+        }
+        if en_get {
+            if n.q.is_empty() {
+                match self.get {
+                    // A stale bi-modal window (granted one edge after the
+                    // last item left) opens on an uncommitted cell: the
+                    // `f_at_open` gate makes it deliver an explicit
+                    // bubble — absorbed, not underflow.
+                    FlagDiscipline::Bimodal => {}
+                    _ => n.fault = Some(Fault::Underflow),
+                }
+            } else {
+                let tok = n.q.remove(0);
+                if tok != n.delivered {
+                    n.fault = Some(Fault::Loss);
+                } else {
+                    n.delivered += 1;
+                    label.push_str("!d");
+                }
+            }
+        }
+        // Shift the get-side pipes.
+        match self.get {
+            FlagDiscipline::Bimodal => {
+                n.ne_pipe.rotate_right(1);
+                n.ne_pipe[0] = self.ne_raw(len);
+                // oe: stage 0 samples raw; later stages OR in this
+                // cycle's en_get (the re-arm of build_bimodal_empty).
+                n.oe_pipe.rotate_right(1);
+                n.oe_pipe[0] = len == 0;
+                for i in 1..n.oe_pipe.len() {
+                    n.oe_pipe[i] |= en_get;
+                }
+            }
+            FlagDiscipline::Exact => {
+                n.wr_pipe.rotate_right(1);
+                n.wr_pipe[0] = s.enqueued();
+            }
+            _ => {}
+        }
+        (label, n)
+    }
+}
+
+/// The exhaustive verdicts for one FIFO configuration.
+#[derive(Debug)]
+pub struct FifoCheck {
+    /// The model's report name.
+    pub name: String,
+    /// (property, verdict) in a fixed order: lossless (covering
+    /// overflow/underflow/order), deadlock-freedom, empty-liveness.
+    pub verdicts: Vec<(Property, Verdict)>,
+    /// The explored space.
+    pub space: StateSpace<FifoState>,
+}
+
+impl FifoCheck {
+    /// The verdict for `p`, if checked.
+    pub fn verdict(&self, p: Property) -> Option<&Verdict> {
+        self.verdicts.iter().find(|(q, _)| *q == p).map(|(_, v)| v)
+    }
+
+    /// All properties proven.
+    pub fn is_clean(&self) -> bool {
+        self.verdicts.iter().all(|(_, v)| v.holds())
+    }
+
+    /// The first counterexample, if any.
+    pub fn first_counterexample(&self) -> Option<&Counterexample> {
+        self.verdicts.iter().find_map(|(_, v)| v.counterexample())
+    }
+}
+
+/// Exhaustively explores `model` under all environment interleavings and
+/// decides losslessness, deadlock-freedom, and empty-liveness.
+///
+/// # Errors
+///
+/// `Err` if the state budget (`budget`, a blowup fuse) is exhausted.
+pub fn check_fifo(model: &FifoModel, budget: usize) -> Result<FifoCheck, String> {
+    let space = StateSpace::explore(model, budget);
+    if space.truncated {
+        return Err(format!("{}: state budget {budget} exhausted", model.name));
+    }
+
+    // Safety: the first faulted state refutes losslessness.
+    let mut lossless: Option<Counterexample> = None;
+    for (i, s) in space.states.iter().enumerate() {
+        if let Some(f) = s.fault {
+            lossless = Some(Counterexample {
+                property: Property::Lossless,
+                trace: space.trace_to(i),
+                lasso: vec![],
+                reason: match f {
+                    Fault::Overflow => "put proceeded into a full queue".into(),
+                    Fault::Underflow => "get proceeded on an empty queue".into(),
+                    Fault::Loss => format!(
+                        "a token was delivered out of issue order while {} was \
+                         expected — an earlier token was dropped",
+                        s.delivered
+                    ),
+                },
+            });
+            break;
+        }
+    }
+
+    // Deadlock: every healthy state must have a successor, except the
+    // graceful terminal of the pure-handshake models (source exhausted,
+    // queue drained — the stream simply completed).
+    let mut deadlock: Option<Counterexample> = None;
+    for (i, s) in space.states.iter().enumerate() {
+        let complete = s.q.is_empty() && s.issued == model.max_tokens;
+        if s.fault.is_none() && !complete && space.edges[i].is_empty() {
+            deadlock = Some(Counterexample {
+                property: Property::DeadlockFree,
+                trace: space.trace_to(i),
+                lasso: vec![],
+                reason: "no interface can take a step".into(),
+            });
+            break;
+        }
+    }
+
+    // Liveness over the round reduction (see module docs): one put edge
+    // then one requesting get edge per round. Monotone token counters
+    // make every cycle of this graph put- and delivery-free, so a cycle
+    // through a token-holding state is a fair schedule that starves the
+    // consumer forever.
+    let rounds = RoundSystem { model };
+    let rspace = StateSpace::explore(&rounds, budget);
+    if rspace.truncated {
+        return Err(format!(
+            "{}: round-system state budget {budget} exhausted",
+            model.name
+        ));
+    }
+    let mut liveness: Option<Counterexample> = None;
+    let comps = rspace.sccs(|label| !label.contains("!d"));
+    for comp in &comps {
+        let cyclic = comp.len() > 1
+            || rspace.edges[comp[0]]
+                .iter()
+                .any(|(l, j)| *j == comp[0] && !l.contains("!d"));
+        if !cyclic {
+            continue;
+        }
+        if let Some(&i) = comp.iter().find(|&&i| !rspace.states[i].q.is_empty()) {
+            liveness = Some(Counterexample {
+                property: Property::EmptyLiveness,
+                trace: rspace.trace_to(i),
+                lasso: lasso_in(&rspace, i, comp),
+                reason: format!(
+                    "{} token(s) held while the consumer requests every round",
+                    rspace.states[i].q.len()
+                ),
+            });
+            break;
+        }
+    }
+
+    let to_verdict = |cx: Option<Counterexample>| match cx {
+        None => Verdict::Proven,
+        Some(cx) => Verdict::Disproven(cx),
+    };
+    Ok(FifoCheck {
+        name: model.name.clone(),
+        verdicts: vec![
+            (Property::Lossless, to_verdict(lossless)),
+            (Property::DeadlockFree, to_verdict(deadlock)),
+            (Property::EmptyLiveness, to_verdict(liveness)),
+        ],
+        space,
+    })
+}
+
+/// The fairness reduction for the liveness check: one round is one
+/// put-interface edge (each nondeterministic choice) followed by one
+/// get-interface edge with the consumer requesting. Labels join the two
+/// halves with `;`.
+struct RoundSystem<'a> {
+    model: &'a FifoModel,
+}
+
+impl RoundSystem<'_> {
+    /// The put half's choices at `s` (label, state after the put edge).
+    fn put_choices(&self, s: &FifoState) -> Vec<(String, FifoState)> {
+        let m = self.model;
+        let mut out = Vec::new();
+        match m.put {
+            FlagDiscipline::Anticipating | FlagDiscipline::Exact => {
+                if s.issued < m.max_tokens {
+                    out.push(("put".into(), m.put_edge(s, true, false)));
+                    if m.sync_stages < 2 && m.put_flag_in_flight(s) {
+                        out.push(("put·meta".into(), m.put_edge(s, true, true)));
+                    }
+                }
+                out.push(("put·idle".into(), m.put_edge(s, false, false)));
+            }
+            FlagDiscipline::Direct => {
+                if s.issued < m.max_tokens && s.q.len() < m.capacity {
+                    let mut n = s.clone();
+                    n.q.push(n.issued);
+                    n.issued += 1;
+                    out.push(("aput".into(), n));
+                }
+                out.push(("put·idle".into(), s.clone()));
+            }
+            // Folded into the get half: one shared edge per round.
+            FlagDiscipline::SameCycle => out.push((String::new(), s.clone())),
+            FlagDiscipline::Bimodal => unreachable!("bimodal is a get discipline"),
+        }
+        out
+    }
+
+    /// The requesting get half applied to the post-put state `s`.
+    fn get_half(&self, s: &FifoState) -> Vec<(String, FifoState)> {
+        let m = self.model;
+        match m.get {
+            FlagDiscipline::Bimodal | FlagDiscipline::Exact => {
+                let (label, n) = m.get_edge(s, true);
+                vec![(label, n)]
+            }
+            FlagDiscipline::Direct => {
+                if s.q.is_empty() {
+                    // The handshake consumer blocks on an empty queue; the
+                    // round degenerates to the put half alone.
+                    vec![("get·blocked".into(), s.clone())]
+                } else {
+                    let mut n = s.clone();
+                    let tok = n.q.remove(0);
+                    if tok != n.delivered {
+                        n.fault = Some(Fault::Loss);
+                        vec![("aget?g".into(), n)]
+                    } else {
+                        n.delivered += 1;
+                        vec![("aget?g!d".into(), n)]
+                    }
+                }
+            }
+            // One shared clock edge with the consumer requesting, the
+            // producer nondeterministic.
+            FlagDiscipline::SameCycle => {
+                let mut out = Vec::new();
+                for pa in [true, false] {
+                    let pa = pa && s.issued < self.model.max_tokens;
+                    let len = s.q.len();
+                    let mut n = s.clone();
+                    let mut label = String::from("clk?g");
+                    if len > 0 {
+                        let tok = n.q.remove(0);
+                        if tok != n.delivered {
+                            n.fault = Some(Fault::Loss);
+                        } else {
+                            n.delivered += 1;
+                            label.push_str("!d");
+                        }
+                    }
+                    if n.fault.is_none() && pa && len < self.model.capacity {
+                        n.q.push(n.issued);
+                        n.issued += 1;
+                        label.push_str("·p");
+                    }
+                    out.push((label, n));
+                }
+                out
+            }
+            FlagDiscipline::Anticipating => unreachable!("anticipating is a put discipline"),
+        }
+    }
+}
+
+impl TransitionSystem for RoundSystem<'_> {
+    type State = FifoState;
+
+    fn initial(&self) -> FifoState {
+        self.model.initial()
+    }
+
+    fn successors(&self, s: &FifoState) -> Vec<(String, FifoState)> {
+        if s.fault.is_some() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (pl, mid) in self.put_choices(s) {
+            if mid.fault.is_some() {
+                out.push((pl, mid));
+                continue;
+            }
+            for (gl, n) in self.get_half(&mid) {
+                let label = if pl.is_empty() {
+                    gl
+                } else {
+                    format!("{pl};{gl}")
+                };
+                out.push((label, n));
+            }
+        }
+        out
+    }
+}
+
+/// Extracts one delivery-free cycle through `start` inside `comp` by
+/// following first-fit internal edges until a state repeats.
+pub(crate) fn lasso_in<S>(space: &StateSpace<S>, start: usize, comp: &[usize]) -> Vec<String> {
+    let mut labels = Vec::new();
+    let mut seen = vec![start];
+    let mut cur = start;
+    loop {
+        let Some((l, j)) = space.edges[cur]
+            .iter()
+            .find(|(l, j)| comp.contains(j) && !l.contains("!d"))
+        else {
+            return labels; // single-node "cycle" via no internal edge
+        };
+        labels.push(l.clone());
+        if *j == start || seen.contains(j) {
+            return labels;
+        }
+        seen.push(*j);
+        cur = *j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_clock(cap: usize, stages: usize) -> FifoModel {
+        FifoModel::new(
+            format!("mixed_clock·c{cap}"),
+            cap,
+            FlagDiscipline::Anticipating,
+            FlagDiscipline::Bimodal,
+            stages,
+        )
+    }
+
+    #[test]
+    fn mixed_clock_is_clean_at_small_caps() {
+        for cap in [3, 4] {
+            let c = check_fifo(&mixed_clock(cap, 2), 2_000_000).expect("in budget");
+            assert!(
+                c.is_clean(),
+                "cap {cap}: {}",
+                c.first_counterexample().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn all_discipline_pairs_are_clean_when_stock() {
+        use FlagDiscipline::*;
+        let pairs = [
+            (Direct, Bimodal),
+            (Anticipating, Direct),
+            (Direct, Direct),
+            (Exact, Exact),
+            (Direct, Exact),
+            (SameCycle, SameCycle),
+        ];
+        for (p, g) in pairs {
+            let m = FifoModel::new(format!("{p:?}/{g:?}"), 3, p, g, 2);
+            let c = check_fifo(&m, 2_000_000).expect("in budget");
+            assert!(
+                c.is_clean(),
+                "{}: {}",
+                m.name,
+                c.first_counterexample().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn single_flop_hazard_breaks_losslessness() {
+        let c = check_fifo(&mixed_clock(4, 1), 2_000_000).expect("in budget");
+        let v = c.verdict(Property::Lossless).unwrap();
+        assert!(!v.holds(), "single-flop chain must admit the hazard");
+        let cx = v.counterexample().unwrap();
+        assert!(
+            cx.trace.iter().any(|l| l == "put·meta"),
+            "the trace passes through the metastable half-commit: {:?}",
+            cx.trace
+        );
+        // The anticipation window itself still covers a 1-edge lag: no
+        // overflow/underflow, the failure is precisely the dropped token.
+        assert!(cx.reason.contains("dropped"), "{}", cx.reason);
+    }
+
+    #[test]
+    fn anticipating_only_empty_detector_wedges() {
+        // The motivating deadlock of paper Sec. 3.2: an anticipating-only
+        // empty detector declares "empty" while up to window−1 items
+        // remain, nothing re-arms it, and the tail of the stream is never
+        // served. The stock bi-modal detector is live (covered by
+        // `mixed_clock_is_clean_at_small_caps`); severing the once-empty
+        // path must refute liveness with a lasso.
+        let m = mixed_clock(3, 2).anticipating_only();
+        let c = check_fifo(&m, 2_000_000).expect("in budget");
+        // Safety is untouched: the wedge loses no tokens, it just stops.
+        assert!(c.verdict(Property::Lossless).unwrap().holds());
+        let v = c.verdict(Property::EmptyLiveness).unwrap();
+        assert!(!v.holds(), "ne-only detector must starve the consumer");
+        let cx = v.counterexample().unwrap();
+        assert!(!cx.lasso.is_empty(), "a liveness witness needs a cycle");
+        assert!(cx.reason.contains("token"), "{}", cx.reason);
+    }
+
+    #[test]
+    fn deterministic_exploration() {
+        let a = check_fifo(&mixed_clock(4, 2), 2_000_000).unwrap();
+        let b = check_fifo(&mixed_clock(4, 2), 2_000_000).unwrap();
+        assert_eq!(a.space.len(), b.space.len());
+        assert_eq!(a.space.edge_count(), b.space.edge_count());
+        assert_eq!(a.space.states, b.space.states, "same discovery order");
+    }
+}

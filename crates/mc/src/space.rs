@@ -1,0 +1,357 @@
+//! The generic explicit-state machinery: transition systems, breadth-first
+//! reachability with parent pointers, properties, verdicts, and
+//! counterexamples.
+//!
+//! Everything here is deliberately small and deterministic: successor
+//! enumeration must return successors in a fixed order (the concrete
+//! models iterate transition/action indices), so two runs of the same
+//! check explore states in the same order and produce the same
+//! counterexample. Traces are *shortest* by construction — BFS discovers
+//! every state along a minimum-length path from the initial state.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+/// A model the explorer can enumerate: states, labelled successor moves.
+pub trait TransitionSystem {
+    /// One global state.
+    type State: Clone + Eq + Hash;
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+    /// All moves enabled at `s`, in deterministic order: the human-readable
+    /// move label and the successor. Implementations must not mutate
+    /// hidden state (no RNG, no clock) — exploration order is part of the
+    /// counterexample contract.
+    fn successors(&self, s: &Self::State) -> Vec<(String, Self::State)>;
+}
+
+/// The properties the checker decides. Not every model class checks every
+/// property; see the per-model documentation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Property {
+    /// No reachable firing puts a second token into a marked place (STGs).
+    OneSafe,
+    /// Every reachable state enables at least one move.
+    DeadlockFree,
+    /// Firing any enabled transition never disables an enabled *output*
+    /// transition of a different signal (STGs: semi-modularity — the
+    /// synthesized logic cannot glitch).
+    OutputPersistent,
+    /// Independent enabled transitions commute: firing them in either
+    /// order reaches the same state (the diamond property; this is the
+    /// STG-convergence check the lint roadmap called for).
+    Convergent,
+    /// Edge directions agree with signal levels everywhere (no `x+` while
+    /// `x` is high), and no transition is unfireable.
+    Consistent,
+    /// Tokens leave in the order and multiplicity they entered — no loss,
+    /// duplication, reorder, overflow, or underflow (FIFO models).
+    Lossless,
+    /// Under a persistent consumer, a non-empty FIFO always eventually
+    /// delivers: no cycle of delivery-free rounds holds a token hostage.
+    /// This is the bi-modal empty detector's liveness claim (paper
+    /// Sec. 3.2) checked under fairness.
+    EmptyLiveness,
+}
+
+impl Property {
+    /// The report key / display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Property::OneSafe => "one_safe",
+            Property::DeadlockFree => "deadlock_free",
+            Property::OutputPersistent => "output_persistent",
+            Property::Convergent => "convergent",
+            Property::Consistent => "consistent",
+            Property::Lossless => "lossless",
+            Property::EmptyLiveness => "empty_liveness",
+        }
+    }
+}
+
+/// The outcome of checking one property.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Exhaustively proven over the full reachable space.
+    Proven,
+    /// Disproven, with a witness.
+    Disproven(Counterexample),
+}
+
+impl Verdict {
+    /// True for [`Verdict::Proven`].
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Proven)
+    }
+
+    /// The witness, if disproven.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Proven => None,
+            Verdict::Disproven(cx) => Some(cx),
+        }
+    }
+}
+
+/// A finite witness refuting a property: the shortest move sequence from
+/// the initial state to the violating state, plus what went wrong there.
+/// For liveness violations the trace reaches a state on a delivery-free
+/// cycle and [`Counterexample::lasso`] names the cycle's moves.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The property refuted.
+    pub property: Property,
+    /// Move labels from the initial state to the violation.
+    pub trace: Vec<String>,
+    /// For liveness: the repeating (delivery-free) cycle after the trace.
+    pub lasso: Vec<String>,
+    /// What is wrong at the end of the trace.
+    pub reason: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} refuted after [{}]",
+            self.property.name(),
+            self.trace.join(", ")
+        )?;
+        if !self.lasso.is_empty() {
+            write!(f, " cycling [{}]", self.lasso.join(", "))?;
+        }
+        write!(f, ": {}", self.reason)
+    }
+}
+
+/// The result of exhaustive reachability over a [`TransitionSystem`]:
+/// every reachable state, its BFS parent (for trace reconstruction), and
+/// the explored edges.
+pub struct StateSpace<S> {
+    /// Reachable states in discovery (BFS) order.
+    pub states: Vec<S>,
+    index: HashMap<S, usize>,
+    /// `parent[i]` = (predecessor index, move label) — `None` for the
+    /// initial state.
+    parent: Vec<Option<(usize, String)>>,
+    /// Adjacency: `edges[i]` lists (move label, successor index).
+    pub edges: Vec<Vec<(String, usize)>>,
+    /// True if exploration stopped at the state budget instead of
+    /// exhausting the space. No property verdict is sound in that case.
+    pub truncated: bool,
+}
+
+impl<S: fmt::Debug> fmt::Debug for StateSpace<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StateSpace")
+            .field("states", &self.states.len())
+            .field("truncated", &self.truncated)
+            .finish()
+    }
+}
+
+impl<S: Clone + Eq + Hash> StateSpace<S> {
+    /// Exhaustively explores `sys` breadth-first, visiting at most
+    /// `budget` states (a blowup fuse, not a soundness knob: check
+    /// [`StateSpace::truncated`]).
+    pub fn explore<T: TransitionSystem<State = S>>(sys: &T, budget: usize) -> Self {
+        let mut space = StateSpace {
+            states: Vec::new(),
+            index: HashMap::new(),
+            parent: Vec::new(),
+            edges: Vec::new(),
+            truncated: false,
+        };
+        let init = sys.initial();
+        space.intern(init.clone(), None);
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(0);
+        while let Some(i) = queue.pop_front() {
+            let succs = sys.successors(&space.states[i].clone());
+            for (label, next) in succs {
+                if space.states.len() >= budget && !space.index.contains_key(&next) {
+                    space.truncated = true;
+                    continue;
+                }
+                let (j, fresh) = space.intern(next, Some((i, label.clone())));
+                space.edges[i].push((label, j));
+                if fresh {
+                    queue.push_back(j);
+                }
+            }
+        }
+        space
+    }
+
+    fn intern(&mut self, s: S, from: Option<(usize, String)>) -> (usize, bool) {
+        match self.index.entry(s.clone()) {
+            Entry::Occupied(e) => (*e.get(), false),
+            Entry::Vacant(e) => {
+                let j = self.states.len();
+                e.insert(j);
+                self.states.push(s);
+                self.parent.push(from);
+                self.edges.push(Vec::new());
+                (j, true)
+            }
+        }
+    }
+
+    /// Number of reachable states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if only the initial state exists. (Never the case here, but
+    /// the usual `len`/`is_empty` pairing keeps clippy honest.)
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total explored edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Is `s` reachable?
+    pub fn contains(&self, s: &S) -> bool {
+        self.index.contains_key(s)
+    }
+
+    /// The index of a reachable state.
+    pub fn index_of(&self, s: &S) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+
+    /// The shortest move sequence from the initial state to state `i`.
+    pub fn trace_to(&self, i: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut cur = i;
+        while let Some((p, label)) = &self.parent[cur] {
+            rev.push(label.clone());
+            cur = *p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Strongly connected components of the sub-graph formed by the edges
+    /// accepted by `keep` (called with the edge's label), in reverse
+    /// topological order. Each component lists state indices. Iterative
+    /// Tarjan — no recursion, so large FIFO spaces cannot overflow the
+    /// stack.
+    pub fn sccs(&self, mut keep: impl FnMut(&str) -> bool) -> Vec<Vec<usize>> {
+        let n = self.states.len();
+        let adj: Vec<Vec<usize>> = self
+            .edges
+            .iter()
+            .map(|es| {
+                es.iter()
+                    .filter(|(l, _)| keep(l))
+                    .map(|&(_, j)| j)
+                    .collect()
+            })
+            .collect();
+        let mut idx = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut call: Vec<(usize, usize)> = Vec::new();
+        let mut next_idx = 0usize;
+        let mut out = Vec::new();
+        for root in 0..n {
+            if idx[root] != usize::MAX {
+                continue;
+            }
+            call.push((root, 0));
+            while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+                if *ei == 0 {
+                    idx[v] = next_idx;
+                    low[v] = next_idx;
+                    next_idx += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = adj[v].get(*ei) {
+                    *ei += 1;
+                    if idx[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(idx[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(u, _)) = call.last() {
+                        low[u] = low[u].min(low[v]);
+                    }
+                    if low[v] == idx[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of `n` states with one extra chord.
+    struct Ring(usize);
+
+    impl TransitionSystem for Ring {
+        type State = usize;
+        fn initial(&self) -> usize {
+            0
+        }
+        fn successors(&self, s: &usize) -> Vec<(String, usize)> {
+            let mut v = vec![("step".to_string(), (s + 1) % self.0)];
+            if *s == 0 {
+                v.push(("skip".to_string(), 2 % self.0));
+            }
+            v
+        }
+    }
+
+    #[test]
+    fn explores_and_traces() {
+        let space = StateSpace::explore(&Ring(5), 1000);
+        assert_eq!(space.len(), 5);
+        assert!(!space.truncated);
+        assert!(space.contains(&4));
+        let i = space.index_of(&4).unwrap();
+        // BFS shortest path: 0 -skip-> 2 -step-> 3 -step-> 4.
+        assert_eq!(space.trace_to(i), vec!["skip", "step", "step"]);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let space = StateSpace::explore(&Ring(100), 10);
+        assert!(space.truncated);
+        assert!(space.len() <= 10);
+    }
+
+    #[test]
+    fn sccs_find_the_ring() {
+        let space = StateSpace::explore(&Ring(5), 1000);
+        let comps = space.sccs(|_| true);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 5);
+        // Dropping every edge leaves five singletons.
+        let comps = space.sccs(|_| false);
+        assert_eq!(comps.len(), 5);
+    }
+}

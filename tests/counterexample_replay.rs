@@ -1,0 +1,112 @@
+//! Counterexamples must be real: a checker refutation is only evidence
+//! if its trace reproduces the predicted violation on the actual
+//! machinery. Each injected regression here is refuted by the model
+//! checker *and* replayed — the STG trace against the same `StgMachine`
+//! interpreter the FIFO netlists instantiate, the FIFO hazard at gate
+//! level under the hostile metastability model — while the intact
+//! originals replay silently.
+
+use mtf_async::dv_as_spec;
+use mtf_core::FlagDiscipline;
+use mtf_mc::designs::BUDGET;
+use mtf_mc::replay::{replay_fifo_hazard, replay_stg};
+use mtf_mc::{check_fifo, check_stg, FifoModel, Property};
+
+/// The intact DV controller: every shortest trace the checker produced
+/// is a legal input schedule, so driving one at the interpreter raises
+/// no protocol violation.
+#[test]
+fn clean_controller_traces_replay_silently() {
+    let spec = dv_as_spec(0);
+    let check = check_stg(&spec).expect("checkable");
+    assert!(check.is_clean());
+    // The deepest state's trace exercises the longest input schedule.
+    let deepest = check.space.len() - 1;
+    let out = replay_stg(&spec, &check.space.trace_to(deepest));
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+}
+
+/// The injected controller regression: `re−` forgets to produce the
+/// token that re-arms `ei+`. The checker refutes deadlock-freedom with a
+/// shortest trace to the dead marking; replaying that trace plus one
+/// probe edge makes the interpreter reject the probe — the machine is
+/// wedged exactly where the checker said, with the cell never re-offered.
+#[test]
+fn dropped_arc_counterexample_replays_to_a_wedged_machine() {
+    let mut spec = dv_as_spec(0);
+    spec.transitions[6].produce.clear();
+    let check = check_stg(&spec).expect("checkable");
+    let v = check.verdict(Property::DeadlockFree).expect("checked");
+    let cx = v
+        .counterexample()
+        .expect("dropped arc must refute deadlock-freedom");
+    let mut trace = cx.trace.clone();
+    trace.push("we+".into());
+    let out = replay_stg(&spec, &trace);
+    assert!(
+        out.violations.iter().any(|m| m.contains("we+")),
+        "the probe edge must be rejected by the dead machine: {:?}",
+        out.violations
+    );
+    assert_eq!(out.level("ei"), Some(false), "cell never re-offered");
+}
+
+/// The PR-4 regression, now with a formal root cause: at one synchronizer
+/// stage the checker refutes losslessness via a `put·meta` half-commit
+/// (a metastable full-flag sample resolves against the raw state and the
+/// put logic splits), and the gate-level replay under the hostile flop
+/// model corrupts the stream for the same depth. At the paper's two
+/// stages the checker proves losslessness and every replay survives.
+#[test]
+fn single_flop_hazard_refutation_replays_at_gate_level() {
+    let broken = FifoModel::new(
+        "mixed_clock·c4·s1",
+        4,
+        FlagDiscipline::Anticipating,
+        FlagDiscipline::Bimodal,
+        1,
+    );
+    let check = check_fifo(&broken, BUDGET).expect("in budget");
+    let v = check.verdict(Property::Lossless).expect("checked");
+    let cx = v
+        .counterexample()
+        .expect("one stage must refute losslessness");
+    assert!(
+        cx.trace.iter().any(|l| l.contains("put·meta")),
+        "the refutation must pass through the metastable half-commit: {:?}",
+        cx.trace
+    );
+
+    // Gate level, same depth, hostile flops: the stream corrupts for
+    // most seeds (the metastability.rs seed band), never for none.
+    let failures = (100..106)
+        .filter(|&seed| !replay_fifo_hazard(1, seed).survived)
+        .count();
+    assert!(
+        failures >= 1,
+        "a 1-stage synchronizer must corrupt at least one hostile run"
+    );
+
+    // The paper's depth: checker proves, replays survive — same seeds.
+    let fixed = FifoModel::new(
+        "mixed_clock·c4·s2",
+        4,
+        FlagDiscipline::Anticipating,
+        FlagDiscipline::Bimodal,
+        2,
+    );
+    let check = check_fifo(&fixed, BUDGET).expect("in budget");
+    assert!(
+        check.verdict(Property::Lossless).expect("checked").holds(),
+        "two stages must prove lossless"
+    );
+    let mut meta_events = 0;
+    for seed in 100..106 {
+        let out = replay_fifo_hazard(2, seed);
+        assert!(out.survived, "seed {seed}: two stages must survive");
+        meta_events += out.metastable_events;
+    }
+    // The survivals were not vacuous: within this seed band the hostile
+    // model does fire, and the second flop absorbs the settling.
+    assert!(meta_events > 0, "the hostile model must actually fire");
+}

@@ -7,9 +7,11 @@
 //! one-item state from every schedule proptest can dream up.
 
 use mtf_core::env::{SyncConsumer, SyncProducer};
-use mtf_core::{FifoParams, MixedClockFifo};
+use mtf_core::{DesignKind, FifoParams, MixedClockFifo};
 use mtf_gates::Builder;
 use mtf_lis::chain::{run_chain, ChainDrive, ChainSpec};
+use mtf_mc::designs::{fifo_model, BUDGET, SYNC_STAGES};
+use mtf_mc::{check_chain, check_fifo, ChainModel, Property};
 use mtf_sim::{ClockGen, Simulator, Time};
 use proptest::prelude::*;
 
@@ -129,6 +131,67 @@ fn heterogeneous_chain_survives_sink_backpressure_mid_handshake() {
             b.design
         );
     }
+}
+
+/// Formal twin of [`one_item_is_always_served`]: the same claim decided
+/// exhaustively instead of by schedule sampling. The abstract mixed-clock
+/// model with a single token proves empty-liveness over *every* fair
+/// schedule — the `oe` path always serves the stranded item — while the
+/// paper's broken detector (anticipating `ne` alone) refutes exactly this
+/// property. The sampled simulation above must agree with the proof.
+#[test]
+fn formal_twin_one_item_is_always_served() {
+    let mut model = fifo_model(DesignKind::MixedClock, 4);
+    model.max_tokens = 1;
+    let check = check_fifo(&model, BUDGET).expect("in budget");
+    assert!(
+        check.is_clean(),
+        "{}",
+        check.first_counterexample().unwrap()
+    );
+
+    let broken = fifo_model(DesignKind::MixedClock, 4).anticipating_only();
+    let refuted = check_fifo(&broken, BUDGET).expect("in budget");
+    assert!(
+        !refuted
+            .verdict(Property::EmptyLiveness)
+            .expect("checked")
+            .holds(),
+        "the ne-only detector must wedge — that is the deadlock this file attacks"
+    );
+
+    // Simulation side of the twin: same one-item scenario, item served.
+    let (got, _) = run(1, 4, 10_000, 13_000, &[0xEE], 1, 1);
+    assert_eq!(got, vec![0xEE], "simulation disagrees with the proof");
+}
+
+/// Formal twin of
+/// [`heterogeneous_chain_survives_sink_backpressure_mid_handshake`]: the
+/// two-boundary chain model at cap 3+4, where the sink may stop
+/// requesting at *any* round (every stopIn window, not three sampled
+/// ones), proves lossless, deadlock-free and live. The simulated stopIn
+/// scenario must agree with the exhaustive verdict.
+#[test]
+fn formal_twin_heterogeneous_chain_stop_in_mid_handshake() {
+    let check = check_chain(&ChainModel::new(3, 4, SYNC_STAGES), 1 << 22).expect("in budget");
+    assert!(
+        check.is_clean(),
+        "{}",
+        check.first_counterexample().unwrap()
+    );
+
+    let spec = ChainSpec::new(8, 4)
+        .with_async_head(3)
+        .segment(10_000, 0, 2)
+        .boundary("mixed_clock_rs")
+        .segment(14_000, 3_700, 2);
+    let drive = ChainDrive::with_stalls(7, 48, 8, vec![(2, 40), (44, 46), (60, 110)]);
+    let run = run_chain(&spec, &drive).expect("chain elaborates and runs");
+    assert_eq!(run.sent.len(), 48, "source wedged");
+    assert_eq!(
+        run.delivered, run.sent,
+        "simulation disagrees with the proof"
+    );
 }
 
 proptest! {
