@@ -9,7 +9,14 @@ use crate::sweep;
 
 /// Flags that consume the following argument as their value. Positional
 /// arguments are whatever remains after removing flags and these values.
-const VALUE_FLAGS: &[&str] = &["--jobs", "--latency-steps", "--runs", "--cell", "--shards"];
+const VALUE_FLAGS: &[&str] = &[
+    "--jobs",
+    "--latency-steps",
+    "--runs",
+    "--cell",
+    "--shards",
+    "--backend",
+];
 
 /// The parsed command line of an experiment binary.
 #[derive(Clone, Debug)]
@@ -77,6 +84,23 @@ impl Args {
     /// the partition verdict instead of pretending to parallelise.
     pub fn shards(&self) -> usize {
         self.usize_of("--shards", 1).max(1)
+    }
+
+    /// `--backend {event,compiled}` (default `event`): which execution
+    /// backend the experiment's simulations run on. The two are
+    /// observationally equivalent (`tests/backend_equivalence.rs`), so
+    /// any report difference beyond the kernel counters is a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message on an unknown backend name.
+    pub fn backend(&self) -> mtf_sim::Backend {
+        match self.value_of("--backend") {
+            None => mtf_sim::Backend::Event,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e: String| panic!("--backend: {e}")),
+        }
     }
 
     /// The `i`-th positional argument (flags and their values skipped).

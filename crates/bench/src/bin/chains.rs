@@ -35,7 +35,11 @@ use mtf_bench::json::Json;
 use mtf_bench::report::{DesignEntry, ExperimentReport};
 use mtf_core::design::{ASYNC_SYNC_RS, MIXED_CLOCK_RS, SYNC_RS};
 use mtf_core::MixedTimingDesign;
-use mtf_lis::{run_chain_sharded, verify_chain, ChainDrive, ChainSpec, ChainVerification};
+use mtf_lis::{
+    run_chain_sharded_with_backend, verify_chain_with_backend, ChainDrive, ChainSpec,
+    ChainVerification,
+};
+use mtf_sim::Backend;
 
 /// The swept boundary FIFO capacities.
 const CAPACITIES: &[usize] = &[4, 8, 16];
@@ -124,9 +128,18 @@ fn main() {
     let json = args.json();
     let items = args.usize_of("--items", 60);
     let shards = args.shards();
+    // `--backend compiled` runs every point on the compiled-netlist
+    // backend. The report is intentionally NOT annotated with the
+    // backend: CI diffs the compiled `--json` output against the same
+    // golden copy as the event run, so any byte of difference is an
+    // equivalence bug.
+    let backend = args.backend();
 
     if !json {
         println!("E9 — heterogeneous LIS chains vs. per-boundary predictions (paper Sec. 5)");
+        if backend != Backend::Event {
+            println!("     (--backend {backend}: all points run on the compiled-netlist backend)");
+        }
         if shards > 1 {
             println!(
                 "     (--shards {shards}: each point also re-run domain-sharded and \
@@ -140,7 +153,7 @@ fn main() {
     let mut verified = 0usize;
     for &capacity in CAPACITIES {
         for (name, design, spec) in scenarios(capacity) {
-            let v = match verify_chain(&spec, items) {
+            let v = match verify_chain_with_backend(&spec, items, backend) {
                 Ok(v) => v,
                 Err(e) => {
                     eprintln!("chains: {name} capacity {capacity} FAILED verification: {e}");
@@ -185,8 +198,8 @@ fn main() {
             if shards > 1 {
                 let drive = ChainDrive::clean(1, items, spec.width);
                 let (one, many) = match (
-                    run_chain_sharded(&spec, &drive, 1),
-                    run_chain_sharded(&spec, &drive, shards),
+                    run_chain_sharded_with_backend(&spec, &drive, 1, backend),
+                    run_chain_sharded_with_backend(&spec, &drive, shards, backend),
                 ) {
                     (Ok(a), Ok(b)) => (a, b),
                     (Err(e), _) | (_, Err(e)) => {

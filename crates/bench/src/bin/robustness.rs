@@ -38,8 +38,12 @@ use mtf_sim::{mtbf_seconds, MetaModel, Time};
 
 /// One FIFO transfer with plesiochronous clocks and an exaggerated
 /// metastability model; returns true when the stream arrived intact.
-fn one_run(seed: u64, stages: usize, meta: MetaModel) -> bool {
+fn one_run(seed: u64, stages: usize, meta: MetaModel, backend: mtf_sim::Backend) -> bool {
     let mut h = Harness::with_model(seed, CellDelays::hp06(), meta);
+    // Synchronizer flops stay event-resident under a stochastic model, so
+    // the compiled backend replays the same settling draws in the same
+    // order and the outcome grid is backend-invariant.
+    h.use_backend(backend);
     h.clock_nets_both();
     // Incommensurate periods sweep the data change across the get edge.
     h.gen_put(Time::from_ps(9_973));
@@ -72,6 +76,7 @@ fn main() {
     let json = args.json();
     let runs = args.usize_of("--runs", 30) as u64;
     let shards = args.shards();
+    let backend = args.backend();
     let runner = SweepRunner::new(args.jobs());
 
     if !json {
@@ -133,7 +138,7 @@ fn main() {
         .flat_map(|stages| (0..runs).map(move |r| (stages, r)))
         .collect();
     let intact = runner.run(&cells, |_, &(stages, r)| {
-        one_run(1_000 + r * 77, stages, harsh)
+        one_run(1_000 + r * 77, stages, harsh, backend)
     });
     let mut corruption = Vec::new();
     for stages in 1..=4usize {

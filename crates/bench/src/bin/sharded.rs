@@ -28,7 +28,8 @@ use std::time::Instant;
 
 use mtf_bench::args::Args;
 use mtf_bench::json::Json;
-use mtf_lis::{run_chain_sharded, ChainDrive, ChainSpec, ShardedChainRun};
+use mtf_lis::{run_chain_sharded_with_backend, ChainDrive, ChainSpec, ShardedChainRun};
+use mtf_sim::Backend;
 
 /// The 64-domain relay chain: every segment its own domain, every
 /// boundary a gate-level mixed-clock relay station.
@@ -54,11 +55,17 @@ struct Point {
     run: ShardedChainRun,
 }
 
-fn measure(spec: &ChainSpec, drive: &ChainDrive, shards: usize, runs: usize) -> Point {
+fn measure(
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+    shards: usize,
+    runs: usize,
+    backend: Backend,
+) -> Point {
     let mut best: Option<(f64, ShardedChainRun)> = None;
     for _ in 0..runs.max(1) {
         let t0 = Instant::now();
-        let run = run_chain_sharded(spec, drive, shards).expect("chain runs");
+        let run = run_chain_sharded_with_backend(spec, drive, shards, backend).expect("chain runs");
         let wall = ms(t0.elapsed());
         if best.as_ref().map(|(w, _)| wall < *w).unwrap_or(true) {
             best = Some((wall, run));
@@ -79,6 +86,7 @@ fn main() {
     let items = args.usize_of("--items", if quick { 16 } else { 40 });
     let runs = args.usize_of("--runs", if quick { 1 } else { 2 });
     let write = args.flag("--write");
+    let backend = args.backend();
 
     let mut ladder = vec![1usize, 2, 4, 8];
     let extra = args.shards();
@@ -102,7 +110,7 @@ fn main() {
     let points: Vec<Point> = ladder
         .iter()
         .map(|&n| {
-            let p = measure(&spec, &drive, n, runs);
+            let p = measure(&spec, &drive, n, runs, backend);
             eprintln!(
                 "  {n:>2} shard(s): {:8.1} ms wall, digest {:#018x}",
                 p.wall_ms,

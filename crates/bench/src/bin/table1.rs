@@ -38,6 +38,10 @@ fn main() {
     let json = args.json();
     let steps = args.usize_of("--latency-steps", if quick { 4 } else { 10 });
     let shards = args.shards();
+    // Throughput and latency cells are STA-dominated; `--backend` selects
+    // the execution backend of the representative kernel-stats transfer
+    // (`--stats` / the `--json` kernel block).
+    let backend = args.backend();
     let runner = SweepRunner::new(args.jobs());
     let registry = DesignRegistry::table1();
     let designs: Vec<&'static dyn MixedTimingDesign> = registry.iter().collect();
@@ -218,10 +222,10 @@ fn main() {
         println!();
         println!("{pass} shape checks passed, {fail} failed");
         if stats {
-            print_kernel_stats(kernel_stats());
+            print_kernel_stats(kernel_stats(backend));
         }
     } else {
-        let mut r = ExperimentReport::new("table1").with_kernel(kernel_stats());
+        let mut r = ExperimentReport::new("table1").with_kernel(kernel_stats(backend));
         for (d, design) in designs.iter().enumerate() {
             for &width in &WIDTHS {
                 for &capacity in &CAPACITIES {
@@ -281,8 +285,9 @@ fn parse_cell(cell: &str) -> (String, FifoParams) {
 /// internal counters ([`mtf_sim::Simulator::stats`]) — a quick check of
 /// how hard the event queue worked and how much the wake coalescing and
 /// delta ring are earning.
-fn kernel_stats() -> SimStats {
+fn kernel_stats(backend: mtf_sim::Backend) -> SimStats {
     let mut h = Harness::calibrated(7);
+    h.use_backend(backend);
     h.clock_nets_both();
     h.gen_put(Time::from_ps(4_000));
     h.gen_get_phased(Time::from_ps(5_300), Time::from_ps(700));
@@ -318,4 +323,8 @@ fn print_kernel_stats(s: SimStats) {
     println!("  peak delta occupancy  {}", s.peak_delta_depth);
     println!("  wheel cascades        {}", s.wheel_cascades);
     println!("  overflow events       {}", s.overflow_events);
+    if s.compiled_edge_evals > 0 || s.compiled_gate_evals > 0 {
+        println!("  compiled edge evals   {}", s.compiled_edge_evals);
+        println!("  compiled gate evals   {}", s.compiled_gate_evals);
+    }
 }

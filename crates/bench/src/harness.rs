@@ -18,8 +18,8 @@
 use mtf_async::{FourPhaseGetter, FourPhaseProducer, OpJournal};
 use mtf_core::env::{PacketSink, PacketSource, SyncConsumer, SyncProducer};
 use mtf_core::{ClockInputs, Clocking, DesignPorts, FifoParams, InterfaceSpec, MixedTimingDesign};
-use mtf_gates::{Builder, CellDelays, Netlist};
-use mtf_sim::{ClockGen, Logic, MetaModel, NetId, Simulator, Time};
+use mtf_gates::{install_compiled, Builder, CellDelays, Netlist};
+use mtf_sim::{Backend, ClockGen, Logic, MetaModel, NetId, Simulator, Time};
 use mtf_timing::Tech;
 
 /// An experiment testbench under construction (and then under test): the
@@ -30,6 +30,7 @@ pub struct Harness {
     pub sim: Simulator,
     delays: CellDelays,
     meta: MetaModel,
+    backend: Backend,
     /// The put-slot clock net, once created.
     pub clk_put: Option<NetId>,
     /// The get-slot clock net, once created.
@@ -103,11 +104,21 @@ impl Harness {
             sim: Simulator::new(seed),
             delays,
             meta,
+            backend: Backend::Event,
             clk_put: None,
             clk_get: None,
             ports: None,
             netlist: None,
         }
+    }
+
+    /// Selects the execution [`Backend`] for the next [`Harness::build`].
+    /// Under [`Backend::Compiled`] the synchronous regions of the built
+    /// netlist are compiled to straight-line code after elaboration; the
+    /// observable run is byte-identical to the event backend.
+    pub fn use_backend(&mut self, backend: Backend) -> &mut Self {
+        self.backend = backend;
+        self
     }
 
     /// Creates the clock nets a design's [`Clocking`] calls for (put slot
@@ -188,7 +199,15 @@ impl Harness {
                 clk_get: self.clk_get,
             },
         );
-        self.netlist = Some(b.finish());
+        let netlist = b.finish();
+        if self.backend == Backend::Compiled {
+            install_compiled(
+                &mut self.sim,
+                &netlist,
+                &format!("compiled.{}", design.kind().name()),
+            );
+        }
+        self.netlist = Some(netlist);
         self.ports = Some(ports);
         self.ports.as_ref().expect("just built")
     }
@@ -389,6 +408,8 @@ pub struct TransferConfig {
     pub stalls: Vec<(u64, u64)>,
     /// Simulation horizon.
     pub horizon: Time,
+    /// Execution backend (event-driven kernel or compiled netlist).
+    pub backend: Backend,
 }
 
 impl TransferConfig {
@@ -403,6 +424,7 @@ impl TransferConfig {
             bubble_offset: None,
             stalls: Vec::new(),
             horizon,
+            backend: Backend::Event,
         }
     }
 }
@@ -420,7 +442,22 @@ pub fn fifo_transfer(
     items: &[u64],
     cfg: &TransferConfig,
 ) -> Vec<u64> {
+    let (_, out) = fifo_transfer_run(design, params, items, cfg);
+    out.values()
+}
+
+/// [`fifo_transfer`] returning the finished [`Harness`] alongside the
+/// drain journal, for callers that also want the kernel counters or
+/// waveforms of the run (the `compiled` bench bin compares
+/// `events_processed` across backends this way).
+pub fn fifo_transfer_run(
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+    items: &[u64],
+    cfg: &TransferConfig,
+) -> (Harness, OpJournal) {
     let mut h = Harness::new(cfg.seed);
+    h.use_backend(cfg.backend);
     h.clock_nets(design.clocking());
     if h.clk_put.is_some() {
         h.gen_put(Time::from_ps(cfg.t_put));
@@ -479,5 +516,5 @@ pub fn fifo_transfer(
     };
     let out = h.drain(drain_name, drain);
     h.sim.run_until(cfg.horizon).expect("simulation runs");
-    out.values()
+    (h, out)
 }

@@ -117,18 +117,29 @@ impl ExperimentReport {
             ("designs".to_string(), Json::Arr(entries)),
         ];
         if let Some(k) = &self.kernel {
-            pairs.push((
-                "kernel".to_string(),
-                Json::obj([
-                    ("events_processed", Json::Num(k.events_processed as f64)),
-                    ("peak_queue_depth", Json::Num(k.peak_queue_depth as f64)),
-                    ("coalesced_wakes", Json::Num(k.coalesced_wakes as f64)),
-                    ("delta_pushes", Json::Num(k.delta_pushes as f64)),
-                    ("peak_delta_depth", Json::Num(k.peak_delta_depth as f64)),
-                    ("wheel_cascades", Json::Num(k.wheel_cascades as f64)),
-                    ("overflow_events", Json::Num(k.overflow_events as f64)),
-                ]),
-            ));
+            let mut fields = vec![
+                ("events_processed", Json::Num(k.events_processed as f64)),
+                ("peak_queue_depth", Json::Num(k.peak_queue_depth as f64)),
+                ("coalesced_wakes", Json::Num(k.coalesced_wakes as f64)),
+                ("delta_pushes", Json::Num(k.delta_pushes as f64)),
+                ("peak_delta_depth", Json::Num(k.peak_delta_depth as f64)),
+                ("wheel_cascades", Json::Num(k.wheel_cascades as f64)),
+                ("overflow_events", Json::Num(k.overflow_events as f64)),
+            ];
+            // Compiled-backend counters are zero on the default event
+            // backend; omit them there so pre-existing golden reports
+            // stay byte-identical.
+            if k.compiled_edge_evals > 0 || k.compiled_gate_evals > 0 {
+                fields.push((
+                    "compiled_edge_evals",
+                    Json::Num(k.compiled_edge_evals as f64),
+                ));
+                fields.push((
+                    "compiled_gate_evals",
+                    Json::Num(k.compiled_gate_evals as f64),
+                ));
+            }
+            pairs.push(("kernel".to_string(), Json::obj(fields)));
         }
         for (name, value) in &self.notes {
             pairs.push((name.clone(), value.clone()));
@@ -206,6 +217,11 @@ impl ExperimentReport {
                         .and_then(Json::as_f64)
                         .ok_or_else(|| format!("kernel without {key}"))
                 };
+                // The compiled counters are optional: reports written on
+                // the event backend (and all pre-backend reports) omit
+                // them.
+                let opt =
+                    |key: &str| -> u64 { k.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64 };
                 Some(SimStats {
                     events_processed: n("events_processed")? as u64,
                     peak_queue_depth: n("peak_queue_depth")? as usize,
@@ -214,6 +230,8 @@ impl ExperimentReport {
                     peak_delta_depth: n("peak_delta_depth")? as usize,
                     wheel_cascades: n("wheel_cascades")? as u64,
                     overflow_events: n("overflow_events")? as u64,
+                    compiled_edge_evals: opt("compiled_edge_evals"),
+                    compiled_gate_evals: opt("compiled_gate_evals"),
                 })
             }
         };
@@ -257,6 +275,8 @@ mod tests {
             peak_delta_depth: 3,
             wheel_cascades: 2,
             overflow_events: 0,
+            compiled_edge_evals: 0,
+            compiled_gate_evals: 0,
         });
         r.note("artifact", Json::str("out.vcd"));
         let text = r.to_json().render();

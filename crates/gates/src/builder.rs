@@ -6,7 +6,7 @@ use mtf_sim::{Logic, MetaModel, NetId, Simulator, Time};
 use crate::celement::{AsymCElement, CElement};
 use crate::comb::{CombGate, GateFunc};
 use crate::kind::CellKind;
-use crate::netlist::{CellDelays, Instance, Netlist};
+use crate::netlist::{CellDelays, ElabInfo, FlopElab, Instance, Netlist};
 use crate::seq::{DLatch, Dff, DffConfig, SrLatch};
 use crate::tristate::TriBuf;
 use crate::word::{LatchWord, RegisterWord, TriWord};
@@ -182,7 +182,16 @@ impl<'a> Builder<'a> {
             self.netlist.delay_table(),
             id.index(),
         );
-        self.sim.add_component(Box::new(gate), &inputs);
+        let comp = self.sim.add_component(Box::new(gate), &inputs);
+        self.netlist.set_elab(
+            id,
+            ElabInfo {
+                drivers: vec![drv],
+                component: Some(comp),
+                flop: None,
+                func: Some(func),
+            },
+        );
         out
     }
 
@@ -402,7 +411,21 @@ impl<'a> Builder<'a> {
         if let Some(en) = en {
             watch.push(en);
         }
-        self.sim.add_component(Box::new(ff), &watch);
+        let comp = self.sim.add_component(Box::new(ff), &watch);
+        self.netlist.set_elab(
+            id,
+            ElabInfo {
+                drivers: vec![drv],
+                component: Some(comp),
+                flop: Some(FlopElab {
+                    meta_ideal: meta.window == Time::ZERO,
+                    check_timing,
+                    setup: cds.setup,
+                    hold: cds.hold,
+                }),
+                func: None,
+            },
+        );
         q
     }
 
@@ -625,7 +648,7 @@ impl<'a> Builder<'a> {
             clk,
             en,
             d.to_vec(),
-            drvs,
+            drvs.clone(),
             cds.setup,
             true,
             self.netlist.delay_table(),
@@ -636,7 +659,21 @@ impl<'a> Builder<'a> {
             watch.push(en);
         }
         watch.extend_from_slice(d);
-        self.sim.add_component(Box::new(cell), &watch);
+        let comp = self.sim.add_component(Box::new(cell), &watch);
+        self.netlist.set_elab(
+            id,
+            ElabInfo {
+                drivers: drvs,
+                component: Some(comp),
+                flop: Some(FlopElab {
+                    meta_ideal: true,
+                    check_timing: true,
+                    setup: cds.setup,
+                    hold: Time::ZERO,
+                }),
+                func: None,
+            },
+        );
         q
     }
 

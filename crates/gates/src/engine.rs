@@ -1,0 +1,502 @@
+//! The compiled-region execution engine.
+//!
+//! [`CompiledEngine`] is a single [`Component`] that replaces the per-cell
+//! components of an acyclic synchronous region (selected and levelized by
+//! [`crate::compile`]). It keeps a flat value vector over the region's
+//! nets, re-evaluates dirty cells in rank order whenever a *boundary* net
+//! (one the region reads but does not produce) changes, and lands its own
+//! scheduled output transitions from a private agenda instead of the
+//! simulator's event queue.
+//!
+//! The engine is written to be *observationally identical* to the
+//! per-cell components it replaces:
+//!
+//! * every output transition lands at the exact instant the event-driven
+//!   cell would have scheduled it (delays are read from the shared
+//!   [`DelayTable`] at evaluation time, so timing annotation still works);
+//! * re-evaluating a cell always overwrites its pending transition, which
+//!   reproduces the kernel's inertial drive-cancellation semantics;
+//! * flip-flop captures, setup/hold checks and their violation messages
+//!   replicate [`crate::Dff`] / [`crate::RegisterWord`] literally;
+//! * internal nets are read from the engine's own slots and boundary nets
+//!   through watched [`Ctx::get`] calls, so the delta-race sanitizer sees
+//!   no reads it would not have seen from the original components.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mtf_sim::{Component, Ctx, DriverId, Logic, LogicVec, NetId, Time, Violation, ViolationKind};
+
+use crate::comb::GateFunc;
+use crate::netlist::DelayTable;
+
+/// A compiled combinational gate: rank-ordered straight-line evaluation
+/// over value slots.
+pub(crate) struct CombNode {
+    pub(crate) func: GateFunc,
+    /// Input slots, in pin order (max 8, matching [`crate::CombGate`]).
+    pub(crate) inputs: Vec<u32>,
+    pub(crate) out_slot: u32,
+    pub(crate) driver: DriverId,
+    /// Index into the shared delay table.
+    pub(crate) inst: usize,
+    pub(crate) pending: Option<(Time, Logic)>,
+}
+
+/// A compiled single-bit edge-triggered flop (DFF or ETDFF with an ideal
+/// metastability window — cells that consult the RNG are never compiled).
+pub(crate) struct BitFlop {
+    pub(crate) name: String,
+    pub(crate) clk_slot: u32,
+    pub(crate) d_slot: u32,
+    pub(crate) d_net: NetId,
+    /// Synchronous enable: (slot, net).
+    pub(crate) en: Option<(u32, NetId)>,
+    pub(crate) q_driver: DriverId,
+    pub(crate) q_slot: u32,
+    pub(crate) inst: usize,
+    pub(crate) setup: Time,
+    pub(crate) hold: Time,
+    pub(crate) check_timing: bool,
+    pub(crate) state: Logic,
+    pub(crate) prev_clk: Logic,
+    pub(crate) last_edge: Option<Time>,
+    pub(crate) last_captured: bool,
+    pub(crate) pending: Option<(Time, Logic)>,
+}
+
+/// A compiled word register ([`crate::RegisterWord`] semantics).
+pub(crate) struct WordFlop {
+    pub(crate) name: String,
+    pub(crate) clk_slot: u32,
+    /// Synchronous enable slot (no setup check on the enable — the word
+    /// register only checks its data pins, matching `RegisterWord`).
+    pub(crate) en: Option<u32>,
+    /// Data pins: (slot, net), LSB first.
+    pub(crate) d: Vec<(u32, NetId)>,
+    /// Output pins: (driver, slot), LSB first.
+    pub(crate) q: Vec<(DriverId, u32)>,
+    pub(crate) inst: usize,
+    pub(crate) setup: Time,
+    pub(crate) check_timing: bool,
+    pub(crate) state: LogicVec,
+    pub(crate) prev_clk: Logic,
+    pub(crate) initialised: bool,
+    pub(crate) pending: Option<(Time, Vec<Logic>)>,
+}
+
+/// A compiled sequential cell, stored in elaboration order so multi-flop
+/// evaluation within an instant matches the event kernel's watcher order.
+pub(crate) enum Flop {
+    Bit(BitFlop),
+    Word(WordFlop),
+}
+
+/// One component standing in for a whole compiled region.
+pub struct CompiledEngine {
+    name: String,
+    /// slot index -> net (slots cover every net the region touches).
+    slots: Vec<NetId>,
+    /// Cached resolved value per slot.
+    values: Vec<Logic>,
+    /// Slots of nets the region reads but does not drive; rescanned (and
+    /// diffed) on every wake. These are exactly the nets the engine
+    /// watches.
+    boundary: Vec<u32>,
+    /// slot -> dependent node refs (`r < comb.len()` is a comb index,
+    /// otherwise `r - comb.len()` is a flop index).
+    fanout: Vec<Vec<u32>>,
+    /// Combinational nodes in topological (rank) order.
+    comb: Vec<CombNode>,
+    comb_dirty: Vec<bool>,
+    /// Sequential nodes in elaboration order.
+    flops: Vec<Flop>,
+    flop_dirty: Vec<bool>,
+    delays: DelayTable,
+    /// Pending output landings: (time, node ref), lazily deleted.
+    agenda: BinaryHeap<Reverse<(Time, u32)>>,
+    established: bool,
+}
+
+impl std::fmt::Debug for CompiledEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledEngine")
+            .field("name", &self.name)
+            .field("combs", &self.comb.len())
+            .field("flops", &self.flops.len())
+            .field("boundary", &self.boundary.len())
+            .finish()
+    }
+}
+
+impl CompiledEngine {
+    /// Assembles an engine from the tables built by [`crate::compile`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        name: String,
+        slots: Vec<NetId>,
+        values: Vec<Logic>,
+        boundary: Vec<u32>,
+        fanout: Vec<Vec<u32>>,
+        comb: Vec<CombNode>,
+        flops: Vec<Flop>,
+        delays: DelayTable,
+    ) -> Self {
+        let comb_dirty = vec![false; comb.len()];
+        let flop_dirty = vec![false; flops.len()];
+        CompiledEngine {
+            name,
+            slots,
+            values,
+            boundary,
+            fanout,
+            comb,
+            comb_dirty,
+            flops,
+            flop_dirty,
+            delays,
+            agenda: BinaryHeap::new(),
+            established: false,
+        }
+    }
+
+    /// Nets the engine must be registered as watching.
+    pub(crate) fn boundary_nets(&self) -> Vec<NetId> {
+        self.boundary
+            .iter()
+            .map(|&s| self.slots[s as usize])
+            .collect()
+    }
+
+    fn mark_fanout(
+        fanout: &[Vec<u32>],
+        ncomb: usize,
+        comb_dirty: &mut [bool],
+        flop_dirty: &mut [bool],
+        slot: u32,
+    ) {
+        for &r in &fanout[slot as usize] {
+            let r = r as usize;
+            if r < ncomb {
+                comb_dirty[r] = true;
+            } else {
+                flop_dirty[r - ncomb] = true;
+            }
+        }
+    }
+
+    /// Lands a due pending transition. Equal-value commits are skipped at
+    /// the driver (exactly like a drive event landing on an unchanged
+    /// contribution), so toggles and waveform records match event mode.
+    fn commit(&mut self, node: u32, t: Time, ctx: &mut Ctx<'_>) {
+        let ncomb = self.comb.len() as u32;
+        if node < ncomb {
+            let i = node as usize;
+            let Some((at, v)) = self.comb[i].pending else {
+                return;
+            };
+            if at != t {
+                return; // superseded entry; the live one is queued too
+            }
+            self.comb[i].pending = None;
+            let slot = self.comb[i].out_slot;
+            ctx.commit_drive(self.comb[i].driver, v);
+            if self.values[slot as usize] != v {
+                self.values[slot as usize] = v;
+                Self::mark_fanout(
+                    &self.fanout,
+                    ncomb as usize,
+                    &mut self.comb_dirty,
+                    &mut self.flop_dirty,
+                    slot,
+                );
+            }
+            return;
+        }
+        match &mut self.flops[(node - ncomb) as usize] {
+            Flop::Bit(f) => {
+                let Some((at, v)) = f.pending else { return };
+                if at != t {
+                    return;
+                }
+                f.pending = None;
+                let slot = f.q_slot;
+                ctx.commit_drive(f.q_driver, v);
+                if self.values[slot as usize] != v {
+                    self.values[slot as usize] = v;
+                    Self::mark_fanout(
+                        &self.fanout,
+                        ncomb as usize,
+                        &mut self.comb_dirty,
+                        &mut self.flop_dirty,
+                        slot,
+                    );
+                }
+            }
+            Flop::Word(f) => {
+                let due = matches!(&f.pending, Some((at, _)) if *at == t);
+                if !due {
+                    return;
+                }
+                let Some((_, bits)) = f.pending.take() else {
+                    return;
+                };
+                for (k, &(drv, slot)) in f.q.iter().enumerate() {
+                    let v = bits[k];
+                    ctx.commit_drive(drv, v);
+                    if self.values[slot as usize] != v {
+                        self.values[slot as usize] = v;
+                        Self::mark_fanout(
+                            &self.fanout,
+                            ncomb as usize,
+                            &mut self.comb_dirty,
+                            &mut self.flop_dirty,
+                            slot,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval_comb(&mut self, i: usize, now: Time) {
+        let (v, at) = {
+            let node = &self.comb[i];
+            let mut buf = [Logic::Z; 8];
+            for (k, &s) in node.inputs.iter().enumerate() {
+                buf[k] = self.values[s as usize];
+            }
+            let v = node.func.apply(&buf[..node.inputs.len()]);
+            (v, now + self.delays.borrow()[node.inst])
+        };
+        // Always replace the pending transition, even on an equal value:
+        // the event-driven gate re-drives on every evaluation and the new
+        // drive cancels the old one (inertial behaviour).
+        self.comb[i].pending = Some((at, v));
+        self.agenda.push(Reverse((at, i as u32)));
+    }
+
+    fn eval_flop(&mut self, j: usize, now: Time, ctx: &mut Ctx<'_>) {
+        let ncomb = self.comb.len() as u32;
+        let node_ref = ncomb + j as u32;
+        let cq = {
+            let inst = match &self.flops[j] {
+                Flop::Bit(f) => f.inst,
+                Flop::Word(f) => f.inst,
+            };
+            self.delays.borrow()[inst]
+        };
+        match &mut self.flops[j] {
+            Flop::Bit(f) => {
+                // Mirrors `Dff::eval` with an ideal metastability window
+                // (the settle / vulnerable branches can never be taken).
+                let clk = self.values[f.clk_slot as usize];
+                let rising = f.prev_clk == Logic::L && clk == Logic::H;
+                let first_eval = f.prev_clk == Logic::X && f.last_edge.is_none();
+                f.prev_clk = clk;
+
+                if first_eval {
+                    f.pending = Some((now, f.state));
+                    self.agenda.push(Reverse((now, node_ref)));
+                }
+
+                if rising {
+                    f.last_edge = Some(now);
+                    let enabled = match f.en {
+                        None => Logic::H,
+                        Some((s, _)) => self.values[s as usize],
+                    };
+                    if f.check_timing {
+                        let mut nets = [Some(f.d_net), f.en.map(|(_, n)| n)];
+                        for net in nets.iter_mut().flatten() {
+                            let ch = ctx.last_change(*net);
+                            if ch < now && now - ch < f.setup {
+                                ctx.report(Violation {
+                                    kind: ViolationKind::Setup,
+                                    time: now,
+                                    source: f.name.clone(),
+                                    message: format!(
+                                        "data changed {} before edge (setup {})",
+                                        now - ch,
+                                        f.setup
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    match enabled {
+                        Logic::H => {
+                            f.last_captured = true;
+                            let d = self.values[f.d_slot as usize];
+                            f.state = if d == Logic::Z { Logic::X } else { d };
+                            f.pending = Some((now + cq, f.state));
+                            self.agenda.push(Reverse((now + cq, node_ref)));
+                        }
+                        Logic::L => {
+                            f.last_captured = false;
+                        }
+                        _ => {
+                            f.last_captured = true;
+                            f.state = Logic::X;
+                            f.pending = Some((now + cq, Logic::X));
+                            self.agenda.push(Reverse((now + cq, node_ref)));
+                        }
+                    }
+                    return;
+                }
+
+                if f.check_timing && f.last_captured {
+                    if let Some(edge) = f.last_edge {
+                        let moved_now = ctx.last_change(f.d_net) == now
+                            || f.en.is_some_and(|(_, en)| ctx.last_change(en) == now);
+                        if moved_now && now > edge && now - edge < f.hold {
+                            ctx.report(Violation {
+                                kind: ViolationKind::Hold,
+                                time: now,
+                                source: f.name.clone(),
+                                message: format!(
+                                    "data changed {} after edge (hold {})",
+                                    now - edge,
+                                    f.hold
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            Flop::Word(f) => {
+                // Mirrors `RegisterWord::eval`.
+                let clk = self.values[f.clk_slot as usize];
+                let rising = f.prev_clk == Logic::L && clk == Logic::H;
+                f.prev_clk = clk;
+
+                if !f.initialised {
+                    f.initialised = true;
+                    let bits = (0..f.d.len()).map(|i| f.state.bit(i)).collect();
+                    f.pending = Some((now + cq, bits));
+                    self.agenda.push(Reverse((now + cq, node_ref)));
+                }
+                if !rising {
+                    return;
+                }
+                let enabled = match f.en {
+                    None => Logic::H,
+                    Some(s) => self.values[s as usize],
+                };
+                match enabled {
+                    Logic::L => {}
+                    Logic::H => {
+                        if f.check_timing {
+                            for &(_, dn) in &f.d {
+                                let ch = ctx.last_change(dn);
+                                if ch < now && now - ch < f.setup {
+                                    ctx.report(Violation {
+                                        kind: ViolationKind::Setup,
+                                        time: now,
+                                        source: f.name.clone(),
+                                        message: format!(
+                                            "data bit changed {} before edge",
+                                            now - ch
+                                        ),
+                                    });
+                                    break;
+                                }
+                            }
+                        }
+                        for (i, &(slot, _)) in f.d.iter().enumerate() {
+                            let v = self.values[slot as usize];
+                            f.state.set_bit(i, if v == Logic::Z { Logic::X } else { v });
+                        }
+                        let bits = (0..f.d.len()).map(|i| f.state.bit(i)).collect();
+                        f.pending = Some((now + cq, bits));
+                        self.agenda.push(Reverse((now + cq, node_ref)));
+                    }
+                    _ => {
+                        f.state = LogicVec::unknown(f.state.width());
+                        let bits = (0..f.d.len()).map(|i| f.state.bit(i)).collect();
+                        f.pending = Some((now + cq, bits));
+                        self.agenda.push(Reverse((now + cq, node_ref)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Component for CompiledEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut gate_evals: u64 = 0;
+
+        if !self.established {
+            // First wake: every node evaluates once, exactly as every
+            // per-cell component receives an initial wake on registration.
+            self.established = true;
+            self.comb_dirty.iter_mut().for_each(|d| *d = true);
+            self.flop_dirty.iter_mut().for_each(|d| *d = true);
+        }
+
+        // Boundary scan: pick up external net changes. Boundary nets are
+        // never driven by compiled nodes, so one scan per wake suffices.
+        // A net whose `last_change` is *now* is re-evaluated even when its
+        // sampled value equals the stored one: a multi-driver net (e.g. a
+        // tri-state bus) can transiently resolve away and back within one
+        // instant, and the event kernel wakes watchers on each of those
+        // changes — the re-evaluation inertially reschedules the watcher's
+        // pending output, which is observable as a later landing.
+        for bi in 0..self.boundary.len() {
+            let s = self.boundary[bi];
+            let net = self.slots[s as usize];
+            let v = ctx.get(net);
+            if v != self.values[s as usize] || ctx.last_change(net) == now {
+                self.values[s as usize] = v;
+                Self::mark_fanout(
+                    &self.fanout,
+                    self.comb.len(),
+                    &mut self.comb_dirty,
+                    &mut self.flop_dirty,
+                    s,
+                );
+            }
+        }
+
+        loop {
+            // Land transitions due at this instant (lazy agenda deletion:
+            // entries whose pending was superseded are skipped).
+            while let Some(&Reverse((t, node))) = self.agenda.peek() {
+                if t > now {
+                    break;
+                }
+                self.agenda.pop();
+                self.commit(node, t, ctx);
+            }
+            for i in 0..self.comb.len() {
+                if self.comb_dirty[i] {
+                    self.comb_dirty[i] = false;
+                    gate_evals += 1;
+                    self.eval_comb(i, now);
+                }
+            }
+            for j in 0..self.flops.len() {
+                if self.flop_dirty[j] {
+                    self.flop_dirty[j] = false;
+                    gate_evals += 1;
+                    self.eval_flop(j, now, ctx);
+                }
+            }
+            let due_now = matches!(self.agenda.peek(), Some(&Reverse((t, _))) if t <= now);
+            if !due_now {
+                break;
+            }
+        }
+
+        ctx.note_compiled_pass(gate_evals);
+        if let Some(&Reverse((t, _))) = self.agenda.peek() {
+            ctx.wake_in(t - now);
+        }
+    }
+}

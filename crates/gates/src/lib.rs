@@ -63,7 +63,9 @@
 mod builder;
 mod celement;
 mod comb;
+pub mod compile;
 pub mod domains;
+mod engine;
 mod kind;
 mod netlist;
 mod seq;
@@ -74,9 +76,11 @@ mod word;
 pub use builder::Builder;
 pub use celement::{AsymCElement, CElement};
 pub use comb::{CombGate, GateFunc};
+pub use compile::{install_compiled, CompileReport};
 pub use domains::{CrossDomainNet, Domain, DomainGraph, DomainIndex, PartitionReport};
+pub use engine::CompiledEngine;
 pub use kind::CellKind;
-pub use netlist::{CellDelays, DelayTable, Instance, InstanceId, Netlist};
+pub use netlist::{CellDelays, DelayTable, ElabInfo, FlopElab, Instance, InstanceId, Netlist};
 pub use seq::{DLatch, Dff, SrLatch};
 pub use tristate::TriBuf;
 pub use verilog::{to_verilog, Port, PortDir};

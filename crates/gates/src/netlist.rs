@@ -5,8 +5,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use mtf_sim::{Logic, NetId, Time};
+use mtf_sim::{ComponentId, DriverId, Logic, NetId, Time};
 
+use crate::comb::GateFunc;
 use crate::kind::CellKind;
 
 /// Identifies an [`Instance`] within a [`Netlist`].
@@ -47,6 +48,44 @@ pub struct Instance {
     /// whose reset value was never established — the `mtf-lint`
     /// un-reset-state pass flags exactly those.
     pub init: Option<Logic>,
+}
+
+/// Timing parameters an edge-triggered cell was elaborated with, recorded
+/// so the compiled backend can re-create its exact behaviour (including
+/// violation messages) without access to the simulation component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlopElab {
+    /// Whether the cell's metastability window is zero — the compiled
+    /// backend only takes over flops that never consult the shared RNG.
+    pub meta_ideal: bool,
+    /// Whether setup/hold checks are enabled.
+    pub check_timing: bool,
+    /// Setup time the cell enforces.
+    pub setup: Time,
+    /// Hold time the cell enforces.
+    pub hold: Time,
+}
+
+/// Elaboration-time bookkeeping for one [`Instance`]: the simulator
+/// handles ([`DriverId`]s in output-pin order, the [`ComponentId`]) its
+/// behaviour was registered under, plus flop timing parameters. Filled in
+/// by the [`Builder`](crate::Builder); entries pushed directly into a
+/// [`Netlist`] (structural-only tests) stay at the empty default.
+#[derive(Clone, Debug, Default)]
+pub struct ElabInfo {
+    /// Simulator drivers of the instance's outputs, in output-pin order
+    /// (one per output for gates/flops; word cells record one per bit).
+    pub drivers: Vec<DriverId>,
+    /// The simulation component implementing the instance, if one was
+    /// registered.
+    pub component: Option<ComponentId>,
+    /// Edge-triggered timing parameters ([`CellKind::is_edge_triggered`]
+    /// cells only).
+    pub flop: Option<FlopElab>,
+    /// The boolean function of a combinational gate. [`CellKind`] alone
+    /// is ambiguous here — `AND`/`ANDNOT` share [`CellKind::And`] — so
+    /// the compiled backend needs the exact function recorded.
+    pub func: Option<GateFunc>,
 }
 
 /// The shared per-instance propagation-delay table.
@@ -257,6 +296,9 @@ pub struct Netlist {
     /// One driving instance per net (the first recorded), plus whether it
     /// is a tri-state driver — the build-time multi-driver check.
     driven: HashMap<NetId, (InstanceId, bool)>,
+    /// Parallel to `instances`: simulator handles recorded at
+    /// elaboration (see [`ElabInfo`]).
+    elab: Vec<ElabInfo>,
 }
 
 impl fmt::Debug for Netlist {
@@ -274,6 +316,7 @@ impl Netlist {
             delays: Rc::new(RefCell::new(Vec::new())),
             cell_delays,
             driven: HashMap::new(),
+            elab: Vec::new(),
         }
     }
 
@@ -328,6 +371,7 @@ impl Netlist {
             init: None,
         });
         self.delays.borrow_mut().push(delay);
+        self.elab.push(ElabInfo::default());
         let outs = self.instances[id.index()].outputs.clone();
         self.record_drivers(id, CellKind::Macro, &outs);
         id
@@ -342,8 +386,22 @@ impl Netlist {
         let outs = inst.outputs.clone();
         self.instances.push(inst);
         self.delays.borrow_mut().push(d);
+        self.elab.push(ElabInfo::default());
         self.record_drivers(id, kind, &outs);
         id
+    }
+
+    /// Records the simulator handles an instance was elaborated with
+    /// (called by the [`Builder`](crate::Builder) after spawning each
+    /// cell's simulation component).
+    pub(crate) fn set_elab(&mut self, id: InstanceId, info: ElabInfo) {
+        self.elab[id.index()] = info;
+    }
+
+    /// The elaboration bookkeeping for an instance (empty default for
+    /// instances pushed without a simulation component).
+    pub fn elab(&self, id: InstanceId) -> &ElabInfo {
+        &self.elab[id.index()]
     }
 
     /// All placed instances, in placement order (index = [`InstanceId`]).
@@ -414,6 +472,7 @@ impl Netlist {
         let other_delays = other.delays.borrow().clone();
         self.instances.extend(other.instances);
         self.delays.borrow_mut().extend(other_delays);
+        self.elab.extend(other.elab);
         for i in offset..self.instances.len() {
             let id = InstanceId(i as u32);
             let kind = self.instances[i].kind;

@@ -1,0 +1,184 @@
+//! Miniature hand-built netlists for the compiled-netlist backend, in
+//! the style of the lint suite's minis: each isolates one structural
+//! hazard of region compilation — reconvergent fanout, regions spanning
+//! several clock domains, and the pin ordering of event-resident
+//! boundary cells — and holds the compiled run to net-for-net identical
+//! values and toggle counts against an event-driven twin.
+
+use mtf_gates::{install_compiled, Builder, CompileReport};
+use mtf_sim::{Logic, NetId, Simulator, Time};
+
+/// A drive instruction: (net index into the build closure's return
+/// list, value, time in ps).
+type Drive = (usize, Logic, u64);
+
+/// Builds the same netlist in two simulators, compiles one, applies the
+/// same external drive schedule to both, runs both to `horizon_ps`, and
+/// asserts every net agrees in final value *and* toggle count (so glitch
+/// trains must match, not just settled values). Returns the compile
+/// report and the compiled simulator for extra assertions.
+fn differential(
+    build: impl Fn(&mut Builder<'_>) -> Vec<NetId>,
+    drives: &[Drive],
+    horizon_ps: u64,
+) -> (CompileReport, Simulator) {
+    let mut report = None;
+    let mut sims = Vec::new();
+    for compile in [false, true] {
+        let mut sim = Simulator::new(0);
+        let mut b = Builder::new(&mut sim);
+        let nets = build(&mut b);
+        let netlist = b.finish();
+        if compile {
+            report = Some(install_compiled(&mut sim, &netlist, "mini"));
+        }
+        let drivers: Vec<_> = nets.iter().map(|&n| sim.driver(n)).collect();
+        for &(i, v, at) in drives {
+            sim.drive_at(drivers[i], nets[i], v, Time::from_ps(at));
+        }
+        sim.run_until(Time::from_ps(horizon_ps)).expect("runs");
+        sims.push(sim);
+    }
+    let (ev, co) = (&sims[0], &sims[1]);
+    assert_eq!(ev.net_count(), co.net_count());
+    for i in 0..ev.net_count() {
+        let n = NetId::from_index(i);
+        assert_eq!(
+            ev.value(n),
+            co.value(n),
+            "net {} final value diverged",
+            ev.net_name(n)
+        );
+        assert_eq!(
+            ev.toggles(n),
+            co.toggles(n),
+            "net {} toggle count diverged (glitch trains must match)",
+            ev.net_name(n)
+        );
+    }
+    assert_eq!(ev.stats().compiled_gate_evals, 0);
+    (
+        report.expect("compiled twin ran"),
+        sims.pop().expect("two sims"),
+    )
+}
+
+/// Alternating H/L edges for a manually driven clock net.
+fn clock_edges(net: usize, period_ps: u64, until_ps: u64) -> Vec<Drive> {
+    let mut out = vec![(net, Logic::L, 0)];
+    let mut t = period_ps / 2;
+    let mut v = Logic::H;
+    while t < until_ps {
+        out.push((net, v, t));
+        v = !v;
+        t += period_ps / 2;
+    }
+    out
+}
+
+#[test]
+fn reconvergent_fanout_glitches_identically() {
+    // x fans out through an inverter and a buffer and reconverges on an
+    // AND and an XOR: every x edge races two paths of different delay,
+    // so the outputs glitch. The compiled engine must reproduce the
+    // glitch trains edge for edge, not just the settled values.
+    let horizon = 40_000;
+    let mut drives = Vec::new();
+    for k in 0..12u64 {
+        let v = if k % 2 == 0 { Logic::H } else { Logic::L };
+        drives.push((0, v, 1_000 + k * 3_000));
+    }
+    let (report, _) = differential(
+        |b| {
+            let x = b.input("x");
+            let n1 = b.inv(x);
+            let n2 = b.buf(x);
+            let y = b.and2(n1, n2);
+            let z = b.xor2(n1, n2);
+            let _ = (y, z);
+            vec![x]
+        },
+        &drives,
+        horizon,
+    );
+    assert_eq!(report.compiled_gates, 4, "all four gates are acyclic");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn multi_clock_regions_split_and_agree() {
+    // Two flops on incommensurate clocks with combinational logic
+    // between and after them. Region extraction must split the work per
+    // capturing clock edge while the shared comb stays one region; the
+    // observable behaviour must match the event kernel at every
+    // alignment the periods sweep through.
+    let horizon = 60_000;
+    let mut drives = clock_edges(0, 2_000, horizon);
+    drives.extend(clock_edges(1, 2_740, horizon));
+    // Data toggles slower than either clock.
+    for k in 0..10u64 {
+        let v = if k % 2 == 0 { Logic::H } else { Logic::L };
+        drives.push((2, v, 300 + k * 5_700));
+    }
+    let (report, co) = differential(
+        |b| {
+            let clk_a = b.input("clk_a");
+            let clk_b = b.input("clk_b");
+            let da = b.input("da");
+            let qa = b.dff(clk_a, da, Logic::L);
+            let qb = b.dff(clk_b, qa, Logic::L);
+            let y = b.and2(qa, qb);
+            let qc = b.dff(clk_b, y, Logic::L);
+            let _ = qc;
+            vec![clk_a, clk_b, da]
+        },
+        &drives,
+        horizon,
+    );
+    assert_eq!(report.compiled_flops, 3, "flops compile in both domains");
+    assert!(report.compiled_gates >= 1);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert!(co.stats().compiled_edge_evals > 0, "edges ran compiled");
+    assert!(co.stats().compiled_gate_evals > 0, "gates ran compiled");
+}
+
+#[test]
+fn boundary_cell_pin_ordering_is_preserved() {
+    // An event-resident tri-state bus feeds an *asymmetric* compiled
+    // gate (ANDNOT: a AND NOT b) on each pin position, and the compiled
+    // outputs feed an event-resident C-element back. If the engine
+    // scrambled boundary pin order in either direction, p and q would
+    // swap or the C-element would fire at the wrong instants.
+    let horizon = 30_000;
+    let drives = vec![
+        (0, Logic::H, 100),    // en: bus driven from t=100
+        (1, Logic::H, 100),    // d: bus value H
+        (2, Logic::L, 100),    // c low: p = x AND !c = H, q = c AND !x = L
+        (2, Logic::H, 9_000),  // c high: p = L, q = L (x still H)
+        (1, Logic::L, 14_000), // bus value L: q = c AND !x = H
+        (0, Logic::L, 22_000), // bus released (Z): outputs go pending
+    ];
+    let (report, co) = differential(
+        |b| {
+            let en = b.input("en");
+            let d = b.input("d");
+            let c = b.input("c");
+            let x = b.input("x_bus");
+            b.tribuf_onto(en, d, x);
+            let p = b.and_not(x, c);
+            let q = b.and_not(c, x);
+            let cel = b.celement(&[p, q], Logic::L);
+            let _ = cel;
+            vec![en, d, c]
+        },
+        &drives,
+        horizon,
+    );
+    assert_eq!(report.compiled_gates, 2, "both ANDNOTs compile");
+    assert!(
+        report.event_cells >= 2,
+        "tri-state and C-element stay event-resident"
+    );
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert!(co.stats().compiled_gate_evals > 0);
+}

@@ -34,10 +34,10 @@ use mtf_async::{micropipeline, FourPhaseProducer, OpJournal};
 use mtf_core::design::DesignRegistry;
 use mtf_core::env::{PacketSink, PacketSource};
 use mtf_core::{AsyncSyncRelayStation, Clocking, FifoParams, InterfaceSpec, MixedTimingDesign};
-use mtf_gates::Builder;
-use mtf_sim::{ClockGen, Component, Ctx, Logic, NetId, Simulator, Time};
+use mtf_gates::{install_compiled, Builder};
+use mtf_sim::{Backend, ClockGen, Component, Ctx, Logic, NetId, Simulator, Time};
 
-use crate::{connect, connect_bus, splice_stream_design, RelayChain, RelayPort};
+use crate::{connect, connect_bus, splice_stream_design_with_backend, RelayChain, RelayPort};
 
 /// One synchronous clock domain: a free-running clock with the given
 /// period and phase offset. Two [`DomainSpec`]s are *the same domain* iff
@@ -453,6 +453,18 @@ impl ChainBuilder {
     /// Builds every segment, splices every boundary design, constructs the
     /// optional async head, and attaches per-boundary probes.
     pub fn build(sim: &mut Simulator, spec: &ChainSpec) -> Result<BuiltChain, String> {
+        Self::build_with_backend(sim, spec, Backend::Event)
+    }
+
+    /// [`ChainBuilder::build`] with an explicit execution [`Backend`] for
+    /// every gate-level netlist in the chain (the boundary designs and
+    /// the async head's micropipeline/ASRS). Relay segments are
+    /// behavioural components and run on the event kernel either way.
+    pub fn build_with_backend(
+        sim: &mut Simulator,
+        spec: &ChainSpec,
+        backend: Backend,
+    ) -> Result<BuiltChain, String> {
         spec.validate()?;
         let params = spec.params();
 
@@ -495,7 +507,10 @@ impl ChainBuilder {
             let mut b = Builder::new(sim);
             let ars = micropipeline(&mut b, stages, spec.width);
             let asrs = AsyncSyncRelayStation::build(&mut b, params, seg_clks[0]);
-            drop(b.finish());
+            let head_netlist = b.finish();
+            if backend == Backend::Compiled {
+                install_compiled(sim, &head_netlist, "compiled.async_head");
+            }
             connect(sim, ars.req_out, asrs.put_req);
             connect_bus(sim, &ars.data_out, &asrs.put_data);
             connect(sim, asrs.put_ack, ars.ack_out);
@@ -520,7 +535,7 @@ impl ChainBuilder {
         for (i, name) in spec.boundaries.iter().enumerate() {
             let design: &'static dyn MixedTimingDesign =
                 DesignRegistry::get(name).expect("validated");
-            let ports = splice_stream_design(
+            let ports = splice_stream_design_with_backend(
                 sim,
                 design,
                 params,
@@ -528,6 +543,7 @@ impl ChainBuilder {
                 seg_clks[i + 1],
                 &chains[i].port,
                 &chains[i + 1].port,
+                backend,
             )?;
             probes.push(spawn_stream_probe(
                 sim,
@@ -686,7 +702,20 @@ pub fn chain_horizon(spec: &ChainSpec, drive: &ChainDrive) -> Time {
 /// Elaborates `spec`, drives it with the golden-queue source/sink per
 /// `drive`, runs to a horizon sized from the spec, and reports.
 pub fn run_chain(spec: &ChainSpec, drive: &ChainDrive) -> Result<ChainRun, String> {
-    run_chain_impl(spec, drive, false).map(|(run, _)| run)
+    run_chain_impl(spec, drive, false, Backend::Event).map(|(run, _)| run)
+}
+
+/// [`run_chain`] with an explicit execution [`Backend`]. The two backends
+/// are observationally equivalent — `tests/backend_equivalence.rs` holds
+/// them to byte-identical journals, toggle counts and waveforms — but the
+/// compiled backend evaluates the synchronous boundary-design regions as
+/// straight-line code instead of queue events.
+pub fn run_chain_with_backend(
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+    backend: Backend,
+) -> Result<ChainRun, String> {
+    run_chain_impl(spec, drive, false, backend).map(|(run, _)| run)
 }
 
 /// [`run_chain`] with the kernel's delta-race sanitizer enabled: also
@@ -699,20 +728,32 @@ pub fn run_chain_sanitized(
     spec: &ChainSpec,
     drive: &ChainDrive,
 ) -> Result<(ChainRun, Vec<mtf_sim::RaceHazard>), String> {
-    run_chain_impl(spec, drive, true)
+    run_chain_impl(spec, drive, true, Backend::Event)
+}
+
+/// [`run_chain_sanitized`] with an explicit execution [`Backend`] — the
+/// differential suite runs the compiled backend under the sanitizer to
+/// show the engine introduces no same-instant ordering hazards.
+pub fn run_chain_sanitized_with_backend(
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+    backend: Backend,
+) -> Result<(ChainRun, Vec<mtf_sim::RaceHazard>), String> {
+    run_chain_impl(spec, drive, true, backend)
 }
 
 fn run_chain_impl(
     spec: &ChainSpec,
     drive: &ChainDrive,
     sanitize: bool,
+    backend: Backend,
 ) -> Result<(ChainRun, Vec<mtf_sim::RaceHazard>), String> {
     spec.validate()?;
     let mut sim = Simulator::new(drive.seed);
     if sanitize {
         sim.enable_race_sanitizer();
     }
-    let built = ChainBuilder::build(&mut sim, spec)?;
+    let built = ChainBuilder::build_with_backend(&mut sim, spec, backend)?;
 
     let src_journal: OpJournal = match &built.async_in {
         Some(a) => {
@@ -929,10 +970,23 @@ pub fn verification_stalls() -> Vec<(u64, u64)> {
 ///
 /// Returns the collected evidence, or the first failed check as `Err`.
 pub fn verify_chain(spec: &ChainSpec, n_items: usize) -> Result<ChainVerification, String> {
+    verify_chain_with_backend(spec, n_items, Backend::Event)
+}
+
+/// [`verify_chain`] with an explicit execution [`Backend`]: the same
+/// end-to-end evidence (losslessness, latency envelope, throughput band,
+/// stall robustness) collected on the chosen backend. Running this on
+/// [`Backend::Compiled`] and diffing the report against the event
+/// backend's golden copy is the bench-level equivalence check.
+pub fn verify_chain_with_backend(
+    spec: &ChainSpec,
+    n_items: usize,
+    backend: Backend,
+) -> Result<ChainVerification, String> {
     let envelope = predict_latency(spec);
     let throughput = predict_throughput(spec);
 
-    let clean = run_chain(spec, &ChainDrive::clean(11, n_items, spec.width))?;
+    let clean = run_chain_with_backend(spec, &ChainDrive::clean(11, n_items, spec.width), backend)?;
     if clean.sent.len() != n_items {
         return Err(format!(
             "clean run: source only handed over {}/{n_items} items",
@@ -968,9 +1022,10 @@ pub fn verify_chain(spec: &ChainSpec, n_items: usize) -> Result<ChainVerificatio
         }
     }
 
-    let stalled = run_chain(
+    let stalled = run_chain_with_backend(
         spec,
         &ChainDrive::with_stalls(13, n_items, spec.width, verification_stalls()),
+        backend,
     )?;
     if stalled.sent.len() != n_items || stalled.delivered != stalled.sent {
         return Err(format!(

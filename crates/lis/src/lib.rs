@@ -44,19 +44,23 @@
 #![warn(missing_debug_implementations)]
 
 use mtf_core::{ClockInputs, DesignPorts, FifoParams, InterfaceSpec, MixedTimingDesign};
-use mtf_gates::{Builder, CellDelays, Netlist};
-use mtf_sim::{Component, Ctx, DriverId, MetaModel, NetId, Simulator, Time};
+use mtf_gates::{install_compiled, Builder, CellDelays, Netlist};
+use mtf_sim::{Backend, Component, Ctx, DriverId, MetaModel, NetId, Simulator, Time};
 
 pub mod chain;
 pub mod shard;
 
 pub use chain::{
     chain_horizon, predict_latency, predict_throughput, run_chain, run_chain_sanitized,
-    verification_stalls, verify_chain, AsyncPort, BoundaryReport, BuiltChain, ChainBuilder,
-    ChainDrive, ChainReport, ChainRun, ChainSpec, ChainVerification, DomainSpec, LatencyEnvelope,
-    SegmentSpec, ThroughputPrediction,
+    run_chain_sanitized_with_backend, run_chain_with_backend, verification_stalls, verify_chain,
+    verify_chain_with_backend, AsyncPort, BoundaryReport, BuiltChain, ChainBuilder, ChainDrive,
+    ChainReport, ChainRun, ChainSpec, ChainVerification, DomainSpec, LatencyEnvelope, SegmentSpec,
+    ThroughputPrediction,
 };
-pub use shard::{plan_chain_shards, run_chain_sharded, ChainFingerprint, ShardedChainRun};
+pub use shard::{
+    plan_chain_shards, run_chain_sharded, run_chain_sharded_with_backend, ChainFingerprint,
+    ShardedChainRun,
+};
 // The behavioural station itself now lives in `mtf-core` (so the design
 // registry can name it); these re-exports keep the original paths alive.
 pub use mtf_core::{RelayPort, SyncRelayStation};
@@ -199,7 +203,34 @@ pub fn splice_stream_design(
     upstream: &RelayPort,
     downstream: &RelayPort,
 ) -> Result<DesignPorts, String> {
-    let (ports, _netlist) = build_stream_design(
+    splice_stream_design_with_backend(
+        sim,
+        design,
+        params,
+        clk_put,
+        clk_get,
+        upstream,
+        downstream,
+        Backend::Event,
+    )
+}
+
+/// [`splice_stream_design`] with an explicit execution [`Backend`] for the
+/// design's netlist. Under [`Backend::Compiled`] the design's synchronous
+/// region runs on the compiled engine; the surrounding relay chains and
+/// repeaters are behavioural components either way.
+#[allow(clippy::too_many_arguments)]
+pub fn splice_stream_design_with_backend(
+    sim: &mut Simulator,
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+    clk_put: NetId,
+    clk_get: NetId,
+    upstream: &RelayPort,
+    downstream: &RelayPort,
+    backend: Backend,
+) -> Result<DesignPorts, String> {
+    let (ports, _netlist) = build_stream_design_with_backend(
         sim,
         design,
         params,
@@ -207,6 +238,7 @@ pub fn splice_stream_design(
         clk_get,
         CellDelays::hp06(),
         MetaModel::hp06(),
+        backend,
     )?;
     // Upstream chain output → design put interface.
     connect(sim, upstream.out_valid, ports.valid_in.expect("stream put"));
@@ -239,6 +271,38 @@ pub fn build_stream_design(
     delays: CellDelays,
     meta: MetaModel,
 ) -> Result<(DesignPorts, Netlist), String> {
+    build_stream_design_with_backend(
+        sim,
+        design,
+        params,
+        clk_put,
+        clk_get,
+        delays,
+        meta,
+        Backend::Event,
+    )
+}
+
+/// [`build_stream_design`] with an explicit execution [`Backend`].
+///
+/// Under [`Backend::Compiled`], [`mtf_gates::install_compiled`] runs on
+/// the finished netlist *before* any external wiring: eligible
+/// combinational gates and ideal-window flops are levelized onto a
+/// compiled engine, while synchronizer flops with a live metastability
+/// model, latches, C-elements and tri-state bus drivers stay on the
+/// event kernel (so the RNG draw sequence and bus resolution are
+/// unchanged). A design with no eligible cells simply stays event-driven.
+#[allow(clippy::too_many_arguments)]
+pub fn build_stream_design_with_backend(
+    sim: &mut Simulator,
+    design: &dyn MixedTimingDesign,
+    params: FifoParams,
+    clk_put: NetId,
+    clk_get: NetId,
+    delays: CellDelays,
+    meta: MetaModel,
+    backend: Backend,
+) -> Result<(DesignPorts, Netlist), String> {
     let name = design.kind().name();
     match design.put_interface(params) {
         InterfaceSpec::SyncStream { .. } => {}
@@ -269,6 +333,9 @@ pub fn build_stream_design(
         },
     );
     let netlist = b.finish();
+    if backend == Backend::Compiled {
+        install_compiled(sim, &netlist, &format!("compiled.{name}"));
+    }
     Ok((ports, netlist))
 }
 

@@ -65,10 +65,10 @@ use mtf_async::{micropipeline, FourPhaseProducer, OpJournal};
 use mtf_core::design::DesignRegistry;
 use mtf_core::env::{PacketSink, PacketSource};
 use mtf_core::{AsyncSyncRelayStation, FifoParams, MixedTimingDesign, RS_CQ};
-use mtf_gates::CellDelays;
+use mtf_gates::{install_compiled, CellDelays};
 use mtf_sim::{
-    run_sharded, ClockGen, ClockSchedule, ExportSpec, ImportSpec, LinkDef, LinkLaunch, MetaModel,
-    NetId, ShardIo, ShardPlan, ShardSpec, ShardStats, Simulator, Time,
+    run_sharded, Backend, ClockGen, ClockSchedule, ExportSpec, ImportSpec, LinkDef, LinkLaunch,
+    MetaModel, NetId, ShardIo, ShardPlan, ShardSpec, ShardStats, Simulator, Time,
 };
 
 use crate::chain::{
@@ -77,7 +77,7 @@ use crate::chain::{
 };
 use mtf_gates::Builder;
 
-use crate::{build_stream_design, connect, connect_bus, RelayChain};
+use crate::{build_stream_design_with_backend, connect, connect_bus, RelayChain};
 
 /// Everything observable about a chain run, in canonical order, for
 /// byte-for-byte comparison across shard counts.
@@ -222,6 +222,7 @@ fn build_shard(
     g: usize,
     range: Range<usize>,
     is_last: bool,
+    backend: Backend,
 ) -> ShardPlan<Outcome> {
     let params: FifoParams = spec.params();
     let delays = CellDelays::hp06();
@@ -263,7 +264,10 @@ fn build_shard(
             let mut b = Builder::with_delays(sim, delays, meta);
             let ars = micropipeline(&mut b, stages, spec.width);
             let asrs = AsyncSyncRelayStation::build(&mut b, params, seg_clks[0]);
-            drop(b.finish());
+            let head_netlist = b.finish();
+            if backend == Backend::Compiled {
+                install_compiled(sim, &head_netlist, "compiled.async_head");
+            }
             connect(sim, ars.req_out, asrs.put_req);
             connect_bus(sim, &ars.data_out, &asrs.put_data);
             connect(sim, asrs.put_ack, ars.ack_out);
@@ -294,9 +298,10 @@ fn build_shard(
         let clk_get = seg_clks[0];
         let name = &spec.boundaries[bd];
         let design: &'static dyn MixedTimingDesign = DesignRegistry::get(name).expect("validated");
-        let (ports, netlist) =
-            build_stream_design(sim, design, params, clk_put, clk_get, delays, meta)
-                .expect("validated");
+        let (ports, netlist) = build_stream_design_with_backend(
+            sim, design, params, clk_put, clk_get, delays, meta, backend,
+        )
+        .expect("validated");
 
         let mv = sim.net(format!("xlink.b{bd}.valid"));
         let md = sim.bus(&format!("xlink.b{bd}.data"), spec.width);
@@ -361,7 +366,7 @@ fn build_shard(
         let li = bd - range.start;
         let name = &spec.boundaries[bd];
         let design: &'static dyn MixedTimingDesign = DesignRegistry::get(name).expect("validated");
-        let (ports, _netlist) = build_stream_design(
+        let (ports, _netlist) = build_stream_design_with_backend(
             sim,
             design,
             params,
@@ -369,6 +374,7 @@ fn build_shard(
             seg_clks[li + 1],
             delays,
             meta,
+            backend,
         )
         .expect("validated");
         connect(
@@ -524,6 +530,20 @@ pub fn run_chain_sharded(
     drive: &ChainDrive,
     shards: usize,
 ) -> Result<ShardedChainRun, String> {
+    run_chain_sharded_with_backend(spec, drive, shards, Backend::Event)
+}
+
+/// [`run_chain_sharded`] with an explicit execution [`Backend`] for the
+/// gate-level netlists in every shard. Fingerprints are byte-identical
+/// across backends *and* shard counts: the compiled engine lands every
+/// transition at the instant the event-driven cell would have, and cut
+/// launches are scheduled from the netlist, not from the backend.
+pub fn run_chain_sharded_with_backend(
+    spec: &ChainSpec,
+    drive: &ChainDrive,
+    shards: usize,
+    backend: Backend,
+) -> Result<ShardedChainRun, String> {
     spec.validate()?;
     let groups = plan_chain_shards(spec, shards);
     let e = groups.len();
@@ -545,7 +565,7 @@ pub fn run_chain_sharded(
         let is_last = g == e - 1;
         shard_specs.push(ShardSpec {
             seed: drive.seed,
-            setup: Box::new(move |sim| build_shard(sim, &spec, &drive, g, range, is_last)),
+            setup: Box::new(move |sim| build_shard(sim, &spec, &drive, g, range, is_last, backend)),
         });
     }
 

@@ -93,6 +93,23 @@ impl<'a> Ctx<'a> {
         self.sim.drive_in(driver, value, Time::ZERO);
     }
 
+    /// Applies `value` on `driver` immediately — no queue event. The net
+    /// transition (value-equal skip, sanitizer note, recomputation,
+    /// watcher wakes) is identical to a drive event landing at the
+    /// current instant. Reserved for compiled-region engines, which have
+    /// already accounted for the gate's delay in their own pending set;
+    /// ordinary components should keep using [`Ctx::drive`].
+    pub fn commit_drive(&mut self, driver: DriverId, value: Logic) {
+        self.sim.commit_drive(driver, value);
+    }
+
+    /// Accounts one compiled-region evaluation pass covering
+    /// `gate_evals` inline gate/flop evaluations (surfaces in
+    /// [`SimStats`](crate::SimStats)).
+    pub fn note_compiled_pass(&mut self, gate_evals: u64) {
+        self.sim.note_compiled_pass(gate_evals);
+    }
+
     /// Requests a re-evaluation of this component after `delay`.
     pub fn wake_in(&mut self, delay: Time) {
         let t = self.sim.now() + delay;

@@ -112,6 +112,63 @@ pub struct SimStats {
     /// Events that landed beyond the wheel span and were parked in the
     /// sorted overflow map until the wheel rotated far enough.
     pub overflow_events: u64,
+    /// Evaluation passes executed by compiled-region engines (one per
+    /// instant at which a compiled region had work). Zero under the pure
+    /// event backend.
+    pub compiled_edge_evals: u64,
+    /// Individual gate/flop evaluations performed inline by compiled
+    /// regions — work that the event backend would have paid a queue
+    /// entry and a dynamic dispatch for. Zero under the event backend.
+    pub compiled_gate_evals: u64,
+}
+
+/// Which execution strategy elaboration should install for purely
+/// synchronous regions.
+///
+/// The seam is deliberately *above* the kernel: a compiled region is an
+/// ordinary [`Component`] (one per design) that evaluates its levelized
+/// gates inline and lands their outputs through
+/// [`Ctx::commit_drive`](crate::Ctx::commit_drive), so both backends share
+/// one net state, one queue, one RNG and one violation log — they can
+/// coexist in a single run and must produce byte-identical observables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Every gate is its own component on the event wheel (the reference).
+    #[default]
+    Event,
+    /// Acyclic synchronous regions run as rank-ordered straight-line code;
+    /// the event wheel drives only async controllers, synchronizers,
+    /// metastability models and mixed-timing boundary cells.
+    Compiled,
+}
+
+impl Backend {
+    /// The flag spelling, as accepted by [`FromStr`](std::str::FromStr).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Event => "event",
+            Backend::Compiled => "compiled",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "event" => Ok(Backend::Event),
+            "compiled" => Ok(Backend::Compiled),
+            other => Err(format!(
+                "unknown backend '{other}' (expected 'event' or 'compiled')"
+            )),
+        }
+    }
 }
 
 /// The discrete-event simulator. See the [crate docs](crate) for the model.
@@ -136,6 +193,8 @@ pub struct Simulator {
     /// already covers it.
     wake_pending: Vec<Time>,
     coalesced_wakes: u64,
+    compiled_edge_evals: u64,
+    compiled_gate_evals: u64,
     /// Delta-race sanitizer state; `None` (the default) costs one branch
     /// per read/drive. `RefCell` because reads are recorded from
     /// [`Ctx::get`], which takes `&self`.
@@ -175,6 +234,8 @@ impl Simulator {
             events_processed: 0,
             wake_pending: Vec::new(),
             coalesced_wakes: 0,
+            compiled_edge_evals: 0,
+            compiled_gate_evals: 0,
             race: None,
         }
     }
@@ -245,6 +306,20 @@ impl Simulator {
         let w = &mut self.nets[net.0 as usize].watchers;
         if !w.contains(&comp) {
             w.push(comp);
+        }
+    }
+
+    /// Removes a component from the simulation: its slot is emptied (any
+    /// queued wake becomes a harmless no-op) and it is unsubscribed from
+    /// every net, so future net changes stop generating wake events for
+    /// it. Used by the compiled backend to supersede per-gate components
+    /// with a region engine after elaboration; its drivers keep their
+    /// last contribution.
+    pub fn detach_component(&mut self, comp: ComponentId) {
+        let idx = comp.0 as usize;
+        self.components[idx] = None;
+        for net in &mut self.nets {
+            net.watchers.retain(|&w| w != comp);
         }
     }
 
@@ -358,6 +433,8 @@ impl Simulator {
             peak_delta_depth: q.peak_delta_depth,
             wheel_cascades: q.cascades,
             overflow_events: q.overflow_pushes,
+            compiled_edge_evals: self.compiled_edge_evals,
+            compiled_gate_evals: self.compiled_gate_evals,
         }
     }
 
@@ -461,6 +538,43 @@ impl Simulator {
                 stamp: u64::MAX,
             },
         );
+    }
+
+    /// Applies `value` on `driver` *immediately*, without a queue event —
+    /// exactly the state transition an uncancellable drive event landing
+    /// at the current instant would perform (value-equal skip, sanitizer
+    /// note, net recomputation, watcher wakes). Compiled-region engines
+    /// use this to land gate outputs whose delay has elapsed; because the
+    /// net/driver/watcher state transition is identical to
+    /// [`apply_drive`](Self::apply_drive)'s, observables cannot diverge
+    /// from the event path.
+    pub(crate) fn commit_drive(&mut self, driver: DriverId, value: Logic) {
+        // An engine-managed driver never has kernel-queued drive events,
+        // so there is no pending_seq to consult: mirror the external
+        // (`stamp == u64::MAX`) path of `apply_drive`.
+        let d = &mut self.drivers[driver.0 as usize];
+        if d.value == value {
+            return;
+        }
+        d.value = value;
+        let net = d.net;
+        if let Some(race) = &self.race {
+            let mut st = race.borrow_mut();
+            if let Some(prev) = st.note_write(self.time, net.0, driver) {
+                let h = RaceHazard {
+                    kind: RaceHazardKind::WriteWrite,
+                    time: self.time,
+                    net: self.nets[net.0 as usize].name().to_owned(),
+                    detail: format!(
+                        "drivers #{} and #{} both changed their contribution \
+                         within one delta cycle",
+                        prev.0, driver.0
+                    ),
+                };
+                st.push(h);
+            }
+        }
+        self.recompute_net(net);
     }
 
     pub(crate) fn schedule_wake(&mut self, comp: ComponentId, at: Time) {
@@ -671,5 +785,10 @@ impl Simulator {
 
     pub(crate) fn request_stop(&mut self) {
         self.stop_requested = true;
+    }
+
+    pub(crate) fn note_compiled_pass(&mut self, gate_evals: u64) {
+        self.compiled_edge_evals += 1;
+        self.compiled_gate_evals += gate_evals;
     }
 }

@@ -1,0 +1,418 @@
+//! Differential proof that the compiled-netlist backend is observationally
+//! equivalent to the event-driven kernel.
+//!
+//! The compiled backend (`mtf_gates::install_compiled`) levelizes every
+//! acyclic purely-synchronous region of a netlist and replaces its
+//! per-cell event components with one straight-line engine; everything
+//! else — async controllers, synchronizers with a live metastability
+//! model, tri-states, behavioural macros — stays on the timing wheel.
+//! The claim it must uphold: **no observable difference whatsoever**.
+//! These tests hold the two backends to byte equality of
+//!
+//! * per-net toggle counts over the *whole* simulator (toggles are always
+//!   counted, so this covers every net, not just probed ones),
+//! * rendered timing violations,
+//! * source/sink journals (values *and* timestamps),
+//! * rendered VCD waveforms over every net of a design testbench,
+//! * the chain composer's [`ChainFingerprint`] — including under
+//!   `--shards 2` and with the delta-race sanitizer enabled,
+//!
+//! across every design in the registry, a sweep of heterogeneous chain
+//! specs, and a proptest fuzzer drawing random chains, stall schedules
+//! and clock ratios (failures persist to
+//! `tests/backend_equivalence.proptest-regressions`; CI replays them
+//! with `PROPTEST_CASES=1`).
+//!
+//! The negative space is pinned too: a netlist with combinational
+//! feedback must be *refused* by the compiler with a diagnostic citing
+//! the member cells, and the refused region must keep simulating
+//! correctly on the event kernel.
+
+use mtf_bench::harness::{fifo_transfer, Drain, Feed, Harness, TransferConfig};
+use mtf_core::design::DesignRegistry;
+use mtf_core::{FifoParams, InterfaceSpec, MixedTimingDesign};
+use mtf_gates::{install_compiled, Builder};
+use mtf_lis::{
+    run_chain_sanitized_with_backend, run_chain_sharded_with_backend, verification_stalls,
+    ChainDrive, ChainFingerprint, ChainSpec,
+};
+use mtf_sim::vcd::render_vcd;
+use mtf_sim::{Backend, Logic, NetId, Probe, RaceHazardKind, SimStats, Simulator, Time};
+use proptest::prelude::*;
+
+/// Async micropipeline head into three sync domains with both boundary
+/// designs — the same heterogeneous shape the sharding suite pins.
+fn hetero_spec() -> ChainSpec {
+    ChainSpec::new(8, 4)
+        .with_async_head(3)
+        .segment(9_000, 0, 2)
+        .boundary("mixed_clock_rs")
+        .segment(12_000, 3_000, 1)
+        .boundary("sync_rs")
+        .segment(12_000, 3_000, 1)
+}
+
+/// A plesiochronous two-domain chain (no async head): the pure
+/// mixed-clock relay-station case.
+fn two_domain_spec() -> ChainSpec {
+    ChainSpec::new(8, 4)
+        .segment(9_973, 0, 2)
+        .boundary("mixed_clock_rs")
+        .segment(10_007, 450, 2)
+}
+
+/// Runs `spec` single-shard on `backend` and returns the full-simulator
+/// fingerprint plus the kernel counters (to prove the compiled engine
+/// actually ran).
+fn fp(spec: &ChainSpec, drive: &ChainDrive, backend: Backend) -> (ChainFingerprint, SimStats) {
+    let run = run_chain_sharded_with_backend(spec, drive, 1, backend)
+        .unwrap_or_else(|e| panic!("{backend} run failed: {e}"));
+    (run.fingerprint, run.shard_stats[0].sim)
+}
+
+#[test]
+fn chain_fingerprints_are_backend_invariant() {
+    for (label, spec) in [("hetero", hetero_spec()), ("two_domain", two_domain_spec())] {
+        for (kind, drive) in [
+            ("clean", ChainDrive::clean(11, 12, 8)),
+            (
+                "stalled",
+                ChainDrive::with_stalls(23, 12, 8, verification_stalls()),
+            ),
+        ] {
+            let (event, ev_stats) = fp(&spec, &drive, Backend::Event);
+            let (compiled, co_stats) = fp(&spec, &drive, Backend::Compiled);
+            assert_eq!(
+                event, compiled,
+                "{label}/{kind}: compiled backend diverged from the event kernel"
+            );
+            assert_eq!(event.digest(), compiled.digest());
+            // The equality must be earned: the compiled engine ran, and the
+            // event kernel never touched a compiled region.
+            assert_eq!(ev_stats.compiled_gate_evals, 0, "{label}/{kind}");
+            assert!(
+                co_stats.compiled_gate_evals > 0,
+                "{label}/{kind}: nothing was compiled — the differential is vacuous"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_compiled_run_matches_single_shard_event_run() {
+    let spec = two_domain_spec();
+    let drive = ChainDrive::with_stalls(23, 10, 8, verification_stalls());
+    let base = run_chain_sharded_with_backend(&spec, &drive, 1, Backend::Event).expect("event run");
+    let sharded =
+        run_chain_sharded_with_backend(&spec, &drive, 2, Backend::Compiled).expect("sharded run");
+    assert_eq!(sharded.shards, 2);
+    assert_eq!(
+        sharded.fingerprint, base.fingerprint,
+        "--shards 2 with the compiled backend diverged from the event kernel"
+    );
+    assert!(
+        sharded
+            .shard_stats
+            .iter()
+            .map(|s| s.sim.compiled_gate_evals)
+            .sum::<u64>()
+            > 0,
+        "no shard compiled anything"
+    );
+}
+
+#[test]
+fn sanitizer_rides_along_on_the_compiled_backend() {
+    let spec = hetero_spec();
+    let drive = ChainDrive::with_stalls(7, 10, 8, verification_stalls());
+    let (ev_run, _) =
+        run_chain_sanitized_with_backend(&spec, &drive, Backend::Event).expect("event run");
+    let (co_run, co_hazards) =
+        run_chain_sanitized_with_backend(&spec, &drive, Backend::Compiled).expect("compiled run");
+    assert_eq!(ev_run.sent, co_run.sent);
+    assert_eq!(ev_run.delivered, co_run.delivered);
+    assert_eq!(ev_run.report.boundaries, co_run.report.boundaries);
+    // Same standing policy as `tests/chain_properties.rs`: the compiled
+    // engine must not introduce a single same-instant read-then-write
+    // ordering hazard (write-write with an agreeing value is legitimate
+    // gate fan-in, there as here).
+    let rtw: Vec<_> = co_hazards
+        .iter()
+        .filter(|h| h.kind == RaceHazardKind::ReadThenWrite)
+        .collect();
+    assert!(
+        rtw.is_empty(),
+        "compiled backend introduced read-then-write hazards: {rtw:?}"
+    );
+}
+
+#[test]
+fn registry_designs_transfer_identically_on_both_backends() {
+    // `fifo_transfer` uses the default stochastic metastability model, so
+    // this also proves the compiled backend leaves every RNG draw of the
+    // event-resident synchronizers untouched.
+    let registry = DesignRegistry::standard();
+    let mut covered = 0;
+    for design in registry.iter() {
+        for &(capacity, width) in &[(4usize, 8usize), (8, 16)] {
+            let params = FifoParams::new(capacity, width);
+            if design.supports(params).is_err() {
+                continue;
+            }
+            let mask = (1u64 << width) - 1;
+            let items: Vec<u64> = (0..20u64).map(|i| (i * 31 + 5) & mask).collect();
+            let cfg = |backend| TransferConfig {
+                producer_phase: Time::from_ps(300),
+                getter_phase: Time::from_ps(500),
+                bubble_offset: Some(1),
+                stalls: vec![(9, 14)],
+                backend,
+                ..TransferConfig::plain(13, 10_000, 12_700, Time::from_us(80))
+            };
+            let event = fifo_transfer(design, params, &items, &cfg(Backend::Event));
+            let compiled = fifo_transfer(design, params, &items, &cfg(Backend::Compiled));
+            assert_eq!(event, items, "{} at {params}", design.kind().name());
+            assert_eq!(
+                event,
+                compiled,
+                "{} at {params}: backends disagree",
+                design.kind().name()
+            );
+            covered += 1;
+        }
+    }
+    assert!(covered >= registry.len(), "sweep barely ran: {covered}");
+}
+
+/// Everything one simulator run exposes, for byte comparison.
+struct Snapshot {
+    delivered: Vec<u64>,
+    toggles: Vec<(String, u64)>,
+    violations: Vec<String>,
+    vcd: String,
+    stats: SimStats,
+}
+
+/// Builds `design` on `backend` with the calibrated (deterministic) gate
+/// model, pushes 16 items through protocol-appropriate environments, and
+/// snapshots every observable: per-net toggles, violations, delivered
+/// values, and the VCD of **every net in the simulator**.
+fn deep_snapshot(design: &dyn MixedTimingDesign, backend: Backend) -> Snapshot {
+    let params = FifoParams::new(4, 8);
+    let mut h = Harness::calibrated(7);
+    h.use_backend(backend);
+    h.clock_nets(design.clocking());
+    if h.clk_put.is_some() {
+        h.gen_put(Time::from_ps(10_000));
+    }
+    if h.clk_get.is_some() {
+        h.gen_get_phased(Time::from_ps(12_700), Time::from_ps(3_100));
+    }
+    h.build(design, params);
+    let items: Vec<u64> = (0..16u64).map(|i| (i * 29 + 3) & 0xff).collect();
+    let feed = match h.ports().put_spec() {
+        InterfaceSpec::SyncStream { .. } => Feed::Packets {
+            packets: items.iter().map(|&v| Some(v)).collect(),
+        },
+        _ => Feed::Saturate {
+            items: items.clone(),
+            bundling: Time::from_ps(400),
+            phase: Time::from_ps(300),
+        },
+    };
+    h.feed("p", feed);
+    let drain = match h.ports().get_spec() {
+        InterfaceSpec::SyncStream { .. } => Drain::Sink {
+            stalls: vec![(5, 9)],
+        },
+        _ => Drain::Consume {
+            n: items.len() as u64,
+            phase: Time::from_ps(500),
+        },
+    };
+    let out = h.drain("c", drain);
+    let probes: Vec<Probe> = (0..h.sim.net_count())
+        .map(|i| {
+            let net = NetId::from_index(i);
+            h.sim.trace(net);
+            Probe::scalar(h.sim.net_name(net).to_string(), net)
+        })
+        .collect();
+    h.sim.run_until(Time::from_us(60)).expect("simulation runs");
+    Snapshot {
+        delivered: out.values(),
+        toggles: (0..h.sim.net_count())
+            .map(|i| {
+                let net = NetId::from_index(i);
+                (h.sim.net_name(net).to_string(), h.sim.toggles(net))
+            })
+            .collect(),
+        violations: h.sim.violations().iter().map(|v| v.to_string()).collect(),
+        vcd: render_vcd(&h.sim, &probes),
+        stats: h.sim.stats(),
+    }
+}
+
+#[test]
+fn registry_designs_agree_net_for_net_and_in_vcd() {
+    let registry = DesignRegistry::standard();
+    let mut total_compiled_evals = 0u64;
+    for design in registry.iter() {
+        let name = design.kind().name();
+        if design.supports(FifoParams::new(4, 8)).is_err() {
+            continue;
+        }
+        let event = deep_snapshot(design, Backend::Event);
+        let compiled = deep_snapshot(design, Backend::Compiled);
+        assert_eq!(event.delivered, compiled.delivered, "{name}: journals");
+        assert_eq!(event.toggles, compiled.toggles, "{name}: per-net toggles");
+        assert_eq!(event.violations, compiled.violations, "{name}: violations");
+        assert_eq!(event.vcd, compiled.vcd, "{name}: VCD waveforms");
+        assert_eq!(event.stats.compiled_gate_evals, 0, "{name}");
+        total_compiled_evals += compiled.stats.compiled_gate_evals;
+    }
+    assert!(
+        total_compiled_evals > 0,
+        "no registry design compiled a single gate — the sweep is vacuous"
+    );
+}
+
+/// One boundary draw, as in `tests/chain_properties.rs`: next segment's
+/// clock ratio (per-mille of base), phase (per-mille of period), station
+/// count, and mixed-clock (`true`) vs single-clock (`false`) boundary.
+type BoundaryDraw = (u64, u64, usize, bool);
+
+fn assemble(
+    base_period_ps: u64,
+    capacity: usize,
+    head_stations: usize,
+    boundaries: &[BoundaryDraw],
+) -> ChainSpec {
+    let mut spec = ChainSpec::new(8, capacity).segment(base_period_ps, 0, head_stations);
+    let mut prev = (base_period_ps, 0u64);
+    for &(ratio_pm, phase_pm, stations, is_mcrs) in boundaries {
+        if is_mcrs {
+            let period = base_period_ps * ratio_pm / 1000;
+            let phase = period * phase_pm / 1000;
+            spec = spec
+                .boundary("mixed_clock_rs")
+                .segment(period, phase, stations);
+            prev = (period, phase);
+        } else {
+            spec = spec.boundary("sync_rs").segment(prev.0, prev.1, stations);
+        }
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fuzzed half of the differential: random 1–6-boundary chains,
+    /// random stall/feed schedules, random clock ratios and phases — the
+    /// compiled backend must reproduce the event kernel's fingerprint
+    /// byte for byte on every draw.
+    #[test]
+    fn random_chains_agree_on_both_backends(
+        seed in 0u64..1_000_000,
+        base_period_ps in 4_000u64..14_000,
+        capacity in 3usize..10,
+        head_stations in 1usize..4,
+        boundaries in prop::collection::vec(
+            (300u64..3_000, 0u64..1_000, 1usize..4, any::<bool>()),
+            1..7,
+        ),
+        n_items in 6usize..18,
+        stall_at in 2u64..12,
+        stall_len in 1u64..30,
+    ) {
+        let spec = assemble(base_period_ps, capacity, head_stations, &boundaries);
+        prop_assert!(spec.validate().is_ok(), "draw must be valid: {:?}", spec.validate());
+        let drives = [
+            ChainDrive::clean(seed, n_items, spec.width),
+            ChainDrive::with_stalls(seed, n_items, spec.width,
+                                    vec![(stall_at, stall_at + stall_len)]),
+        ];
+        // Only the mixed-clock RS is a gate-level design: a draw whose
+        // boundaries are all behavioural `sync_rs` macros legitimately
+        // compiles nothing, and its differential is trivially (but still
+        // correctly) equal.
+        let expects_compiled = boundaries.iter().any(|&(_, _, _, is_mcrs)| is_mcrs);
+        for drive in &drives {
+            let (event, _) = fp(&spec, drive, Backend::Event);
+            let (compiled, stats) = fp(&spec, drive, Backend::Compiled);
+            prop_assert_eq!(&event, &compiled, "fuzzed chain diverged");
+            if expects_compiled {
+                prop_assert!(stats.compiled_gate_evals > 0, "draw compiled nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn comb_loop_is_refused_with_citation_and_event_fallback() {
+    let mut sim = Simulator::new(0);
+    let mut b = Builder::new(&mut sim);
+    // A gate-level SR latch: cross-coupled NORs built from OR+INV pairs —
+    // a 4-cell combinational feedback loop the compiler must refuse.
+    let s = b.input("s");
+    let r = b.input("r");
+    let qb = b.input("qb"); // net only; driven by the feedback below
+    let t1 = b.or2(r, qb);
+    let q = b.inv(t1); // q  = NOR(r, qb)
+    let t2 = b.or2(s, q);
+    b.inv_onto(t2, qb); // qb = NOR(s, q): closes the loop
+                        // ... plus an eligible straight-line region that must still compile.
+    let a = b.input("a");
+    let c = b.input("c");
+    let y = b.and2(a, c);
+    let netlist = b.finish();
+
+    let report = install_compiled(&mut sim, &netlist, "mini");
+    assert_eq!(
+        report.diagnostics.len(),
+        1,
+        "exactly one refused region expected: {:?}",
+        report.diagnostics
+    );
+    let diag = &report.diagnostics[0];
+    assert!(
+        diag.contains("refused combinational feedback region"),
+        "diagnostic must name the refusal: {diag}"
+    );
+    for cell in ["OR0", "INV1", "OR2", "INV3"] {
+        assert!(
+            diag.contains(cell),
+            "diagnostic must cite member cell {cell}: {diag}"
+        );
+    }
+    assert!(
+        diag.contains("stay on the event kernel"),
+        "diagnostic must state the fallback: {diag}"
+    );
+    assert_eq!(report.compiled_gates, 1, "only the AND gate is acyclic");
+    assert!(
+        report.event_cells >= 4,
+        "the four loop cells stay on the event kernel"
+    );
+
+    // The refused latch still latches on the event kernel, and the
+    // compiled AND still computes.
+    let [da, dc, dr, ds] = [a, c, r, s].map(|n| sim.driver(n));
+    let drive = |sim: &mut Simulator, d, net, v, at_ns| {
+        sim.drive_at(d, net, v, Time::from_ns(at_ns));
+    };
+    drive(&mut sim, da, a, Logic::H, 0);
+    drive(&mut sim, dc, c, Logic::H, 0);
+    drive(&mut sim, dr, r, Logic::L, 0);
+    drive(&mut sim, ds, s, Logic::H, 1); // set pulse
+    drive(&mut sim, ds, s, Logic::L, 5);
+    sim.run_until(Time::from_ns(8)).expect("runs");
+    assert_eq!(sim.value(y), Logic::H, "compiled AND output");
+    assert_eq!(sim.value(q), Logic::H, "latch set through the event loop");
+    drive(&mut sim, dr, r, Logic::H, 10); // reset pulse
+    drive(&mut sim, dr, r, Logic::L, 14);
+    sim.run_until(Time::from_ns(18)).expect("runs");
+    assert_eq!(sim.value(q), Logic::L, "latch reset through the event loop");
+    assert!(sim.stats().compiled_gate_evals > 0);
+}
