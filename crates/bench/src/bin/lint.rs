@@ -10,18 +10,29 @@
 //!
 //! ```text
 //! cargo run --release -p mtf-bench --bin lint [--json] [--capacity N] [--width W]
+//! cargo run --release -p mtf-bench --bin lint -- --contracts [--json]
 //! ```
 //!
 //! `--json` emits one structured `mtf-bench-report-v1` line; CI diffs it
 //! against `golden/lint.json` (via `scripts/golden_diff.py`) so a new or
 //! vanished finding shows up in review even when it is waived.
+//!
+//! `--contracts` switches to the netlist-derived interface contracts:
+//! every registry design's flag disciplines, synchronizer depths,
+//! detector windows and capacity are *inferred from the elaborated
+//! netlist* (`mtf_lint::infer_contract`) and diffed against the declared
+//! tables, and the sharded kernel's lookahead claims on the 64-domain
+//! ladder are statically proven (`mtf_lis::audit_chain_lookahead`). Any
+//! derived-vs-declared mismatch or unsound cut exits non-zero; the JSON
+//! line is diffed against `golden/contracts.json`.
 
 use mtf_bench::args::Args;
 use mtf_bench::json::Json;
 use mtf_bench::report::{DesignEntry, ExperimentReport};
 use mtf_core::design::DesignRegistry;
 use mtf_core::FifoParams;
-use mtf_lint::{lint_design, LintReport, PASSES};
+use mtf_lint::{infer_contract, lint_design, LintReport, PASSES};
+use mtf_lis::{audit_chain_lookahead, ChainSpec};
 
 /// Flags whose value the arg parser must skip over (see
 /// [`Args::positional`] — not used here, but keeps `--capacity 8`
@@ -52,10 +63,138 @@ fn print_design(name: &str, report: &LintReport) {
     }
 }
 
+/// The `sharded` bench's 64-domain plesiochronous ladder (same
+/// construction — keep in sync with `--bin sharded`), whose cut claims
+/// the audit proves.
+fn relay64(segments: usize) -> ChainSpec {
+    let mut spec = ChainSpec::new(8, 4);
+    for i in 0..segments as u64 {
+        if i > 0 {
+            spec = spec.boundary("mixed_clock_rs");
+        }
+        spec = spec.segment(9_973 + 37 * i, (257 * i) % 4_000, 1);
+    }
+    spec
+}
+
+/// The `--contracts` mode: derived interface contracts plus the
+/// lookahead soundness audit, one report line.
+fn contracts_main(json: bool, params: FifoParams) {
+    if !json {
+        println!("Netlist-derived interface contracts at {params}");
+        println!();
+    }
+    let mut report = ExperimentReport::new("contracts");
+    let mut disciplines = Vec::new();
+    let mut mismatch_total = 0usize;
+    for design in DesignRegistry::standard().iter() {
+        let contract = match infer_contract(design, params) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("contracts: {} rejected {params}: {e}", design.kind().name());
+                std::process::exit(2);
+            }
+        };
+        let mismatches = contract.diff(params.sync_stages);
+        mismatch_total += mismatches.len();
+        let name = design.kind().name();
+        if !json {
+            println!(
+                "{name:>15}: put {} | get {} | capacity {:?}",
+                contract.put.discipline, contract.get.discipline, contract.capacity
+            );
+            for m in &mismatches {
+                println!("        MISMATCH {m}");
+            }
+        }
+        disciplines.push(Json::obj([
+            ("design", Json::str(name)),
+            ("put", Json::str(contract.put.discipline.to_string())),
+            ("get", Json::str(contract.get.discipline.to_string())),
+        ]));
+        report.entries.push(
+            DesignEntry::new(design, params)
+                .with(
+                    "put_depth",
+                    contract.put.discipline.depth().unwrap_or(0) as f64,
+                )
+                .with(
+                    "get_depth",
+                    contract.get.discipline.depth().unwrap_or(0) as f64,
+                )
+                .with(
+                    "window",
+                    contract
+                        .put
+                        .discipline
+                        .window()
+                        .or(contract.get.discipline.window())
+                        .unwrap_or(0) as f64,
+                )
+                .with("capacity_derived", contract.capacity.unwrap_or(0) as f64)
+                .with("sync_depth", contract.sync_depth().unwrap_or(0) as f64)
+                .with("mismatches", mismatches.len() as f64),
+        );
+    }
+    report.note("disciplines", Json::Arr(disciplines));
+    report.note("mismatches_total", Json::Num(mismatch_total as f64));
+
+    // Static proof of the sharded kernel's lookahead claims, cut by cut.
+    let spec = relay64(64);
+    let mut lookahead = Vec::new();
+    let mut unsound_total = 0usize;
+    for shards in [2usize, 4, 8] {
+        let audit = audit_chain_lookahead(&spec, shards).expect("relay64 validates");
+        unsound_total += audit.failures().len();
+        if !json {
+            println!(
+                "relay64 @ {shards:>2} shards: {} cuts audited, {} hold checks, {}",
+                audit.cuts.len(),
+                audit.holds.len(),
+                if audit.is_sound() { "sound" } else { "UNSOUND" }
+            );
+            for f in audit.failures() {
+                println!("        UNSOUND {f}");
+            }
+        }
+        lookahead.push(Json::obj([
+            ("shards", Json::Num(audit.shards as f64)),
+            ("cuts", Json::Num(audit.cuts.len() as f64)),
+            (
+                "hold_min_slack_ps",
+                Json::Num(audit.holds.iter().map(|h| h.slack_ps).min().unwrap_or(0) as f64),
+            ),
+            ("sound", Json::Num(u64::from(audit.is_sound()) as f64)),
+        ]));
+    }
+    report.note("lookahead", Json::Arr(lookahead));
+
+    if json {
+        report.emit();
+    } else {
+        println!();
+        if mismatch_total == 0 && unsound_total == 0 {
+            println!(
+                "Contracts clean: every derived contract matches its declaration and \
+                 every cut claim is proven."
+            );
+        } else {
+            println!("FAIL: {mismatch_total} mismatch(es), {unsound_total} unsound claim(s).");
+        }
+    }
+    if mismatch_total > 0 || unsound_total > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let json = args.json();
     let params = params_from(&args);
+    if args.flag("--contracts") {
+        contracts_main(json, params);
+        return;
+    }
 
     if !json {
         println!("Static netlist lint over the design registry at {params}");

@@ -13,7 +13,7 @@
 //! 1. **Eligibility** — a cell is compiled only if doing so cannot change
 //!    observable behaviour. Combinational gates must be single-output,
 //!    single-driver (tri-states share buses, so they stay on the event
-//!    kernel) and carry their exact [`GateFunc`]. Edge-triggered cells
+//!    kernel) and carry their exact [`GateFunc`](crate::GateFunc). Edge-triggered cells
 //!    must have an ideal metastability window: a flop that can consult
 //!    the shared RNG must keep its event-driven wake schedule so the
 //!    deterministic draw sequence is preserved. Latches, C-elements and

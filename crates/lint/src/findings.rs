@@ -4,9 +4,10 @@ use std::fmt;
 
 use mtf_core::waivers::LintWaiver;
 
-/// The four lint passes, by stable identifier. Waivers name passes with
-/// these strings (see [`mtf_core::waivers`]).
-pub const PASSES: [&str; 4] = ["cdc", "comb_loop", "structural", "glitch"];
+/// The lint passes, by stable identifier. Waivers name passes with
+/// these strings (see [`mtf_core::waivers`]); the synthetic `waiver`
+/// pass holds stale-waiver findings produced by annotation itself.
+pub const PASSES: [&str; 5] = ["cdc", "comb_loop", "structural", "glitch", "waiver"];
 
 /// One raw lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +91,12 @@ impl LintReport {
     /// Annotates `findings` against a waiver table: a waiver covers a
     /// finding when the pass matches and the waiver pattern occurs in the
     /// finding's location.
+    ///
+    /// A waiver that covers *nothing* is itself reported, as an unwaived
+    /// `waiver/stale` finding: when the structure a waiver cites is
+    /// removed, the lint must flip red — a silently green table would let
+    /// dead citations accumulate, and a revived finding would then be
+    /// waived by accident.
     pub fn annotate(
         findings: Vec<Finding>,
         waivers: &'static [LintWaiver],
@@ -97,7 +104,7 @@ impl LintReport {
         nets: usize,
         domains: usize,
     ) -> Self {
-        let findings = findings
+        let mut findings: Vec<AnnotatedFinding> = findings
             .into_iter()
             .map(|f| {
                 let waived_by = waivers
@@ -109,11 +116,111 @@ impl LintReport {
                 }
             })
             .collect();
+        for w in waivers {
+            let used = findings
+                .iter()
+                .any(|a| a.waived_by.is_some_and(|cover| std::ptr::eq(cover, w)));
+            if !used {
+                findings.push(AnnotatedFinding {
+                    finding: Finding {
+                        pass: "waiver",
+                        check: "stale",
+                        location: format!("{}:{}", w.pass, w.pattern),
+                        message: format!(
+                            "waiver matches no current finding — its cited structure \
+                             ({}) is gone or renamed; remove or update the waiver",
+                            w.reason
+                        ),
+                    },
+                    waived_by: None,
+                });
+            }
+        }
         LintReport {
             findings,
             cells,
             nets,
             domains,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_WAIVERS: [LintWaiver; 2] = [
+        LintWaiver {
+            pass: "cdc",
+            pattern: "sync1/",
+            reason: "paper-cited single-flop baseline (test)",
+        },
+        LintWaiver {
+            pass: "glitch",
+            pattern: "/nothing_matches_this/",
+            reason: "paper-cited structure that no longer exists (test)",
+        },
+    ];
+
+    fn finding(pass: &'static str, location: &str) -> Finding {
+        Finding {
+            pass,
+            check: "unit",
+            location: location.to_string(),
+            message: "unit finding".to_string(),
+        }
+    }
+
+    #[test]
+    fn unused_waivers_surface_as_stale_findings() {
+        let report = LintReport::annotate(
+            vec![finding("cdc", "fifo/sync1/DFF_3")],
+            &TEST_WAIVERS,
+            10,
+            10,
+            2,
+        );
+        // The matched finding is waived; the dead glitch waiver is not
+        // silently dropped — it comes back as an unwaived stale finding.
+        assert_eq!(report.waived_count(), 1);
+        assert_eq!(report.count_for("waiver"), 1);
+        let stale: Vec<_> = report.unwaived().collect();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].pass, "waiver");
+        assert_eq!(stale[0].check, "stale");
+        assert_eq!(stale[0].location, "glitch:/nothing_matches_this/");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn removing_a_waived_structure_flips_the_waiver_to_stale() {
+        // With the structure present: clean, both waivers used... except
+        // only one is used here, so simulate the full table being used
+        // first, then the structure's findings vanishing.
+        let used = LintReport::annotate(
+            vec![
+                finding("cdc", "fifo/sync1/DFF_3"),
+                finding("glitch", "fifo/nothing_matches_this/SRLATCH_0"),
+            ],
+            &TEST_WAIVERS,
+            10,
+            10,
+            2,
+        );
+        assert!(used.is_clean());
+        assert_eq!(used.waived_count(), 2);
+        assert_eq!(used.count_for("waiver"), 0);
+
+        // The glitchy structure is deleted: its finding disappears, and
+        // the report must *not* stay green.
+        let after_removal = LintReport::annotate(
+            vec![finding("cdc", "fifo/sync1/DFF_3")],
+            &TEST_WAIVERS,
+            9,
+            9,
+            2,
+        );
+        assert!(!after_removal.is_clean());
+        assert_eq!(after_removal.count_for("waiver"), 1);
     }
 }

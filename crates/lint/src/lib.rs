@@ -46,14 +46,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cdc;
+pub mod contract;
 mod findings;
 pub mod glitch;
+pub mod infer;
 pub mod loops;
 mod model;
 pub mod state;
 pub mod structural;
 
+pub use contract::{ContractMismatch, DerivedDiscipline, InterfaceContract, PortContract};
 pub use findings::{AnnotatedFinding, Finding, LintReport, PASSES};
+pub use infer::{infer_contract, infer_from_model};
 pub use model::{Domain, LintModel};
 pub use state::{state_elements, StateElements};
 

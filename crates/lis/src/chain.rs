@@ -1,7 +1,7 @@
 //! Heterogeneous latency-insensitive chain composition (paper Section 5).
 //!
 //! The paper's headline application drops mixed-timing relay stations into
-//! a Carloni-style relay-station chain. [`splice_stream_design`] handles a
+//! a Carloni-style relay-station chain. [`splice_stream_design`](crate::splice_stream_design) handles a
 //! single boundary; this module composes **whole systems**: an arbitrary
 //! sequence of registry-named stream designs separating single-clock relay
 //! segments, each segment with its own clock domain (independent period

@@ -48,6 +48,7 @@ use mtf_gates::{install_compiled, Builder, CellDelays, Netlist};
 use mtf_sim::{Backend, Component, Ctx, DriverId, MetaModel, NetId, Simulator, Time};
 
 pub mod chain;
+pub mod lookahead;
 pub mod shard;
 
 pub use chain::{
@@ -56,6 +57,9 @@ pub use chain::{
     verify_chain_with_backend, AsyncPort, BoundaryReport, BuiltChain, ChainBuilder, ChainDrive,
     ChainReport, ChainRun, ChainSpec, ChainVerification, DomainSpec, LatencyEnvelope, SegmentSpec,
     ThroughputPrediction,
+};
+pub use lookahead::{
+    audit_chain_lookahead, registered_launch_exact, CutAudit, HoldAudit, LookaheadAudit,
 };
 pub use shard::{
     plan_chain_shards, run_chain_sharded, run_chain_sharded_with_backend, ChainFingerprint,

@@ -1,11 +1,25 @@
 //! Mapping the design registry onto the abstract models: which
 //! capacities each design is checked at, which flag disciplines its
-//! interfaces use (via [`DesignKind::put_discipline`] /
-//! [`DesignKind::get_discipline`]), and the controller specifications
-//! behind the asynchronous designs.
+//! interfaces use, and the controller specifications behind the
+//! asynchronous designs.
+//!
+//! Since the contract-inference engine landed in `mtf-lint`, the flag
+//! disciplines and synchronizer depths here are **derived from the
+//! elaborated netlists** ([`derived_contract`]), not read off the
+//! declared [`DesignKind::put_discipline`] /
+//! [`DesignKind::get_discipline`] tables. The declared tables still
+//! exist — as the specification the derivation is diffed against:
+//! [`contract_mismatches`] is the consistency gate (empty on a healthy
+//! registry), and a design whose netlist stops matching its declaration
+//! fails loudly here rather than being checked against the wrong model.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use mtf_async::{dv_as_spec, dv_sa_spec, ogt_spec, opt_spec};
-use mtf_core::DesignKind;
+use mtf_core::design::DesignRegistry;
+use mtf_core::{DesignKind, FifoParams};
+use mtf_lint::{infer_contract, ContractMismatch, InterfaceContract};
 
 use crate::bm::{check_bm, BmCheck};
 use crate::fifo::{check_fifo, FifoCheck, FifoModel};
@@ -45,14 +59,67 @@ pub fn formal_capacities(kind: DesignKind) -> &'static [usize] {
     }
 }
 
-/// The abstract protocol model of `kind` at `capacity`.
+/// Parameters every registry design is inferred at: the stock 4×8 point
+/// all conformance suites use, at the formal models' synchronizer depth.
+pub fn inference_params() -> FifoParams {
+    FifoParams::with_sync_stages(4, 8, SYNC_STAGES)
+}
+
+/// The netlist-derived interface contract of `kind` at
+/// [`inference_params`], memoized (elaboration is cheap, but the formal
+/// sweep asks for each design's contract at several capacities).
+pub fn derived_contract(kind: DesignKind) -> InterfaceContract {
+    static CACHE: OnceLock<Mutex<HashMap<DesignKind, InterfaceContract>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("contract cache poisoned");
+    cache
+        .entry(kind)
+        .or_insert_with(|| {
+            infer_contract(DesignRegistry::of(kind), inference_params())
+                .expect("every registry design elaborates at the stock point")
+        })
+        .clone()
+}
+
+/// Diffs every registry design's derived contract against its declared
+/// discipline tables — the consistency gate. Empty on a healthy
+/// registry; any entry means a netlist and its declaration disagree.
+pub fn contract_mismatches() -> Vec<ContractMismatch> {
+    ALL_DESIGNS
+        .iter()
+        .flat_map(|&kind| derived_contract(kind).diff(SYNC_STAGES))
+        .collect()
+}
+
+/// The abstract protocol model of `kind` at `capacity`, built from the
+/// **derived** contract: the disciplines and synchronizer depth are what
+/// the netlist contains, not what the table declares. Behavioural
+/// designs (no gates to read a depth from) use the stock
+/// [`SYNC_STAGES`].
+///
+/// # Panics
+///
+/// Panics if inference produced an unclassifiable (`Unknown`) side —
+/// checking such a design against a guessed model would be worse than no
+/// check at all.
 pub fn fifo_model(kind: DesignKind, capacity: usize) -> FifoModel {
+    let contract = derived_contract(kind);
+    let side = |pc: &mtf_lint::PortContract, which: &str| {
+        pc.discipline.flag().unwrap_or_else(|| {
+            panic!(
+                "{}/{which}: underived contract ({}) — fix the netlist or the \
+                 inference before model checking",
+                kind.name(),
+                pc.discipline
+            )
+        })
+    };
     FifoModel::new(
         format!("{}·c{capacity}", kind.name()),
         capacity,
-        kind.put_discipline(),
-        kind.get_discipline(),
-        SYNC_STAGES,
+        side(&contract.put, "put"),
+        side(&contract.get, "get"),
+        contract.sync_depth().unwrap_or(SYNC_STAGES),
     )
 }
 
@@ -149,5 +216,84 @@ mod tests {
         for kind in ALL_DESIGNS {
             assert!(!formal_capacities(kind).is_empty(), "{}", kind.name());
         }
+    }
+
+    /// The consistency gate: every netlist-derived contract equals its
+    /// declared discipline table at the stock parameters. This is the
+    /// invariant that lets [`fifo_model`] consume the derivation.
+    #[test]
+    fn derived_contracts_match_declared() {
+        let mismatches = contract_mismatches();
+        assert!(
+            mismatches.is_empty(),
+            "derived vs declared drift:\n{}",
+            mismatches
+                .iter()
+                .map(|m| format!("  {m}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Derived models must present to the checker exactly as the
+    /// declared ones did, or `golden/formal.json` would churn.
+    #[test]
+    fn derived_models_agree_with_declared_tables() {
+        for kind in ALL_DESIGNS {
+            for &cap in formal_capacities(kind) {
+                let m = fifo_model(kind, cap);
+                assert_eq!(m.name, format!("{}·c{cap}", kind.name()));
+                assert_eq!(m.put, kind.put_discipline(), "{}", kind.name());
+                assert_eq!(m.get, kind.get_discipline(), "{}", kind.name());
+                assert_eq!(m.sync_stages, SYNC_STAGES, "{}", kind.name());
+            }
+        }
+    }
+
+    /// Injected regression 1: a dropped synchronizer stage. Rebuilding
+    /// the mixed-clock netlist with single-flop synchronizers and
+    /// diffing against the expected two-stage contract must flag the
+    /// depth on both sides.
+    #[test]
+    fn dropped_synchronizer_stage_is_caught() {
+        let shallow = infer_contract(
+            DesignRegistry::of(DesignKind::MixedClock),
+            FifoParams::with_sync_stages(4, 8, 1),
+        )
+        .expect("elaborates");
+        let diffs = shallow.diff(SYNC_STAGES);
+        assert!(
+            diffs
+                .iter()
+                .any(|m| m.side == "put" && m.expected.contains("depth 2")),
+            "put-side depth drop not flagged: {diffs:?}"
+        );
+        assert!(
+            diffs
+                .iter()
+                .any(|m| m.side == "get" && m.expected.contains("depth 2")),
+            "get-side depth drop not flagged: {diffs:?}"
+        );
+    }
+
+    /// Injected regression 2: a swapped empty detector. Structurally, an
+    /// ne-only empty derives Anticipating, which can never satisfy a
+    /// Bimodal declaration (`mtf-lint` proves the classification); here
+    /// the *model* half closes the loop — severing the once-empty path
+    /// on the derived mixed-clock model refutes empty-detector liveness,
+    /// so the contract the gate defends is load-bearing, not cosmetic.
+    #[test]
+    fn swapped_empty_detector_is_caught() {
+        let contract = derived_contract(DesignKind::MixedClock);
+        assert_eq!(
+            contract.get.discipline.flag(),
+            Some(mtf_core::design::FlagDiscipline::Bimodal)
+        );
+        let wedged = fifo_model(DesignKind::MixedClock, 4).anticipating_only();
+        let check = check_fifo(&wedged, BUDGET).expect("in budget");
+        assert!(
+            !check.is_clean(),
+            "an anticipating-only empty detector must fail liveness"
+        );
     }
 }

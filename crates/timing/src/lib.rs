@@ -39,5 +39,5 @@ mod tech;
 
 pub use area::{area, AreaReport};
 pub use power::{dynamic_energy, storage_write_toggles, EnergyReport};
-pub use sta::{PathStep, Sta, TimingReport};
+pub use sta::{HoldReport, PathStep, Sta, TimingReport};
 pub use tech::Tech;

@@ -381,6 +381,124 @@ impl<'a> Sta<'a> {
             half,
         ))
     }
+
+    // ---- min-delay (contamination) analysis --------------------------------
+
+    /// Earliest and latest arrivals on every net from `clock`'s rising
+    /// edge, in one topological pass. `None` when the domain launches
+    /// nothing. Falling-edge launches are excluded: they are mid-cycle by
+    /// construction, so they never race the *same* rising edge — they are
+    /// a setup constraint (see [`Sta::min_period`]), not a hold hazard.
+    fn arrival_window(&self, clock: NetId) -> Option<(Vec<i64>, Vec<i64>)> {
+        const NEG: i64 = i64::MIN / 4;
+        const POS: i64 = i64::MAX / 4;
+        let delays = self.netlist.delay_table();
+        let delays = delays.borrow();
+        let mut lo = vec![POS; self.n_nets];
+        let mut hi = vec![NEG; self.n_nets];
+        let mut any = false;
+        for &(net, lclk, at, _) in &self.launches {
+            if lclk == clock && !self.cyclic[net] {
+                any = true;
+                let t = at.as_ps() as i64;
+                lo[net] = lo[net].min(t);
+                hi[net] = hi[net].max(t);
+            }
+        }
+        if !any {
+            return None;
+        }
+        for &n in &self.topo {
+            if lo[n] == POS && hi[n] == NEG {
+                continue;
+            }
+            for a in &self.arcs[n] {
+                if self.cyclic[a.to] {
+                    continue;
+                }
+                let d = delays[a.inst].as_ps() as i64;
+                if lo[n] != POS && lo[n] + d < lo[a.to] {
+                    lo[a.to] = lo[n] + d;
+                }
+                if hi[n] != NEG && hi[n] + d > hi[a.to] {
+                    hi[a.to] = hi[n] + d;
+                }
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// The launch window of `net` in `clock`'s domain: the earliest and
+    /// latest instants, measured from a rising edge, at which `net` can
+    /// change as a consequence of that edge. `None` when no launch of
+    /// this domain reaches the net (its value is then edge-independent —
+    /// driven externally or by another domain) or the net sits on a
+    /// combinational cycle.
+    ///
+    /// This is the primitive behind the sharded kernel's lookahead
+    /// soundness audit: a cut signal exported with claimed launch delay
+    /// `d` is conservative iff `d ≤ window.0`, and exact iff the window
+    /// is `(d, d)`.
+    pub fn launch_window(&self, clock: NetId, net: NetId) -> Option<(Time, Time)> {
+        let idx = net.index();
+        if idx >= self.n_nets || self.cyclic[idx] {
+            return None;
+        }
+        let (lo, hi) = self.arrival_window(clock)?;
+        const POS: i64 = i64::MAX / 4;
+        if lo[idx] == POS || lo[idx] < 0 {
+            return None;
+        }
+        Some((Time::from_ps(lo[idx] as u64), Time::from_ps(hi[idx] as u64)))
+    }
+
+    /// Same-edge hold (min-delay) check for `clock`'s domain: for every
+    /// capture pin reached by a rising-edge launch, the contamination
+    /// delay must exceed the capturing flop's hold time. Returns the
+    /// worst margin, or `None` when the domain has no launched capture
+    /// pin. A negative [`HoldReport::slack_ps`] is a real race: the new
+    /// value of a fast path overwrites the old one before the flop is
+    /// done sampling it.
+    ///
+    /// Capture pins whose cones are driven only externally or from other
+    /// domains are not checked — external arrival bounds are the
+    /// environment's contract (declare them with
+    /// [`Sta::external_launch`] to include them), and cross-domain races
+    /// are what synchronizers are for (the CDC lint's jurisdiction).
+    pub fn hold_slack(&self, clock: NetId) -> Option<HoldReport> {
+        const POS: i64 = i64::MAX / 4;
+        let (lo, _) = self.arrival_window(clock)?;
+        let hold = self.netlist.cell_delays().hold.as_ps() as i64;
+        let mut checked = 0;
+        let mut worst: Option<(i64, usize)> = None;
+        for &(d, cclk, inst) in &self.captures {
+            if cclk != clock || self.cyclic[d] || lo[d] == POS {
+                continue;
+            }
+            checked += 1;
+            let slack = lo[d] - hold;
+            if worst.is_none_or(|(w, _)| slack < w) {
+                worst = Some((slack, inst));
+            }
+        }
+        worst.map(|(slack_ps, inst)| HoldReport {
+            slack_ps,
+            capture: self.netlist.instances()[inst].name.clone(),
+            checked,
+        })
+    }
+}
+
+/// The per-domain result of [`Sta::hold_slack`].
+#[derive(Clone, Debug)]
+pub struct HoldReport {
+    /// Worst contamination-minus-hold margin over all same-domain
+    /// capture pins, in picoseconds. Negative = violation.
+    pub slack_ps: i64,
+    /// The capturing instance at the worst pin.
+    pub capture: String,
+    /// Number of capture pins checked.
+    pub checked: usize,
 }
 
 #[cfg(test)]
@@ -474,6 +592,100 @@ mod tests {
         );
         let rep = sta.min_period(clk).expect("clean pipeline still timed");
         assert_eq!(rep.path.len(), 2);
+    }
+
+    /// A flop-to-flop path through logic: the earliest the capture pin
+    /// can move is cq + the cone's contamination delay, so hold slack is
+    /// that minus the hold time — comfortably positive in hp06. The
+    /// launch window of the intermediate net is exact: one launch, one
+    /// path.
+    #[test]
+    fn pipeline_hold_slack_is_contamination_minus_hold() {
+        let mut sim = Simulator::new(0);
+        let mut b = Builder::new(&mut sim);
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let c = b.input("c");
+        let q1 = b.dff(clk, d, Logic::L);
+        let x = b.and2(q1, c);
+        let _q2 = b.dff(clk, x, Logic::L);
+        let nl = b.finish();
+        let delays = Tech::hp06().annotate(&nl);
+        let sta = Sta::new(&nl);
+        // cq(dff, inst 0) + and(inst 1): the only path, so min == max.
+        let cone = delays[0] + delays[1];
+        assert_eq!(sta.launch_window(clk, q1), Some((delays[0], delays[0])));
+        assert_eq!(sta.launch_window(clk, x), Some((cone, cone)));
+        let hold = sta.hold_slack(clk).expect("one launched capture pin");
+        assert_eq!(
+            hold.slack_ps,
+            cone.as_ps() as i64 - nl.cell_delays().hold.as_ps() as i64
+        );
+        assert_eq!(hold.checked, 1);
+        assert!(hold.slack_ps > 0, "hp06 flops do not race themselves");
+    }
+
+    /// Reconvergence with unequal branch depths: the window's early edge
+    /// follows the short branch, the late edge the long one — and the
+    /// hold check must use the early edge.
+    #[test]
+    fn launch_window_spreads_over_unbalanced_reconvergence() {
+        let mut sim = Simulator::new(0);
+        let mut b = Builder::new(&mut sim);
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let q = b.dff(clk, d, Logic::L);
+        let short = b.buf(q);
+        let long = b.inv(q);
+        let long = b.inv(long);
+        let long = b.inv(long);
+        let meet = b.and2(short, long);
+        let _q2 = b.dff(clk, meet, Logic::L);
+        let nl = b.finish();
+        let delays = Tech::hp06().annotate(&nl);
+        let sta = Sta::new(&nl);
+        let (lo, hi) = sta.launch_window(clk, meet).expect("launched");
+        // inst 0 = dff, 1 = buf, 2..5 = inv chain, 5 = and.
+        assert_eq!(lo, delays[0] + delays[1] + delays[5]);
+        assert_eq!(
+            hi,
+            delays[0] + delays[2] + delays[3] + delays[4] + delays[5]
+        );
+        assert!(lo < hi);
+        let hold = sta.hold_slack(clk).expect("capturable");
+        assert_eq!(
+            hold.slack_ps,
+            lo.as_ps() as i64 - nl.cell_delays().hold.as_ps() as i64
+        );
+    }
+
+    /// A capture pin fed only by another domain (or externally) is not a
+    /// same-edge race and must not be checked; an external launch
+    /// declaration pulls it back into scope.
+    #[test]
+    fn hold_ignores_unlaunched_cones_until_declared() {
+        let mut sim = Simulator::new(0);
+        let mut b = Builder::new(&mut sim);
+        let clk_a = b.input("clk_a");
+        let clk_b = b.input("clk_b");
+        let d = b.input("d");
+        let qa = b.dff(clk_a, d, Logic::L);
+        let g = b.buf(qa);
+        let _qb = b.dff(clk_b, g, Logic::L);
+        let nl = b.finish();
+        Tech::hp06().annotate(&nl);
+        let mut sta = Sta::new(&nl);
+        assert!(sta.hold_slack(clk_b).is_none(), "cross-domain only");
+        assert!(sta.launch_window(clk_b, g).is_none());
+        // Declaring the crossing as a bounded external arrival (e.g. a
+        // mesochronous source) makes it a checkable same-edge path.
+        sta.external_launch(g, clk_b, Time::from_ps(50));
+        let hold = sta.hold_slack(clk_b).expect("declared now");
+        assert_eq!(hold.slack_ps, 50 - nl.cell_delays().hold.as_ps() as i64);
+        assert_eq!(
+            sta.launch_window(clk_b, g).map(|w| w.0),
+            Some(Time::from_ps(50))
+        );
     }
 
     #[test]
